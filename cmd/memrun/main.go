@@ -1,0 +1,83 @@
+// Command memrun replays a trace file (tracegen's format, or any
+// `R|W|M <hex-line> <gap>` stream) through the DDR4 timing simulator
+// under a chosen ECC scheme's cost model and prints the run summary.
+//
+// Usage:
+//
+//	tracegen -name mix -reads 0.6 > mix.trace
+//	memrun -scheme pair mix.trace
+//	memrun -scheme xed -compare none mix.trace     # with a baseline column
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pair"
+	"pair/internal/memsim"
+	"pair/internal/trace"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "pair", "ECC scheme (none|iecc|xed|duo|duo-rank|pair-base|pair|secded)")
+		compare    = flag.String("compare", "", "optional second scheme to compare against")
+		ranks      = flag.Int("ranks", 1, "ranks per channel")
+		window     = flag.Int("window", 0, "override the trace's MLP window")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: memrun [flags] <trace-file>  (use - for stdin)")
+		os.Exit(2)
+	}
+
+	wl, err := loadTrace(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *window > 0 {
+		wl.Window = *window
+	}
+	s := wl.Stats()
+	fmt.Printf("trace %s: %d reads, %d writes (%d masked), window %d\n\n",
+		wl.Name, s.Reads, s.Writes+s.MaskedWrites, s.MaskedWrites, wl.Window)
+	fmt.Printf("%-10s %12s %12s %11s %11s %12s\n",
+		"scheme", "cycles", "exec ms", "extra rds", "extra wrs", "read lat ns")
+
+	names := []string{*schemeName}
+	if *compare != "" {
+		names = append(names, *compare)
+	}
+	for _, n := range names {
+		scheme, err := pair.SchemeByName(n)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := memsim.DefaultConfig()
+		cfg.Org = scheme.Org()
+		cfg.Ranks = *ranks
+		cfg.Cost = scheme.Cost()
+		res := memsim.Run(cfg, wl)
+		fmt.Printf("%-10s %12d %12.3f %11d %11d %12.1f\n",
+			scheme.Name(), res.Cycles, res.ExecSeconds(cfg.Timing)*1e3,
+			res.ExtraReads, res.ExtraWrites, res.AvgReadLatencyNS(cfg.Timing))
+	}
+}
+
+func loadTrace(path string) (trace.Workload, error) {
+	if path == "-" {
+		return trace.Parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Workload{}, err
+	}
+	defer f.Close()
+	return trace.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command pairsim regenerates every table and figure of the PAIR study.
+//
+// Usage:
+//
+//	pairsim -exp all            # everything, publication scale
+//	pairsim -exp f1 -quick      # one experiment, CI scale
+//	pairsim -list               # what exists
+//
+// Experiment identifiers match DESIGN.md's per-experiment index (T1, F1,
+// F2, T2, F3, F4, F5, F6, F7, T3); EXPERIMENTS.md records claimed-vs-
+// measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pair/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (t1|f1|f2|t2|f3|f4|f5|f6|f7|t3|f8|f9|f10|t2x|f3x|all)")
+		quick    = flag.Bool("quick", false, "CI-scale trial counts")
+		trials   = flag.Int("trials", 0, "override Monte-Carlo trials per point")
+		devices  = flag.Int("devices", 0, "override lifetime population size")
+		requests = flag.Int("requests", 0, "override trace length")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(`T1  scheme configuration table
+F1  reliability (DUE+SDC) vs inherent BER
+F2  SDC vs inherent BER
+T2  outcome by fault pattern
+F3  7-year lifetime failure probability
+F4  performance, SPEC-like suite
+F5  performance vs write ratio
+F6  PAIR expansion-level sweep
+F7  burst-error correction
+T3  storage/logic/latency overheads
+F8  failure probability vs scrub interval (ablation)
+F9  PAIR across DRAM generations (DDR4 BL8 vs DDR5 BL16)
+F10 pin-sparing (erasure) extension
+T4  bus energy proxy (DBI interaction)
+F11 performance vs patrol-scrub rate
+F12 lifetime with post-package repair (DUE-only repairability)
+T5  PAIR design space across device widths (x4/x8/x16/DDR5)
+T2X coverage incl. rank-level schemes (secded, duo-rank)
+F3X lifetime incl. rank-level schemes
+`)
+		return
+	}
+
+	scale := scaleFor(*quick, *trials, *devices, *requests)
+	ids := strings.Split(strings.ToLower(*exp), ",")
+	if *exp == "all" {
+		// f1f2 runs both sweeps off one set of conditional profiles.
+		ids = []string{"t1", "f1f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := run(strings.TrimSpace(id), scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pairsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s done in %v]\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+type scale struct {
+	sweep    experiments.SweepSettings
+	coverage int
+	devices  int
+	requests int
+}
+
+func scaleFor(quick bool, trials, devices, requests int) scale {
+	s := scale{
+		sweep:    experiments.DefaultSweep(),
+		coverage: 20000,
+		devices:  40000,
+		requests: 20000,
+	}
+	if quick {
+		s.sweep = experiments.QuickSweep()
+		s.coverage = 2000
+		s.devices = 2000
+		s.requests = 4000
+	}
+	if trials > 0 {
+		s.sweep.Trials = trials
+		s.coverage = trials
+	}
+	if devices > 0 {
+		s.devices = devices
+	}
+	if requests > 0 {
+		s.requests = requests
+	}
+	return s
+}
+
+func run(id string, sc scale) (string, error) {
+	switch id {
+	case "t1":
+		return experiments.T1Config().Render(), nil
+	case "f1":
+		return experiments.F1F2(experiments.CommoditySchemes(), sc.sweep).RenderF1(), nil
+	case "f2":
+		return experiments.F1F2(experiments.CommoditySchemes(), sc.sweep).RenderF2(), nil
+	case "f1f2":
+		r := experiments.F1F2(experiments.CommoditySchemes(), sc.sweep)
+		return r.RenderF1() + "\n" + r.RenderF2(), nil
+	case "t2":
+		return experiments.T2Coverage(experiments.CommoditySchemes(), sc.coverage, 1).Render(), nil
+	case "f3":
+		return experiments.F3Lifetime(experiments.CommoditySchemes(), sc.devices, 1).Render(), nil
+	case "f4":
+		return experiments.F4Performance(experiments.PerfSchemes(), sc.requests).Render() +
+			"\n" + experiments.F4Latency(sc.requests).Render(), nil
+	case "f5":
+		return experiments.F5WriteSweep(experiments.PerfSchemes(), sc.requests).Render(), nil
+	case "f6":
+		return experiments.F6Expandability(sc.sweep.Trials, 1).Render(), nil
+	case "f7":
+		return experiments.F7Burst(experiments.CommoditySchemes(), sc.coverage, 1).Render(), nil
+	case "t3":
+		return experiments.T3Complexity().Render(), nil
+	case "f8":
+		return experiments.F8ScrubSweep(experiments.CommoditySchemes(), sc.devices/4, 1).Render(), nil
+	case "f9":
+		return experiments.F9DDR5(sc.coverage, 1).Render(), nil
+	case "f10":
+		return experiments.F10Sparing(sc.coverage, 1).Render(), nil
+	case "t2x":
+		return experiments.T2Coverage(experiments.ExtendedSchemes(), sc.coverage, 1).Render(), nil
+	case "f3x":
+		return experiments.F3Lifetime(experiments.ExtendedSchemes(), sc.devices, 1).Render(), nil
+	case "t4":
+		return experiments.T4BusEnergy().Render(), nil
+	case "f11":
+		return experiments.F11ScrubTraffic(sc.requests).Render(), nil
+	case "t5":
+		return experiments.T5Widths(sc.coverage, 1).Render(), nil
+	case "f12":
+		return experiments.F12Repair(experiments.CommoditySchemes(), sc.devices, 1).Render(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+}

@@ -1,0 +1,109 @@
+// Command tracegen emits the synthetic workload traces the performance
+// experiments use, one request per line, in a plain text format other
+// simulators can consume:
+//
+//	<op> <line-address-hex> <gap-cycles>
+//
+// where op is R (read), W (full-line write) or M (masked write).
+//
+// Usage:
+//
+//	tracegen -suite -requests 20000 -out traces/    # the ten SPEC-like traces
+//	tracegen -name mix -pattern random -reads 0.7 -masked 0.3 > mix.trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pair/internal/trace"
+)
+
+func main() {
+	var (
+		suite    = flag.Bool("suite", false, "emit the ten SPEC-like traces to -out")
+		out      = flag.String("out", ".", "output directory for -suite")
+		requests = flag.Int("requests", 20000, "requests per trace")
+		name     = flag.String("name", "custom", "trace name (single-trace mode)")
+		pattern  = flag.String("pattern", "random", "sequential|random|strided|hotspot|pointer-chase")
+		reads    = flag.Float64("reads", 0.7, "read fraction")
+		masked   = flag.Float64("masked", 0.2, "masked fraction of writes")
+		window   = flag.Int("window", 8, "MLP window hint (emitted as a header comment)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *suite {
+		for _, wl := range trace.SPECLike(*requests) {
+			path := filepath.Join(*out, wl.Name+".trace")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			writeTrace(f, wl)
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d requests)\n", path, len(wl.Reqs))
+		}
+		return
+	}
+
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	wl := trace.Generate(trace.Params{
+		Name:        *name,
+		Requests:    *requests,
+		Lines:       1 << 20,
+		Pattern:     pat,
+		ReadFrac:    *reads,
+		MaskedFrac:  *masked,
+		Window:      *window,
+		HotFraction: 0.6,
+		Seed:        *seed,
+	})
+	writeTrace(os.Stdout, wl)
+}
+
+func parsePattern(s string) (trace.Pattern, error) {
+	switch s {
+	case "sequential":
+		return trace.Sequential, nil
+	case "random":
+		return trace.Random, nil
+	case "strided":
+		return trace.Strided, nil
+	case "hotspot":
+		return trace.Hotspot, nil
+	case "pointer-chase":
+		return trace.PointerChase, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q", s)
+	}
+}
+
+func writeTrace(f *os.File, wl trace.Workload) {
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	fmt.Fprintf(w, "# trace %s window=%d requests=%d\n", wl.Name, wl.Window, len(wl.Reqs))
+	for _, r := range wl.Reqs {
+		op := "R"
+		switch r.Op {
+		case trace.Write:
+			op = "W"
+		case trace.MaskedWrite:
+			op = "M"
+		}
+		fmt.Fprintf(w, "%s %x %d\n", op, r.Line, r.Gap)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

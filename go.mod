@@ -1,0 +1,3 @@
+module pair
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package bitvec provides a compact bit-vector used throughout the DRAM
+// and ECC models for data words, error masks and parity-check columns.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a fixed-length bit vector. Bit i of the vector is bit (i%64) of
+// word i/64. The zero value of Vec is unusable; create with New.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of n bits.
+func New(n int) *Vec {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBytes returns an n-bit vector initialized from buf in LSB-first
+// order: bit i of the vector is bit (i%8) of buf[i/8]. buf must hold at
+// least (n+7)/8 bytes.
+func FromBytes(buf []byte, n int) *Vec {
+	if len(buf) < (n+7)/8 {
+		panic(fmt.Sprintf("bitvec: buffer %d bytes too small for %d bits", len(buf), n))
+	}
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if buf[i/8]&(1<<(i%8)) != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits.
+func (v *Vec) Len() int { return v.n }
+
+// Get returns bit i.
+func (v *Vec) Get(i int) bool {
+	v.check(i)
+	return v.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Set assigns bit i.
+func (v *Vec) Set(i int, val bool) {
+	v.check(i)
+	if val {
+		v.words[i/64] |= 1 << (i % 64)
+	} else {
+		v.words[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Flip toggles bit i.
+func (v *Vec) Flip(i int) {
+	v.check(i)
+	v.words[i/64] ^= 1 << (i % 64)
+}
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns a deep copy.
+func (v *Vec) Clone() *Vec {
+	out := New(v.n)
+	copy(out.words, v.words)
+	return out
+}
+
+// Xor sets v ^= other. Lengths must match.
+func (v *Vec) Xor(other *Vec) {
+	if v.n != other.n {
+		panic(fmt.Sprintf("bitvec: Xor length mismatch %d != %d", v.n, other.n))
+	}
+	for i := range v.words {
+		v.words[i] ^= other.words[i]
+	}
+}
+
+// PopCount returns the number of set bits.
+func (v *Vec) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (v *Vec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether v and other have identical length and contents.
+func (v *Vec) Equal(other *Vec) bool {
+	if v.n != other.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear zeroes all bits.
+func (v *Vec) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Bytes serializes the vector LSB-first into a fresh buffer of
+// (Len()+7)/8 bytes (the inverse of FromBytes).
+func (v *Vec) Bytes() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// OnesPositions returns the indices of set bits in ascending order.
+func (v *Vec) OnesPositions() []int {
+	var out []int
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the vector as a 0/1 string, bit 0 first, for debugging.
+func (v *Vec) String() string {
+	var sb strings.Builder
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

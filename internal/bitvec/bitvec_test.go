@@ -1,0 +1,134 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	if v.Any() {
+		t.Fatal("new vector not all-zero")
+	}
+	v.Set(0, true)
+	v.Set(63, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.PopCount() != 4 {
+		t.Fatalf("popcount %d, want 4", v.PopCount())
+	}
+	v.Flip(63)
+	if v.Get(63) || v.PopCount() != 3 {
+		t.Fatal("flip failed")
+	}
+	v.Set(0, false)
+	if v.Get(0) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for _, f := range []func(){
+		func() { v.Get(8) },
+		func() { v.Set(-1, true) },
+		func() { v.Flip(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 8, 9, 64, 65, 128, 136, 200} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		back := FromBytes(v.Bytes(), n)
+		if !v.Equal(back) {
+			t.Fatalf("round trip failed for n=%d", n)
+		}
+	}
+}
+
+func TestXorProperties(t *testing.T) {
+	f := func(a, b [4]byte) bool {
+		va := FromBytes(a[:], 32)
+		vb := FromBytes(b[:], 32)
+		sum := va.Clone()
+		sum.Xor(vb)
+		sum.Xor(vb) // x ^ b ^ b == x
+		return sum.Equal(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	New(8).Xor(New(9))
+}
+
+func TestOnesPositions(t *testing.T) {
+	v := New(130)
+	want := []int{3, 64, 127, 129}
+	for _, i := range want {
+		v.Set(i, true)
+	}
+	got := v.OnesPositions()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(10)
+	v.Set(3, true)
+	c := v.Clone()
+	c.Flip(3)
+	if !v.Get(3) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestClearAndString(t *testing.T) {
+	v := New(4)
+	v.Set(1, true)
+	if v.String() != "0100" {
+		t.Fatalf("String = %q", v.String())
+	}
+	v.Clear()
+	if v.Any() {
+		t.Fatal("Clear left bits set")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if New(8).Equal(New(9)) {
+		t.Fatal("vectors of different length compared equal")
+	}
+}

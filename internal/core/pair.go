@@ -1,0 +1,341 @@
+// Package core implements PAIR — the Pin-Aligned In-DRAM ECC architecture
+// using the expandability of Reed-Solomon codes (Jeong, Kang, Yang;
+// DAC 2020) — as an ecc.Scheme plus the supporting configuration and
+// analysis surface the experiments use.
+//
+// # Construction
+//
+// One PAIR codeword protects one chip access. Its symbols are *aligned to
+// DQ pins*: symbol p of the codeword is exactly the 8 bits pin p carries
+// during the BL8 burst. An x16 access therefore contributes 16 data
+// symbols; parity symbols live in the on-die redundancy region and are
+// consumed by the in-die decoder — they never cross the pins.
+//
+// The code is an *expandable* (evaluation-view) Reed-Solomon code: the
+// base configuration stores 2 parity symbols — RS(18,16), t=1 — and the
+// vendor can raise the correction capability to t=2 (RS(20,16)) or beyond
+// by storing additional evaluation symbols in the spare-column region,
+// without rewriting a single already-programmed bit. The default
+// configuration of the study is the expanded RS(20,16).
+//
+// # Why pin alignment matters
+//
+//   - A weak/faulty cell corrupts one bit => one symbol.
+//   - A DQ-pin, TSV or serializer fault corrupts one pin's whole burst
+//     => still one symbol.
+//   - A burst error along a pin (consecutive beats) => one symbol.
+//   - Widely distributed inherent faults land in different accesses, so
+//     each codeword sees few bad symbols.
+//
+// Beat-aligned symbolizations (DUO's controller-side view) smear a pin
+// fault across up to BurstLen symbols, which is the gap the paper's
+// reliability results quantify.
+package core
+
+import (
+	"fmt"
+
+	"pair/internal/bitvec"
+	"pair/internal/dram"
+	"pair/internal/ecc"
+	"pair/internal/rs"
+)
+
+// Config selects a PAIR operating point.
+type Config struct {
+	// BaseParity is the number of parity symbols in the base (always
+	// stored) code; the architectural baseline is 2 (t=1).
+	BaseParity int
+	// Expansion is the number of additional evaluation symbols stored in
+	// the spare-column region; the study's default is 2 (raising the code
+	// to t=2).
+	Expansion int
+	// DecodeLatencyNS is the in-die decoder latency added to reads.
+	DecodeLatencyNS float64
+}
+
+// DefaultConfig is the headline PAIR configuration: RS(20,16) via a
+// 2-symbol base parity plus a 2-symbol expansion.
+func DefaultConfig() Config {
+	return Config{BaseParity: 2, Expansion: 2, DecodeLatencyNS: 2.0}
+}
+
+// BaseConfig is PAIR without expansion: RS(18,16), t=1.
+func BaseConfig() Config {
+	return Config{BaseParity: 2, Expansion: 0, DecodeLatencyNS: 2.0}
+}
+
+// Scheme is the PAIR ecc.Scheme.
+type Scheme struct {
+	org  dram.Organization
+	cfg  Config
+	base *rs.Expandable // (pins+BaseParity, pins)
+	full *rs.Expandable // (pins+BaseParity+Expansion, pins)
+	name string
+}
+
+// New builds a PAIR scheme on the given organization.
+func New(org dram.Organization, cfg Config) (*Scheme, error) {
+	if err := org.Validate(); err != nil {
+		return nil, err
+	}
+	if org.BurstLen%8 != 0 {
+		return nil, fmt.Errorf("core: PAIR pin symbols need a burst length divisible by 8, got BL%d", org.BurstLen)
+	}
+	if cfg.BaseParity < 1 {
+		return nil, fmt.Errorf("core: base parity %d < 1", cfg.BaseParity)
+	}
+	if cfg.Expansion < 0 {
+		return nil, fmt.Errorf("core: negative expansion %d", cfg.Expansion)
+	}
+	k := org.Pins * org.BurstLen / 8
+	nBase := k + cfg.BaseParity
+	nFull := nBase + cfg.Expansion
+	base, err := rs.NewExpandableDefault(nBase, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: base code: %w", err)
+	}
+	full := base
+	if cfg.Expansion > 0 {
+		full, err = base.Expand(rs.DefaultPoints(nFull)[nBase:]...)
+		if err != nil {
+			return nil, fmt.Errorf("core: expansion: %w", err)
+		}
+	}
+	name := "pair"
+	if cfg.Expansion == 0 {
+		name = "pair-base"
+	}
+	return &Scheme{org: org, cfg: cfg, base: base, full: full, name: name}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(org dram.Organization, cfg Config) *Scheme {
+	s, err := New(org, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements ecc.Scheme.
+func (s *Scheme) Name() string { return s.name }
+
+// symbolsPerPin returns how many 8-bit symbols one pin carries per burst
+// (1 for BL8, 2 for DDR5 BL16).
+func (s *Scheme) symbolsPerPin() int { return s.org.BurstLen / 8 }
+
+// k returns the data symbols per codeword.
+func (s *Scheme) k() int { return s.org.Pins * s.symbolsPerPin() }
+
+// dataSymbols extracts the pin-aligned data symbols of one chip access:
+// symbol pin*spp+part is bits [part*8, part*8+8) of the pin's burst.
+func (s *Scheme) dataSymbols(b *dram.Burst) []byte {
+	spp := s.symbolsPerPin()
+	out := make([]byte, s.k())
+	for p := 0; p < s.org.Pins; p++ {
+		for part := 0; part < spp; part++ {
+			out[p*spp+part] = b.PinSymbolPart(p, part)
+		}
+	}
+	return out
+}
+
+// writeDataSymbols writes pin-aligned symbols back into a burst.
+func (s *Scheme) writeDataSymbols(b *dram.Burst, syms []byte) {
+	spp := s.symbolsPerPin()
+	for p := 0; p < s.org.Pins; p++ {
+		for part := 0; part < spp; part++ {
+			b.SetPinSymbolPart(p, part, syms[p*spp+part])
+		}
+	}
+}
+
+// Org implements ecc.Scheme.
+func (s *Scheme) Org() dram.Organization { return s.org }
+
+// Config returns the operating point.
+func (s *Scheme) Config() Config { return s.cfg }
+
+// CodewordLength returns the total symbols per codeword (data + base
+// parity + expansion).
+func (s *Scheme) CodewordLength() int { return s.full.N() }
+
+// T returns the guaranteed symbol-correction capability.
+func (s *Scheme) T() int { return s.full.T() }
+
+// parityBits returns the on-die redundancy size in bits per access.
+func (s *Scheme) parityBits() int {
+	return (s.cfg.BaseParity + s.cfg.Expansion) * 8
+}
+
+// Encode implements ecc.Scheme. Each chip's access is encoded into one
+// pin-aligned codeword; parity symbols go to the on-die region (base
+// parity first, then expansion symbols).
+func (s *Scheme) Encode(line []byte) *ecc.Stored {
+	bursts := dram.SplitLine(s.org, line)
+	st := &ecc.Stored{Org: s.org, Chips: make([]*ecc.ChipImage, len(bursts))}
+	for i, b := range bursts {
+		cw := s.full.Encode(s.dataSymbols(b))
+		onDie := bitvec.New(s.parityBits())
+		for j, sym := range cw[s.k():] {
+			for bit := 0; bit < 8; bit++ {
+				onDie.Set(j*8+bit, sym&(1<<bit) != 0)
+			}
+		}
+		st.Chips[i] = &ecc.ChipImage{Data: b, OnDie: onDie}
+	}
+	return st
+}
+
+// Decode implements ecc.Scheme: each chip decodes its pin-aligned
+// codeword in-die with the full (expanded) decoder.
+func (s *Scheme) Decode(st *ecc.Stored) ([]byte, ecc.Claim) {
+	return s.decode(st, nil)
+}
+
+// decode implements Decode with optional per-chip erasure symbol lists
+// (see WithSparedPins).
+func (s *Scheme) decode(st *ecc.Stored, erasures map[int][]int) ([]byte, ecc.Claim) {
+	claim := ecc.ClaimClean
+	bursts := make([]*dram.Burst, len(st.Chips))
+	for i, ci := range st.Chips {
+		word := make([]byte, s.full.N())
+		copy(word, s.dataSymbols(ci.Data))
+		for j := 0; j < s.cfg.BaseParity+s.cfg.Expansion; j++ {
+			var sym byte
+			for bit := 0; bit < 8; bit++ {
+				if ci.OnDie.Get(j*8 + bit) {
+					sym |= 1 << bit
+				}
+			}
+			word[s.k()+j] = sym
+		}
+		corrected, nerr, err := s.full.Decode(word, erasures[i])
+		b := dram.NewBurst(s.org.Pins, s.org.BurstLen)
+		if err != nil {
+			claim = ecc.ClaimDetected
+			b = ci.Data.Clone()
+		} else {
+			if nerr > 0 && claim != ecc.ClaimDetected {
+				claim = ecc.ClaimCorrected
+			}
+			s.writeDataSymbols(b, corrected[:s.k()])
+		}
+		bursts[i] = b
+	}
+	return dram.JoinLine(s.org, bursts), claim
+}
+
+// StorageOverhead implements ecc.Scheme: parity bits per data bits.
+func (s *Scheme) StorageOverhead() float64 {
+	return float64(s.parityBits()) / float64(s.org.AccessBits())
+}
+
+// Cost implements ecc.Scheme: PAIR changes nothing on the bus — parity is
+// produced and consumed inside the die and reads keep BL8. The in-die
+// decoder adds a small fixed latency; masked writes trigger the same
+// internal read-modify-write every per-access in-DRAM code needs.
+func (s *Scheme) Cost() ecc.AccessCost {
+	return ecc.AccessCost{
+		DecodeLatencyNS:          s.cfg.DecodeLatencyNS,
+		ExtraReadsPerMaskedWrite: 1.0,
+	}
+}
+
+// SparedScheme is PAIR with a per-device map of known-bad DQ pins
+// (vendor repair/test data). Symbols carried by spared pins are decoded
+// as erasures, which stretches the budget from 2t symbol errors to
+// 2*errors + erasures <= n-k: the default RS(20,16) then rides out two
+// dead pins *plus* one fresh symbol error per access.
+type SparedScheme struct {
+	*Scheme
+	erasures map[int][]int // chip -> erased symbol positions
+	npins    int
+}
+
+// WithSparedPins wraps the scheme with spared-pin knowledge. spared maps
+// chip index to the list of its known-bad pins. The wrapper shares the
+// underlying encoder (stored images are identical; sparing is purely a
+// decode-side hint).
+func (s *Scheme) WithSparedPins(spared map[int][]int) (*SparedScheme, error) {
+	erasures := make(map[int][]int, len(spared))
+	npins := 0
+	spp := s.symbolsPerPin()
+	for chip, pins := range spared {
+		if chip < 0 || chip >= s.org.ChipsPerRank {
+			return nil, fmt.Errorf("core: spared chip %d out of range", chip)
+		}
+		for _, p := range pins {
+			if p < 0 || p >= s.org.Pins {
+				return nil, fmt.Errorf("core: spared pin %d out of range", p)
+			}
+			for part := 0; part < spp; part++ {
+				erasures[chip] = append(erasures[chip], p*spp+part)
+			}
+			npins++
+		}
+		if len(erasures[chip]) > s.full.N()-s.k() {
+			return nil, fmt.Errorf("core: chip %d spares %d symbols, exceeding the %d-symbol parity budget",
+				chip, len(erasures[chip]), s.full.N()-s.k())
+		}
+	}
+	return &SparedScheme{Scheme: s, erasures: erasures, npins: npins}, nil
+}
+
+// Name implements ecc.Scheme.
+func (s *SparedScheme) Name() string { return s.Scheme.name + "-spared" }
+
+// Decode implements ecc.Scheme with the spared pins erased.
+func (s *SparedScheme) Decode(st *ecc.Stored) ([]byte, ecc.Claim) {
+	return s.decode(st, s.erasures)
+}
+
+// SparedPins returns the number of pins marked bad.
+func (s *SparedScheme) SparedPins() int { return s.npins }
+
+// BaseCode exposes the base (always stored) expandable code.
+func (s *Scheme) BaseCode() *rs.Expandable { return s.base }
+
+// FullCode exposes the expanded code the decoder runs.
+func (s *Scheme) FullCode() *rs.Expandable { return s.full }
+
+// ExpandStored computes the expansion symbols for an image encoded by a
+// base-only scheme and returns the image upgraded to this scheme's
+// expansion level. The base parity bits are preserved verbatim — the
+// demonstration of in-place expandability. The source scheme must share
+// this scheme's organization and base parity.
+func (s *Scheme) ExpandStored(baseScheme *Scheme, st *ecc.Stored) (*ecc.Stored, error) {
+	if baseScheme.org != s.org || baseScheme.cfg.BaseParity != s.cfg.BaseParity {
+		return nil, fmt.Errorf("core: incompatible base scheme")
+	}
+	if baseScheme.cfg.Expansion != 0 {
+		return nil, fmt.Errorf("core: source scheme already expanded")
+	}
+	out := &ecc.Stored{Org: st.Org, Chips: make([]*ecc.ChipImage, len(st.Chips))}
+	for i, ci := range st.Chips {
+		cwBase := make([]byte, baseScheme.full.N())
+		copy(cwBase, s.dataSymbols(ci.Data))
+		for j := 0; j < baseScheme.cfg.BaseParity; j++ {
+			var sym byte
+			for bit := 0; bit < 8; bit++ {
+				if ci.OnDie.Get(j*8 + bit) {
+					sym |= 1 << bit
+				}
+			}
+			cwBase[s.k()+j] = sym
+		}
+		cwFull, err := baseScheme.full.ExtendCodeword(cwBase, s.full)
+		if err != nil {
+			return nil, err
+		}
+		onDie := bitvec.New(s.parityBits())
+		for j, sym := range cwFull[s.k():] {
+			for bit := 0; bit < 8; bit++ {
+				onDie.Set(j*8+bit, sym&(1<<bit) != 0)
+			}
+		}
+		out.Chips[i] = &ecc.ChipImage{Data: ci.Data.Clone(), OnDie: onDie}
+	}
+	return out, nil
+}

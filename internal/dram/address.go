@@ -1,0 +1,78 @@
+package dram
+
+import "fmt"
+
+// Address identifies one column access within a channel.
+type Address struct {
+	Rank  int
+	Group int // bank group
+	Bank  int // bank within group
+	Row   int
+	Col   int
+}
+
+// String renders the address for logs.
+func (a Address) String() string {
+	return fmt.Sprintf("rk%d bg%d ba%d r%#x c%#x", a.Rank, a.Group, a.Bank, a.Row, a.Col)
+}
+
+// AddressMapper converts flat cache-line addresses to DRAM coordinates
+// using the row-interleaved mapping common in servers:
+//
+//	row : high bits | bank group ^ col-low (XOR-permuted) | bank | rank | column
+//
+// The XOR permutation on the bank-group bits spreads consecutive lines over
+// bank groups so back-to-back accesses avoid tCCD_L, matching what real
+// controllers do; without it the timing results would punish streaming
+// workloads unrealistically.
+type AddressMapper struct {
+	Org   Organization
+	Ranks int
+}
+
+// NewAddressMapper builds a mapper for the given organization and rank
+// count (>= 1).
+func NewAddressMapper(org Organization, ranks int) (*AddressMapper, error) {
+	if err := org.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("dram: invalid rank count %d", ranks)
+	}
+	return &AddressMapper{Org: org, Ranks: ranks}, nil
+}
+
+// Capacity returns the number of cache lines the channel holds.
+func (m *AddressMapper) Capacity() uint64 {
+	o := m.Org
+	return uint64(m.Ranks) * uint64(o.Banks()) * uint64(o.Rows) * uint64(o.Cols)
+}
+
+// Map converts a cache-line index (0-based, < Capacity) to an Address.
+func (m *AddressMapper) Map(line uint64) Address {
+	o := m.Org
+	col := int(line % uint64(o.Cols))
+	line /= uint64(o.Cols)
+	rank := int(line % uint64(m.Ranks))
+	line /= uint64(m.Ranks)
+	bank := int(line % uint64(o.BanksPerGrp))
+	line /= uint64(o.BanksPerGrp)
+	group := int(line % uint64(o.BankGroups))
+	line /= uint64(o.BankGroups)
+	row := int(line % uint64(o.Rows))
+	// XOR-permute the bank group with the low column bits.
+	group ^= col & (o.BankGroups - 1)
+	return Address{Rank: rank, Group: group, Bank: bank, Row: row, Col: col}
+}
+
+// FlatBank returns a dense index for the (rank, group, bank) triple, used
+// by the timing simulator to index bank state.
+func (m *AddressMapper) FlatBank(a Address) int {
+	o := m.Org
+	return (a.Rank*o.BankGroups+a.Group)*o.BanksPerGrp + a.Bank
+}
+
+// NumFlatBanks returns the number of distinct FlatBank values.
+func (m *AddressMapper) NumFlatBanks() int {
+	return m.Ranks * m.Org.Banks()
+}

@@ -1,0 +1,334 @@
+// Package dram models the organization of a DDR4-style memory subsystem at
+// the fidelity the PAIR study needs: device geometry (channel, rank, chip,
+// bank group, bank, row, column), the DQ-pin/beat structure of a burst
+// access, and the mapping between 64-byte cache lines and per-chip bursts.
+//
+// The pin/beat structure matters because PAIR's codewords are aligned to DQ
+// pins: the 8 bits a pin carries during a BL8 burst form one Reed-Solomon
+// symbol. The same Burst container therefore exposes both views — the
+// pin-aligned view PAIR uses and the beat-aligned byte view DUO's
+// rank-level code uses — so fault injection happens once, in physical
+// coordinates, and each scheme sees the same physical corruption through
+// its own symbolization.
+package dram
+
+import (
+	"fmt"
+
+	"pair/internal/bitvec"
+)
+
+// Organization describes a DRAM device and its rank-level arrangement.
+type Organization struct {
+	Pins         int // DQ pins per chip (x4/x8/x16)
+	BurstLen     int // beats per column access (BL8 for DDR4)
+	ChipsPerRank int // data chips per rank
+	ECCChips     int // additional redundancy chips (rank-level schemes)
+	BankGroups   int
+	BanksPerGrp  int
+	Rows         int // rows per bank
+	Cols         int // column accesses per row (each = Pins*BurstLen bits)
+}
+
+// DDR4x16 is the default organization of the study: a 64-bit channel built
+// from four x16 devices, BL8. One rank access moves 4 chips x 16 pins x 8
+// beats = 64 bytes — one cache line.
+func DDR4x16() Organization {
+	return Organization{
+		Pins:         16,
+		BurstLen:     8,
+		ChipsPerRank: 4,
+		ECCChips:     0,
+		BankGroups:   2,
+		BanksPerGrp:  4,
+		Rows:         1 << 16,
+		Cols:         1 << 7,
+	}
+}
+
+// DDR4x8 is a commodity (non-ECC) eight-chip x8 rank.
+func DDR4x8() Organization {
+	return Organization{
+		Pins:         8,
+		BurstLen:     8,
+		ChipsPerRank: 8,
+		ECCChips:     0,
+		BankGroups:   4,
+		BanksPerGrp:  4,
+		Rows:         1 << 16,
+		Cols:         1 << 7,
+	}
+}
+
+// DDR4x4 is a commodity (non-ECC) sixteen-chip x4 rank.
+func DDR4x4() Organization {
+	return Organization{
+		Pins:         4,
+		BurstLen:     8,
+		ChipsPerRank: 16,
+		ECCChips:     0,
+		BankGroups:   4,
+		BanksPerGrp:  4,
+		Rows:         1 << 17,
+		Cols:         1 << 7,
+	}
+}
+
+// DDR5x16 models a DDR5 32-bit subchannel: two x16 devices, BL16. One
+// access still moves a 64-byte line (2 chips x 16 pins x 16 beats), but
+// each pin now carries 16 bits per burst — two PAIR symbols ("latest
+// DRAM model" in the abstract's phrasing).
+func DDR5x16() Organization {
+	return Organization{
+		Pins:         16,
+		BurstLen:     16,
+		ChipsPerRank: 2,
+		ECCChips:     0,
+		BankGroups:   8,
+		BanksPerGrp:  4,
+		Rows:         1 << 16,
+		Cols:         1 << 7,
+	}
+}
+
+// DDR4x8ECC is the organization rank-level baselines (SECDED, XED, DUO)
+// assume: nine x8 devices (72-bit bus), BL8.
+func DDR4x8ECC() Organization {
+	return Organization{
+		Pins:         8,
+		BurstLen:     8,
+		ChipsPerRank: 8,
+		ECCChips:     1,
+		BankGroups:   4,
+		BanksPerGrp:  4,
+		Rows:         1 << 16,
+		Cols:         1 << 7,
+	}
+}
+
+// Validate checks internal consistency.
+func (o Organization) Validate() error {
+	switch {
+	case o.Pins != 4 && o.Pins != 8 && o.Pins != 16:
+		return fmt.Errorf("dram: unsupported pin width x%d", o.Pins)
+	case o.BurstLen != 8 && o.BurstLen != 16:
+		return fmt.Errorf("dram: unsupported burst length %d", o.BurstLen)
+	case o.ChipsPerRank <= 0 || o.ECCChips < 0:
+		return fmt.Errorf("dram: invalid chip counts %d+%d", o.ChipsPerRank, o.ECCChips)
+	case o.BankGroups <= 0 || o.BanksPerGrp <= 0 || o.Rows <= 0 || o.Cols <= 0:
+		return fmt.Errorf("dram: invalid bank/row/col geometry")
+	}
+	return nil
+}
+
+// TotalChips returns data + ECC chips per rank.
+func (o Organization) TotalChips() int { return o.ChipsPerRank + o.ECCChips }
+
+// Banks returns the number of banks per chip.
+func (o Organization) Banks() int { return o.BankGroups * o.BanksPerGrp }
+
+// AccessBits returns the data bits one chip moves per column access.
+func (o Organization) AccessBits() int { return o.Pins * o.BurstLen }
+
+// LineBytes returns the cache-line size one rank access delivers from the
+// data chips.
+func (o Organization) LineBytes() int { return o.ChipsPerRank * o.AccessBits() / 8 }
+
+// ChipBitsPerBank returns data bits stored per bank of one chip.
+func (o Organization) ChipBitsPerBank() int64 {
+	return int64(o.Rows) * int64(o.Cols) * int64(o.AccessBits())
+}
+
+// Burst is the bits one chip transfers during one column access, indexed by
+// (pin, beat). Bit (pin, beat) is stored at index beat*Pins + pin.
+type Burst struct {
+	Pins, Beats int
+	bits        *bitvec.Vec
+}
+
+// NewBurst returns an all-zero burst of the given shape.
+func NewBurst(pins, beats int) *Burst {
+	if pins <= 0 || beats <= 0 {
+		panic(fmt.Sprintf("dram: invalid burst shape %dx%d", pins, beats))
+	}
+	return &Burst{Pins: pins, Beats: beats, bits: bitvec.New(pins * beats)}
+}
+
+func (b *Burst) index(pin, beat int) int {
+	if pin < 0 || pin >= b.Pins || beat < 0 || beat >= b.Beats {
+		panic(fmt.Sprintf("dram: burst index (%d,%d) out of %dx%d", pin, beat, b.Pins, b.Beats))
+	}
+	return beat*b.Pins + pin
+}
+
+// Get returns the bit carried by pin during beat.
+func (b *Burst) Get(pin, beat int) bool { return b.bits.Get(b.index(pin, beat)) }
+
+// Set assigns the bit carried by pin during beat.
+func (b *Burst) Set(pin, beat int, v bool) { b.bits.Set(b.index(pin, beat), v) }
+
+// Flip toggles the bit carried by pin during beat.
+func (b *Burst) Flip(pin, beat int) { b.bits.Flip(b.index(pin, beat)) }
+
+// Bits returns the underlying bit vector (shared, not a copy).
+func (b *Burst) Bits() *bitvec.Vec { return b.bits }
+
+// Clone returns a deep copy.
+func (b *Burst) Clone() *Burst {
+	return &Burst{Pins: b.Pins, Beats: b.Beats, bits: b.bits.Clone()}
+}
+
+// Xor applies an error mask of identical shape.
+func (b *Burst) Xor(mask *Burst) {
+	if b.Pins != mask.Pins || b.Beats != mask.Beats {
+		panic("dram: burst shape mismatch in Xor")
+	}
+	b.bits.Xor(mask.bits)
+}
+
+// Equal reports shape and content equality.
+func (b *Burst) Equal(other *Burst) bool {
+	return b.Pins == other.Pins && b.Beats == other.Beats && b.bits.Equal(other.bits)
+}
+
+// PopCount returns the number of set bits (error weight for masks).
+func (b *Burst) PopCount() int { return b.bits.PopCount() }
+
+// PinSymbol returns the up-to-8 bits pin carries across the burst as one
+// byte, beat 0 in bit 0 — the PAIR symbolization. Beats must be <= 8.
+func (b *Burst) PinSymbol(pin int) byte {
+	if b.Beats > 8 {
+		panic("dram: PinSymbol requires burst length <= 8")
+	}
+	var v byte
+	for beat := 0; beat < b.Beats; beat++ {
+		if b.Get(pin, beat) {
+			v |= 1 << beat
+		}
+	}
+	return v
+}
+
+// SetPinSymbol writes the pin-aligned symbol back (inverse of PinSymbol).
+func (b *Burst) SetPinSymbol(pin int, v byte) {
+	if b.Beats > 8 {
+		panic("dram: SetPinSymbol requires burst length <= 8")
+	}
+	for beat := 0; beat < b.Beats; beat++ {
+		b.Set(pin, beat, v&(1<<beat) != 0)
+	}
+}
+
+// PinSymbolPart returns 8 bits of pin's burst starting at beat part*8 —
+// the generalization of PinSymbol for bursts longer than 8 beats (DDR5
+// BL16 pins carry two symbols each).
+func (b *Burst) PinSymbolPart(pin, part int) byte {
+	base := part * 8
+	if base+8 > b.Beats {
+		panic(fmt.Sprintf("dram: symbol part %d exceeds %d beats", part, b.Beats))
+	}
+	var v byte
+	for i := 0; i < 8; i++ {
+		if b.Get(pin, base+i) {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// SetPinSymbolPart writes a pin symbol part back (inverse of
+// PinSymbolPart).
+func (b *Burst) SetPinSymbolPart(pin, part int, v byte) {
+	base := part * 8
+	if base+8 > b.Beats {
+		panic(fmt.Sprintf("dram: symbol part %d exceeds %d beats", part, b.Beats))
+	}
+	for i := 0; i < 8; i++ {
+		b.Set(pin, base+i, v&(1<<i) != 0)
+	}
+}
+
+// BeatByte returns the byte formed by pins [8*group, 8*group+8) during
+// beat — the beat-aligned symbolization rank-level codes (DUO) use.
+func (b *Burst) BeatByte(beat, group int) byte {
+	base := group * 8
+	if base+8 > b.Pins {
+		panic(fmt.Sprintf("dram: beat byte group %d exceeds %d pins", group, b.Pins))
+	}
+	var v byte
+	for i := 0; i < 8; i++ {
+		if b.Get(base+i, beat) {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// SetBeatByte writes the beat-aligned byte back (inverse of BeatByte).
+func (b *Burst) SetBeatByte(beat, group int, v byte) {
+	base := group * 8
+	if base+8 > b.Pins {
+		panic(fmt.Sprintf("dram: beat byte group %d exceeds %d pins", group, b.Pins))
+	}
+	for i := 0; i < 8; i++ {
+		b.Set(base+i, beat, v&(1<<i) != 0)
+	}
+}
+
+// Bytes serializes the burst beat-major (beat 0's pins first, LSB = pin 0).
+func (b *Burst) Bytes() []byte { return b.bits.Bytes() }
+
+// BurstFromBytes deserializes a burst previously produced by Bytes.
+func BurstFromBytes(buf []byte, pins, beats int) *Burst {
+	return &Burst{Pins: pins, Beats: beats, bits: bitvec.FromBytes(buf, pins*beats)}
+}
+
+// SplitLine distributes a cache line over the data chips of a rank access:
+// beat-major, chip c carrying bits [c*Pins, (c+1)*Pins) of each beat. The
+// returned slice has one Burst per data chip. len(line) must equal
+// o.LineBytes().
+func SplitLine(o Organization, line []byte) []*Burst {
+	if len(line) != o.LineBytes() {
+		panic(fmt.Sprintf("dram: line length %d, want %d", len(line), o.LineBytes()))
+	}
+	lineBits := bitvec.FromBytes(line, len(line)*8)
+	bursts := make([]*Burst, o.ChipsPerRank)
+	busWidth := o.ChipsPerRank * o.Pins
+	for c := range bursts {
+		bursts[c] = NewBurst(o.Pins, o.BurstLen)
+	}
+	for beat := 0; beat < o.BurstLen; beat++ {
+		for c := 0; c < o.ChipsPerRank; c++ {
+			for p := 0; p < o.Pins; p++ {
+				bit := beat*busWidth + c*o.Pins + p
+				if lineBits.Get(bit) {
+					bursts[c].Set(p, beat, true)
+				}
+			}
+		}
+	}
+	return bursts
+}
+
+// JoinLine reassembles a cache line from per-chip bursts (inverse of
+// SplitLine).
+func JoinLine(o Organization, bursts []*Burst) []byte {
+	if len(bursts) != o.ChipsPerRank {
+		panic(fmt.Sprintf("dram: %d bursts, want %d", len(bursts), o.ChipsPerRank))
+	}
+	lineBits := bitvec.New(o.LineBytes() * 8)
+	busWidth := o.ChipsPerRank * o.Pins
+	for beat := 0; beat < o.BurstLen; beat++ {
+		for c := 0; c < o.ChipsPerRank; c++ {
+			if bursts[c].Pins != o.Pins || bursts[c].Beats != o.BurstLen {
+				panic("dram: burst shape mismatch in JoinLine")
+			}
+			for p := 0; p < o.Pins; p++ {
+				if bursts[c].Get(p, beat) {
+					lineBits.Set(beat*busWidth+c*o.Pins+p, true)
+				}
+			}
+		}
+	}
+	return lineBits.Bytes()
+}

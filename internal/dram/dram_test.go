@@ -1,0 +1,251 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestOrganizationDefaults(t *testing.T) {
+	o := DDR4x16()
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.AccessBits() != 128 {
+		t.Fatalf("x16 BL8 access bits = %d, want 128", o.AccessBits())
+	}
+	if o.LineBytes() != 64 {
+		t.Fatalf("line bytes = %d, want 64", o.LineBytes())
+	}
+	if o.Banks() != 8 {
+		t.Fatalf("banks = %d, want 8", o.Banks())
+	}
+
+	e := DDR4x8ECC()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.LineBytes() != 64 || e.TotalChips() != 9 {
+		t.Fatalf("x8 ECC rank: line %dB chips %d", e.LineBytes(), e.TotalChips())
+	}
+}
+
+func TestOrganizationValidateRejects(t *testing.T) {
+	bad := DDR4x16()
+	bad.Pins = 5
+	if bad.Validate() == nil {
+		t.Fatal("x5 accepted")
+	}
+	bad = DDR4x16()
+	bad.BurstLen = 4
+	if bad.Validate() == nil {
+		t.Fatal("BL4 accepted")
+	}
+	bad = DDR4x16()
+	bad.Rows = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 rows accepted")
+	}
+}
+
+func TestBurstGetSetFlip(t *testing.T) {
+	b := NewBurst(16, 8)
+	b.Set(3, 5, true)
+	if !b.Get(3, 5) || b.PopCount() != 1 {
+		t.Fatal("set/get failed")
+	}
+	b.Flip(3, 5)
+	if b.Get(3, 5) || b.PopCount() != 0 {
+		t.Fatal("flip failed")
+	}
+}
+
+func TestBurstIndexPanics(t *testing.T) {
+	b := NewBurst(16, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range burst access did not panic")
+		}
+	}()
+	b.Get(16, 0)
+}
+
+func TestPinSymbolRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBurst(16, 8)
+	want := make([]byte, 16)
+	for p := range want {
+		want[p] = byte(rng.Intn(256))
+		b.SetPinSymbol(p, want[p])
+	}
+	for p := range want {
+		if b.PinSymbol(p) != want[p] {
+			t.Fatalf("pin %d symbol mismatch", p)
+		}
+	}
+}
+
+func TestPinSymbolBeatOrientation(t *testing.T) {
+	// Bit of beat k must land in bit k of the symbol.
+	b := NewBurst(16, 8)
+	b.Set(7, 3, true)
+	if b.PinSymbol(7) != 1<<3 {
+		t.Fatalf("symbol = %#x, want %#x", b.PinSymbol(7), 1<<3)
+	}
+}
+
+func TestBeatByteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := NewBurst(16, 8)
+	for beat := 0; beat < 8; beat++ {
+		for g := 0; g < 2; g++ {
+			v := byte(rng.Intn(256))
+			b.SetBeatByte(beat, g, v)
+			if b.BeatByte(beat, g) != v {
+				t.Fatalf("beat %d group %d mismatch", beat, g)
+			}
+		}
+	}
+}
+
+func TestPinAndBeatViewsSeeSamePhysicalBits(t *testing.T) {
+	// A single physical bit (pin 9, beat 4) must appear in pin symbol 9 at
+	// bit 4 AND in beat 4's group-1 byte at bit 1.
+	b := NewBurst(16, 8)
+	b.Set(9, 4, true)
+	if b.PinSymbol(9) != 1<<4 {
+		t.Fatal("pin view wrong")
+	}
+	if b.BeatByte(4, 1) != 1<<1 {
+		t.Fatal("beat view wrong")
+	}
+}
+
+func TestBurstBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewBurst(16, 8)
+	for p := 0; p < 16; p++ {
+		b.SetPinSymbol(p, byte(rng.Intn(256)))
+	}
+	back := BurstFromBytes(b.Bytes(), 16, 8)
+	if !b.Equal(back) {
+		t.Fatal("bytes round trip failed")
+	}
+}
+
+func TestBurstXorAsErrorMask(t *testing.T) {
+	b := NewBurst(8, 8)
+	b.SetPinSymbol(2, 0xFF)
+	mask := NewBurst(8, 8)
+	mask.Set(2, 0, true)
+	b.Xor(mask)
+	if b.PinSymbol(2) != 0xFE {
+		t.Fatalf("mask application wrong: %#x", b.PinSymbol(2))
+	}
+}
+
+func TestSplitJoinLineRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, org := range []Organization{DDR4x16(), DDR4x8ECC()} {
+		line := make([]byte, org.LineBytes())
+		rng.Read(line)
+		bursts := SplitLine(org, line)
+		if len(bursts) != org.ChipsPerRank {
+			t.Fatalf("split produced %d bursts", len(bursts))
+		}
+		back := JoinLine(org, bursts)
+		if !bytes.Equal(back, line) {
+			t.Fatalf("split/join round trip failed for x%d", org.Pins)
+		}
+	}
+}
+
+func TestSplitLineChipLocality(t *testing.T) {
+	// Byte 0 of the line travels on chip 0's pins during beat 0 for x16.
+	org := DDR4x16()
+	line := make([]byte, 64)
+	line[0] = 0xFF // bits 0..7 of beat 0 => chip 0, pins 0..7
+	bursts := SplitLine(org, line)
+	for p := 0; p < 8; p++ {
+		if !bursts[0].Get(p, 0) {
+			t.Fatalf("chip 0 pin %d beat 0 not set", p)
+		}
+	}
+	for c := 1; c < 4; c++ {
+		if bursts[c].PopCount() != 0 {
+			t.Fatalf("chip %d unexpectedly carries data", c)
+		}
+	}
+}
+
+func TestAddressMapperRoundTripUniqueness(t *testing.T) {
+	org := DDR4x16()
+	org.Rows = 64 // shrink for exhaustiveness
+	org.Cols = 8
+	m, err := NewAddressMapper(org, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Address]uint64)
+	for line := uint64(0); line < m.Capacity(); line++ {
+		a := m.Map(line)
+		if a.Rank < 0 || a.Rank >= 2 || a.Group < 0 || a.Group >= org.BankGroups ||
+			a.Bank < 0 || a.Bank >= org.BanksPerGrp || a.Row < 0 || a.Row >= org.Rows ||
+			a.Col < 0 || a.Col >= org.Cols {
+			t.Fatalf("address out of range: %v", a)
+		}
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("lines %d and %d map to same address %v", prev, line, a)
+		}
+		seen[a] = line
+	}
+	if uint64(len(seen)) != m.Capacity() {
+		t.Fatal("mapping not a bijection")
+	}
+}
+
+func TestAddressMapperSpreadsBankGroups(t *testing.T) {
+	// Consecutive lines must not all hit the same bank group (the XOR
+	// permutation's purpose).
+	m, _ := NewAddressMapper(DDR4x16(), 1)
+	groups := make(map[int]bool)
+	for line := uint64(0); line < 8; line++ {
+		groups[m.Map(line).Group] = true
+	}
+	if len(groups) < 2 {
+		t.Fatal("consecutive lines all in one bank group")
+	}
+}
+
+func TestFlatBankDense(t *testing.T) {
+	m, _ := NewAddressMapper(DDR4x16(), 2)
+	seen := make(map[int]bool)
+	for r := 0; r < 2; r++ {
+		for g := 0; g < 2; g++ {
+			for b := 0; b < 4; b++ {
+				fb := m.FlatBank(Address{Rank: r, Group: g, Bank: b})
+				if fb < 0 || fb >= m.NumFlatBanks() {
+					t.Fatalf("flat bank %d out of range", fb)
+				}
+				if seen[fb] {
+					t.Fatalf("flat bank %d duplicated", fb)
+				}
+				seen[fb] = true
+			}
+		}
+	}
+	if len(seen) != m.NumFlatBanks() {
+		t.Fatal("flat bank indices not dense")
+	}
+}
+
+func TestNewAddressMapperValidation(t *testing.T) {
+	if _, err := NewAddressMapper(DDR4x16(), 0); err == nil {
+		t.Fatal("0 ranks accepted")
+	}
+	bad := DDR4x16()
+	bad.Pins = 3
+	if _, err := NewAddressMapper(bad, 1); err == nil {
+		t.Fatal("invalid organization accepted")
+	}
+}

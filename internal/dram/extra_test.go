@@ -1,0 +1,102 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCommodityWidthPresets(t *testing.T) {
+	for _, o := range []Organization{DDR4x4(), DDR4x8(), DDR5x16()} {
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if o.LineBytes() != 64 {
+			t.Fatalf("x%d line bytes %d", o.Pins, o.LineBytes())
+		}
+		if o.ECCChips != 0 {
+			t.Fatalf("x%d commodity preset has ECC chips", o.Pins)
+		}
+	}
+	if DDR4x4().ChipsPerRank != 16 || DDR4x8().ChipsPerRank != 8 {
+		t.Fatal("chip counts wrong")
+	}
+	if got := DDR5x16().AccessBits(); got != 256 {
+		t.Fatalf("DDR5 access bits %d", got)
+	}
+}
+
+func TestChipBitsPerBank(t *testing.T) {
+	o := DDR4x16()
+	want := int64(o.Rows) * int64(o.Cols) * 128
+	if got := o.ChipBitsPerBank(); got != want {
+		t.Fatalf("bits per bank %d, want %d", got, want)
+	}
+}
+
+func TestSplitJoinDDR5(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := DDR5x16()
+	line := make([]byte, 64)
+	rng.Read(line)
+	back := JoinLine(o, SplitLine(o, line))
+	for i := range line {
+		if back[i] != line[i] {
+			t.Fatal("DDR5 split/join round trip failed")
+		}
+	}
+}
+
+func TestBurstShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBurst(0, 8) },
+		func() { NewBurst(16, 8).PinSymbolPart(0, 1) }, // part beyond BL8
+		func() { NewBurst(16, 8).SetPinSymbolPart(0, 1, 0) },
+		func() { NewBurst(16, 16).PinSymbol(0) }, // BL16 needs parts
+		func() { NewBurst(16, 16).SetPinSymbol(0, 1) },
+		func() { NewBurst(16, 8).BeatByte(0, 2) }, // group beyond pins
+		func() { NewBurst(16, 8).SetBeatByte(0, 2, 0) },
+		func() { NewBurst(8, 8).Xor(NewBurst(16, 8)) },
+		func() { SplitLine(DDR4x16(), make([]byte, 63)) },
+		func() { JoinLine(DDR4x16(), nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestJoinLineShapeMismatchPanics(t *testing.T) {
+	o := DDR4x16()
+	bursts := SplitLine(o, make([]byte, 64))
+	bursts[1] = NewBurst(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	JoinLine(o, bursts)
+}
+
+func TestAddressString(t *testing.T) {
+	a := Address{Rank: 1, Group: 2, Bank: 3, Row: 0x10, Col: 0x20}
+	if a.String() == "" {
+		t.Fatal("empty address string")
+	}
+}
+
+func TestMapperCapacityDDR5(t *testing.T) {
+	m, err := NewAddressMapper(DDR5x16(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(32) * uint64(1<<16) * uint64(1<<7)
+	if m.Capacity() != want {
+		t.Fatalf("capacity %d, want %d", m.Capacity(), want)
+	}
+}

@@ -1,0 +1,49 @@
+package ecc
+
+import "pair/internal/dram"
+
+// None is the unprotected baseline: data is stored as-is and every read is
+// believed clean. It anchors both the reliability floor and the
+// performance ceiling (normalization target of the paper's Figure 4).
+type None struct {
+	org dram.Organization
+}
+
+// NewNone returns the unprotected scheme on the given organization.
+func NewNone(org dram.Organization) *None {
+	if err := org.Validate(); err != nil {
+		panic(err)
+	}
+	return &None{org: org}
+}
+
+// Name implements Scheme.
+func (n *None) Name() string { return "none" }
+
+// Org implements Scheme.
+func (n *None) Org() dram.Organization { return n.org }
+
+// Encode implements Scheme.
+func (n *None) Encode(line []byte) *Stored {
+	bursts := dram.SplitLine(n.org, line)
+	st := &Stored{Org: n.org, Chips: make([]*ChipImage, len(bursts))}
+	for i, b := range bursts {
+		st.Chips[i] = &ChipImage{Data: b}
+	}
+	return st
+}
+
+// Decode implements Scheme.
+func (n *None) Decode(st *Stored) ([]byte, Claim) {
+	bursts := make([]*dram.Burst, len(st.Chips))
+	for i, ci := range st.Chips {
+		bursts[i] = ci.Data
+	}
+	return dram.JoinLine(n.org, bursts), ClaimClean
+}
+
+// StorageOverhead implements Scheme.
+func (n *None) StorageOverhead() float64 { return 0 }
+
+// Cost implements Scheme.
+func (n *None) Cost() AccessCost { return AccessCost{} }

@@ -1,0 +1,224 @@
+// Package ecc defines the common framework the five evaluated ECC schemes
+// implement — No-ECC, conventional In-DRAM ECC (IECC), rank-level SECDED,
+// XED, DUO and (in internal/core) PAIR — plus the fault-injection bridge
+// that corrupts a scheme's physical storage image and the outcome
+// classification the reliability experiments use.
+//
+// All commodity-context schemes run on the same DDR4 x16 organization so
+// the comparison is apples-to-apples: one rank access moves a 64-byte
+// cache line over 4 chips x 16 pins x 8 beats. The rank-level SECDED
+// baseline uses its natural 9-chip x8 ECC-DIMM organization. Reliability
+// is always accounted per 64-byte line.
+package ecc
+
+import (
+	"bytes"
+	"fmt"
+
+	"pair/internal/bitvec"
+	"pair/internal/dram"
+)
+
+// Claim is what a scheme's decoder believes happened. It cannot see the
+// golden data, so a "clean"/"corrected" claim may still be wrong — the
+// evaluator cross-checks against the golden line to expose miscorrections.
+type Claim int
+
+const (
+	// ClaimClean: no error observed.
+	ClaimClean Claim = iota
+	// ClaimCorrected: errors observed and (believed) repaired.
+	ClaimCorrected
+	// ClaimDetected: an uncorrectable pattern was flagged (DUE).
+	ClaimDetected
+)
+
+func (c Claim) String() string {
+	switch c {
+	case ClaimClean:
+		return "clean"
+	case ClaimCorrected:
+		return "corrected"
+	case ClaimDetected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Claim(%d)", int(c))
+	}
+}
+
+// Outcome is the ground-truth classification of one protected access.
+type Outcome int
+
+const (
+	// OutcomeOK: data returned intact without any correction activity.
+	OutcomeOK Outcome = iota
+	// OutcomeCE: corrected error — data intact after repair.
+	OutcomeCE
+	// OutcomeDUE: detected uncorrectable error — no silent damage, but
+	// the access failed (machine-check in a real system).
+	OutcomeDUE
+	// OutcomeSDC: silent data corruption — wrong data returned without a
+	// flag, either undetected or miscorrected. The worst case.
+	OutcomeSDC
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeCE:
+		return "ce"
+	case OutcomeDUE:
+		return "due"
+	case OutcomeSDC:
+		return "sdc"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// IsFailure reports whether the outcome counts as a reliability failure
+// (DUE or SDC).
+func (o Outcome) IsFailure() bool { return o == OutcomeDUE || o == OutcomeSDC }
+
+// Classify turns a decode result into the ground-truth outcome.
+func Classify(golden, decoded []byte, claim Claim) Outcome {
+	match := bytes.Equal(golden, decoded)
+	switch claim {
+	case ClaimDetected:
+		return OutcomeDUE
+	case ClaimClean:
+		if match {
+			return OutcomeOK
+		}
+		return OutcomeSDC
+	case ClaimCorrected:
+		if match {
+			return OutcomeCE
+		}
+		return OutcomeSDC
+	default:
+		panic(fmt.Sprintf("ecc: unknown claim %v", claim))
+	}
+}
+
+// ChipImage is the physical storage image one chip contributes to a
+// protected rank access. Fault injection distinguishes three regions
+// because real faults do:
+//
+//   - Data: the bits that cross the DQ pins during the burst. Pin faults
+//     corrupt exactly these, one pin lane at a time.
+//   - OnDie: redundancy that lives in the array and is consumed inside
+//     the die (IECC check bits, XED's detector parity, PAIR's parity
+//     symbols). Cell and array faults reach it; pin faults never do.
+//   - Xfer: redundancy that crosses the pins on extension beats (DUO's
+//     forwarded redundancy). Pin faults corrupt its lane too.
+//
+// Unused regions are nil.
+type ChipImage struct {
+	Data  *dram.Burst
+	OnDie *bitvec.Vec
+	Xfer  *dram.Burst
+}
+
+// Clone deep-copies the image.
+func (ci *ChipImage) Clone() *ChipImage {
+	out := &ChipImage{}
+	if ci.Data != nil {
+		out.Data = ci.Data.Clone()
+	}
+	if ci.OnDie != nil {
+		out.OnDie = ci.OnDie.Clone()
+	}
+	if ci.Xfer != nil {
+		out.Xfer = ci.Xfer.Clone()
+	}
+	return out
+}
+
+// TotalBits returns the number of stored bits in the image.
+func (ci *ChipImage) TotalBits() int {
+	n := 0
+	if ci.Data != nil {
+		n += ci.Data.Pins * ci.Data.Beats
+	}
+	if ci.OnDie != nil {
+		n += ci.OnDie.Len()
+	}
+	if ci.Xfer != nil {
+		n += ci.Xfer.Pins * ci.Xfer.Beats
+	}
+	return n
+}
+
+// Stored is the complete physical image of one protected line: one
+// ChipImage per chip the scheme stores bits on (data chips first; schemes
+// with extra parity storage, like XED's inline parity line, append the
+// extra images after the data chips and document the layout).
+type Stored struct {
+	Org   dram.Organization
+	Chips []*ChipImage
+}
+
+// Clone deep-copies the stored image (the unit of fault injection: inject
+// into a clone, decode, compare with the original).
+func (s *Stored) Clone() *Stored {
+	out := &Stored{Org: s.Org, Chips: make([]*ChipImage, len(s.Chips))}
+	for i, ci := range s.Chips {
+		out.Chips[i] = ci.Clone()
+	}
+	return out
+}
+
+// TotalBits sums stored bits over all chips.
+func (s *Stored) TotalBits() int {
+	n := 0
+	for _, ci := range s.Chips {
+		n += ci.TotalBits()
+	}
+	return n
+}
+
+// AccessCost captures the performance-relevant mechanics of a scheme; the
+// timing simulator applies these mechanically. Rates are per triggering
+// access (1.0 = always).
+type AccessCost struct {
+	// ExtraReadBeats / ExtraWriteBeats extend the burst (DUO's forwarded
+	// redundancy beat).
+	ExtraReadBeats  int
+	ExtraWriteBeats int
+	// DecodeLatencyNS is added to every read's completion (ECC decode).
+	DecodeLatencyNS float64
+	// ExtraWritesPerWrite issues additional write accesses per line write
+	// (XED's inline parity-line update).
+	ExtraWritesPerWrite float64
+	// ExtraReadsPerWrite issues additional read accesses per full-line
+	// write (none of the schemes need this; masked writes are separate).
+	ExtraReadsPerWrite float64
+	// ExtraReadsPerMaskedWrite issues additional reads per masked
+	// (sub-line) write — the read-modify-write penalty.
+	ExtraReadsPerMaskedWrite float64
+	// DetectionRereadRate issues an additional read per read at this
+	// rate (XED's catch-word reconstruction path; effectively 0 in
+	// healthy devices but the knob exists for degraded-mode studies).
+	DetectionRereadRate float64
+}
+
+// Scheme is one ECC architecture under evaluation.
+type Scheme interface {
+	// Name is a short stable identifier ("pair", "xed", ...).
+	Name() string
+	// Org returns the DRAM organization the scheme runs on.
+	Org() dram.Organization
+	// Encode builds the physical storage image for a cache line of
+	// Org().LineBytes() bytes.
+	Encode(line []byte) *Stored
+	// Decode recovers the line from a (possibly corrupted) image and
+	// reports the decoder's claim.
+	Decode(st *Stored) ([]byte, Claim)
+	// StorageOverhead returns redundancy bits / data bits for the whole
+	// scheme (on-die plus any capacity consumed for parity storage).
+	StorageOverhead() float64
+	// Cost returns the performance model parameters.
+	Cost() AccessCost
+}

@@ -1,0 +1,113 @@
+package ecc
+
+import (
+	"pair/internal/bitvec"
+	"pair/internal/dram"
+	"pair/internal/hamming"
+)
+
+// SECDED is the classic rank-level ECC-DIMM baseline: a Hsiao (72,64)
+// code per burst beat across a nine-chip x8 rank. It needs the extra
+// (ninth) chip, so it runs on the DDR4x8ECC organization rather than the
+// commodity x16 one; reliability is still accounted per 64-byte line, so
+// the comparison to the in-DRAM schemes remains meaningful.
+type SECDED struct {
+	org  dram.Organization
+	code *hamming.Code
+}
+
+// NewSECDED returns the rank-level SEC-DED scheme; the organization must
+// provide exactly one ECC chip and 8-bit-per-beat check capacity.
+func NewSECDED(org dram.Organization) *SECDED {
+	if err := org.Validate(); err != nil {
+		panic(err)
+	}
+	if org.ECCChips != 1 {
+		panic("ecc: SECDED requires exactly one ECC chip")
+	}
+	code := hamming.MustSECDED(org.ChipsPerRank * org.Pins)
+	if code.M != org.Pins {
+		panic("ecc: SECDED check bits do not fit the ECC chip's beat width")
+	}
+	return &SECDED{org: org, code: code}
+}
+
+// Name implements Scheme.
+func (s *SECDED) Name() string { return "secded" }
+
+// Org implements Scheme.
+func (s *SECDED) Org() dram.Organization { return s.org }
+
+// Encode implements Scheme. Chips[0..ChipsPerRank) carry data; the last
+// image is the ECC chip, whose beat b holds the check byte of beat b's
+// codeword.
+func (s *SECDED) Encode(line []byte) *Stored {
+	bursts := dram.SplitLine(s.org, line)
+	st := &Stored{Org: s.org, Chips: make([]*ChipImage, len(bursts)+1)}
+	for i, b := range bursts {
+		st.Chips[i] = &ChipImage{Data: b}
+	}
+	eccBurst := dram.NewBurst(s.org.Pins, s.org.BurstLen)
+	for beat := 0; beat < s.org.BurstLen; beat++ {
+		data := bitvec.New(s.code.K)
+		for c := 0; c < s.org.ChipsPerRank; c++ {
+			for p := 0; p < s.org.Pins; p++ {
+				data.Set(c*s.org.Pins+p, bursts[c].Get(p, beat))
+			}
+		}
+		cw := s.code.Encode(data)
+		for j := 0; j < s.code.M; j++ {
+			eccBurst.Set(j, beat, cw.Get(s.code.K+j))
+		}
+	}
+	st.Chips[len(bursts)] = &ChipImage{Data: eccBurst}
+	return st
+}
+
+// Decode implements Scheme: one (72,64) decode per beat.
+func (s *SECDED) Decode(st *Stored) ([]byte, Claim) {
+	nData := s.org.ChipsPerRank
+	eccBurst := st.Chips[nData].Data
+	claim := ClaimClean
+	out := make([]*dram.Burst, nData)
+	for c := range out {
+		out[c] = dram.NewBurst(s.org.Pins, s.org.BurstLen)
+	}
+	for beat := 0; beat < s.org.BurstLen; beat++ {
+		word := bitvec.New(s.code.N)
+		for c := 0; c < nData; c++ {
+			for p := 0; p < s.org.Pins; p++ {
+				word.Set(c*s.org.Pins+p, st.Chips[c].Data.Get(p, beat))
+			}
+		}
+		for j := 0; j < s.code.M; j++ {
+			word.Set(s.code.K+j, eccBurst.Get(j, beat))
+		}
+		corrected, outcome := s.code.Decode(word)
+		switch outcome {
+		case hamming.Detected:
+			claim = ClaimDetected
+		case hamming.Corrected:
+			if claim != ClaimDetected {
+				claim = ClaimCorrected
+			}
+		}
+		for c := 0; c < nData; c++ {
+			for p := 0; p < s.org.Pins; p++ {
+				out[c].Set(p, beat, corrected.Get(c*s.org.Pins+p))
+			}
+		}
+	}
+	return dram.JoinLine(s.org, out), claim
+}
+
+// StorageOverhead implements Scheme: the ninth chip, 12.5%.
+func (s *SECDED) StorageOverhead() float64 {
+	return float64(s.org.ECCChips) / float64(s.org.ChipsPerRank)
+}
+
+// Cost implements Scheme: the ECC chip rides along in the same burst (a
+// 72-bit bus), so only the decode latency shows up.
+func (s *SECDED) Cost() AccessCost {
+	return AccessCost{DecodeLatencyNS: 1.5}
+}

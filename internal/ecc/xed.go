@@ -1,0 +1,147 @@
+package ecc
+
+import (
+	"pair/internal/bitvec"
+	"pair/internal/dram"
+	"pair/internal/hamming"
+)
+
+// XED models the "eXposed on-die Error Detection" architecture (Nair et
+// al., ISCA 2016) adapted to the commodity x16 context the PAIR study
+// uses (reconstruction note: the original XED assumes a 9-chip ECC DIMM;
+// a commodity rank has no ninth chip, so the rank-XOR parity is stored
+// inline in DRAM — one parity access per line — which is also what gives
+// XED its write-bandwidth penalty here).
+//
+// Mechanics:
+//
+//   - Each chip keeps its on-die (136,128) code but uses it purely as an
+//     error *detector* (nonzero syndrome => the chip signals a
+//     catch-word instead of data). Detection misses only when the error
+//     pattern is itself a codeword (probability ~2^-8 for garbage
+//     patterns; never for 1- or 2-bit errors since d=3).
+//   - A parity image (XOR of the four chips' data bursts) is stored in a
+//     reserved region, protected by its own on-die detector.
+//   - On a read: no chip flags => data is returned as-is (an undetected
+//     corruption becomes SDC — XED's reliability hazard). Exactly one
+//     chip flags => its burst is reconstructed from the other three
+//     chips plus the parity image. Two or more flags, or a flagged
+//     parity image when needed => DUE.
+type XED struct {
+	org  dram.Organization
+	code *hamming.Code
+}
+
+// NewXED returns the XED scheme on the given organization.
+func NewXED(org dram.Organization) *XED {
+	if err := org.Validate(); err != nil {
+		panic(err)
+	}
+	return &XED{org: org, code: hamming.MustSEC(org.AccessBits())}
+}
+
+// Name implements Scheme.
+func (s *XED) Name() string { return "xed" }
+
+// Org implements Scheme.
+func (s *XED) Org() dram.Organization { return s.org }
+
+// Encode implements Scheme. Chips[0..ChipsPerRank) are the data chips;
+// Chips[ChipsPerRank] is the inline parity image.
+func (s *XED) Encode(line []byte) *Stored {
+	bursts := dram.SplitLine(s.org, line)
+	st := &Stored{Org: s.org, Chips: make([]*ChipImage, len(bursts)+1)}
+	parity := dram.NewBurst(s.org.Pins, s.org.BurstLen)
+	for i, b := range bursts {
+		st.Chips[i] = &ChipImage{Data: b, OnDie: s.detectorBits(b)}
+		parity.Xor(b)
+	}
+	st.Chips[len(bursts)] = &ChipImage{Data: parity, OnDie: s.detectorBits(parity)}
+	return st
+}
+
+// detectorBits computes the on-die check bits for a burst.
+func (s *XED) detectorBits(b *dram.Burst) *bitvec.Vec {
+	cw := s.code.Encode(b.Bits())
+	onDie := bitvec.New(s.code.M)
+	for j := 0; j < s.code.M; j++ {
+		onDie.Set(j, cw.Get(s.code.K+j))
+	}
+	return onDie
+}
+
+// flagged reports whether the chip's detector fires (nonzero syndrome).
+func (s *XED) flagged(ci *ChipImage) bool {
+	word := bitvec.New(s.code.N)
+	for j := 0; j < s.code.K; j++ {
+		word.Set(j, ci.Data.Bits().Get(j))
+	}
+	for j := 0; j < s.code.M; j++ {
+		word.Set(s.code.K+j, ci.OnDie.Get(j))
+	}
+	return s.code.Syndrome(word) != 0
+}
+
+// Decode implements Scheme.
+func (s *XED) Decode(st *Stored) ([]byte, Claim) {
+	nData := s.org.ChipsPerRank
+	flaggedChip := -1
+	nFlagged := 0
+	for i := 0; i < nData; i++ {
+		if s.flagged(st.Chips[i]) {
+			flaggedChip = i
+			nFlagged++
+		}
+	}
+	bursts := make([]*dram.Burst, nData)
+	for i := 0; i < nData; i++ {
+		bursts[i] = st.Chips[i].Data
+	}
+	switch {
+	case nFlagged == 0:
+		// Nothing signalled: data passes through. The rank parity is NOT
+		// verified on ordinary reads (faithful to XED's design), so an
+		// aliased pattern sails through as SDC.
+		return dram.JoinLine(s.org, bursts), ClaimClean
+	case nFlagged == 1:
+		parityImg := st.Chips[nData]
+		if s.flagged(parityImg) {
+			// Reconstruction source is itself suspect.
+			return dram.JoinLine(s.org, bursts), ClaimDetected
+		}
+		rec := parityImg.Data.Clone()
+		for i := 0; i < nData; i++ {
+			if i != flaggedChip {
+				rec.Xor(st.Chips[i].Data)
+			}
+		}
+		repaired := make([]*dram.Burst, nData)
+		copy(repaired, bursts)
+		repaired[flaggedChip] = rec
+		return dram.JoinLine(s.org, repaired), ClaimCorrected
+	default:
+		return dram.JoinLine(s.org, bursts), ClaimDetected
+	}
+}
+
+// StorageOverhead implements Scheme: 6.25% on-die detector bits on every
+// stored access (data and parity) plus the inline parity region, one
+// parity access per ChipsPerRank data accesses.
+func (s *XED) StorageOverhead() float64 {
+	onDie := s.code.StorageOverhead()
+	inline := 1.0 / float64(s.org.ChipsPerRank) * (1.0 + onDie)
+	return onDie + inline
+}
+
+// Cost implements Scheme. Every line write must also write the inline
+// parity image (computable from the new data, so no read is needed for
+// full-line writes); masked writes additionally read the old line. The
+// catch-word reconstruction path re-reads the parity image, which only
+// matters in degraded mode and defaults to 0.
+func (s *XED) Cost() AccessCost {
+	return AccessCost{
+		DecodeLatencyNS:          1.0,
+		ExtraWritesPerWrite:      1.0,
+		ExtraReadsPerMaskedWrite: 1.0,
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pair/internal/core"
+	"pair/internal/dram"
+	"pair/internal/ecc"
+	"pair/internal/faults"
+	"pair/internal/reliability"
+)
+
+// ExtendedSchemes returns the commodity set plus the two rank-level
+// schemes (their natural ECC-DIMM organization), for the experiments
+// where the cross-organization comparison is meaningful per 64B line.
+func ExtendedSchemes() []ecc.Scheme {
+	return append(CommoditySchemes(),
+		ecc.NewSECDED(dram.DDR4x8ECC()),
+		ecc.NewDUORank(dram.DDR4x8ECC()),
+	)
+}
+
+// F8ScrubSweep varies the scrub interval in the lifetime model — the
+// knob that controls how long transient faults linger and can pair with
+// permanent ones.
+func F8ScrubSweep(schemes []ecc.Scheme, devices int, seed int64) *Table {
+	intervals := []float64{1, 6, 24, 168} // hours
+	t := &Table{
+		Title:  fmt.Sprintf("F8: 7-year failure probability vs scrub interval (%d ranks; transient FIT x20 to expose the knob)", devices),
+		Header: []string{"scheme"},
+	}
+	for _, h := range intervals {
+		t.Header = append(t.Header, fmt.Sprintf("%gh", h))
+	}
+	// Amplify the transient rate so pairing is observable at feasible
+	// population sizes; the relative effect of scrubbing is what the
+	// figure shows.
+	fits := faults.DefaultFITTable()
+	for i := range fits {
+		if fits[i].Kind == faults.TransientBit {
+			fits[i].Rate *= 20
+		}
+	}
+	for _, s := range schemes {
+		row := []string{s.Name()}
+		for _, h := range intervals {
+			r := reliability.RunLifetime(reliability.LifetimeConfig{
+				Scheme:     s,
+				Devices:    devices,
+				ScrubHours: h,
+				Seed:       seed,
+				FITs:       fits,
+			})
+			row = append(row, sci(r.FailProb()))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"longer scrub intervals let transient bits linger and pair with permanent faults",
+		"at field-realistic rates the curves are flat: transient pairing is negligible against permanent-fault hazards — itself a finding (scrubbing buys little for per-access in-DRAM codes)")
+	return t
+}
+
+// F9DDR5 compares PAIR across DRAM generations: DDR4 x16 BL8 (one symbol
+// per pin) against DDR5 x16 BL16 (two symbols per pin), at both
+// expansion levels, under the pin-fault and inherent-cell hazards.
+func F9DDR5(trials int, seed int64) *Table {
+	t := &Table{
+		Title:  "F9: PAIR across DRAM generations (pin-fault fail rate / inherent 2-cell fail rate)",
+		Header: []string{"device", "code", "t", "pin fault", "2-cell"},
+	}
+	type cfg struct {
+		label string
+		org   dram.Organization
+		c     core.Config
+	}
+	cases := []cfg{
+		{"DDR4 x16 BL8", dram.DDR4x16(), core.BaseConfig()},
+		{"DDR4 x16 BL8", dram.DDR4x16(), core.DefaultConfig()},
+		{"DDR5 x16 BL16", dram.DDR5x16(), core.BaseConfig()},
+		{"DDR5 x16 BL16", dram.DDR5x16(), core.DefaultConfig()},
+	}
+	for _, c := range cases {
+		s := core.MustNew(c.org, c.c)
+		pin := reliability.Coverage(s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+			ecc.InjectAccessFault(rng, st, faults.PermanentPin, -1)
+		})
+		cells := reliability.Coverage(s, "2cell", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+			chip := rng.Intn(st.Org.ChipsPerRank)
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+		})
+		t.AddRow(c.label,
+			fmt.Sprintf("RS(%d,%d)", s.CodewordLength(), s.CodewordLength()-s.Config().BaseParity-s.Config().Expansion),
+			fmt.Sprintf("%d", s.T()),
+			sci(pin.Rates.Fail()),
+			sci(cells.Rates.Fail()),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"a BL16 pin carries two symbols, so DDR5 pin faults need the expanded t=2 code — the expandability story across generations")
+	return t
+}
+
+// T5Widths shows the PAIR design space across device widths: the
+// codeword shrinks with the pin count, so the fixed two-symbol parity
+// floor costs proportionally more on narrow devices — the economics
+// behind PAIR's focus on x16 (and the abstract's "latest DRAM model").
+func T5Widths(trials int, seed int64) *Table {
+	t := &Table{
+		Title:  "T5: PAIR across device widths (expanded config, t=2)",
+		Header: []string{"device", "chips/rank", "code", "storage ovh", "pin-fault fail", "2-cell fail"},
+	}
+	cases := []struct {
+		label string
+		org   dram.Organization
+	}{
+		{"DDR4 x4", dram.DDR4x4()},
+		{"DDR4 x8", dram.DDR4x8()},
+		{"DDR4 x16", dram.DDR4x16()},
+		{"DDR5 x16", dram.DDR5x16()},
+	}
+	for _, c := range cases {
+		s := core.MustNew(c.org, core.DefaultConfig())
+		pin := reliability.Coverage(s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+			ecc.InjectAccessFault(rng, st, faults.PermanentPin, -1)
+		})
+		cells := reliability.Coverage(s, "2cell", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+			chip := rng.Intn(st.Org.ChipsPerRank)
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+		})
+		t.AddRow(c.label,
+			fmt.Sprintf("%d", c.org.ChipsPerRank),
+			fmt.Sprintf("RS(%d,%d)", s.CodewordLength(), s.CodewordLength()-4),
+			pct(s.StorageOverhead()),
+			sci(pin.Rates.Fail()),
+			sci(cells.Rates.Fail()),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"the 4-symbol parity floor is 100% overhead on x4 but 25% on x16: pin-aligned RS wants wide devices")
+	return t
+}
+
+// F12Repair compares 7-year failure probability without and with a
+// post-package-repair budget. Only *detected* failures can trigger
+// repair, so schemes that convert failures into DUEs (PAIR) benefit
+// fully while miscorrecting schemes (IECC) and alias-prone ones (XED)
+// keep dying silently — the operational argument for low SDC.
+func F12Repair(schemes []ecc.Scheme, devices int, seed int64) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("F12: 7-year failure probability without / with post-package repair (budget 4; %d ranks)", devices),
+		Header: []string{"scheme", "no repair", "with PPR", "improvement", "repairs used", "residual SDC"},
+	}
+	for _, s := range schemes {
+		base := reliability.RunLifetime(reliability.LifetimeConfig{
+			Scheme: s, Devices: devices, Seed: seed,
+		})
+		ppr := reliability.RunLifetime(reliability.LifetimeConfig{
+			Scheme: s, Devices: devices, Seed: seed, RepairBudget: 4,
+		})
+		imp := "-"
+		if ppr.FailProb() > 0 {
+			imp = fmt.Sprintf("%.1fx", base.FailProb()/ppr.FailProb())
+		} else if base.FailProb() > 0 {
+			imp = ">max"
+		}
+		t.AddRow(s.Name(), sci(base.FailProb()), sci(ppr.FailProb()), imp,
+			fmt.Sprintf("%d", ppr.Repairs), sci(ppr.SDCProb()))
+	}
+	t.Notes = append(t.Notes,
+		"PPR can only act on detected (DUE) failures; silent corruption is unrepairable by construction")
+	return t
+}
+
+// F10Sparing quantifies the pin-sparing (erasure) extension: a device
+// with d dead pins on one chip, with and without the repair map, under
+// an additional fresh cell error per access.
+func F10Sparing(trials int, seed int64) *Table {
+	t := &Table{
+		Title:  "F10: decode outcome with dead pins, plain vs spared (erasure) decoding, +1 fresh cell",
+		Header: []string{"dead pins", "plain fail", "spared fail"},
+	}
+	org := dram.DDR4x16()
+	for _, dead := range []int{0, 1, 2} {
+		plain := core.MustNew(org, core.DefaultConfig())
+		pins := make([]int, dead)
+		for i := range pins {
+			pins[i] = 2 + 5*i
+		}
+		sparedScheme, err := plain.WithSparedPins(map[int][]int{0: pins})
+		if err != nil {
+			panic(err)
+		}
+		inject := func(rng *rand.Rand, st *ecc.Stored) {
+			ci := st.Chips[0]
+			for _, p := range pins {
+				ci.Data.SetPinSymbolPart(p, 0, ci.Data.PinSymbolPart(p, 0)^byte(1+rng.Intn(255)))
+			}
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, 0)
+		}
+		p := reliability.Coverage(plain, "plain", trials, seed, inject)
+		sp := reliability.Coverage(sparedScheme, "spared", trials, seed, inject)
+		t.AddRow(fmt.Sprintf("%d", dead), sci(p.Rates.Fail()), sci(sp.Rates.Fail()))
+	}
+	t.Notes = append(t.Notes,
+		"sparing turns known-bad pins into erasures: budget 2*errors + erasures <= 4, so two dead pins + one fresh error still decode")
+	return t
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pair/internal/core"
+	"pair/internal/dram"
+	"pair/internal/ecc"
+	"pair/internal/hamming"
+	"pair/internal/memsim"
+	"pair/internal/stats"
+	"pair/internal/trace"
+)
+
+// PerfSchemes returns the schemes of the performance comparison (figure
+// F4): baseline plus the three architectures the abstract compares.
+func PerfSchemes() []ecc.Scheme {
+	return []ecc.Scheme{
+		ecc.NewNone(dram.DDR4x16()),
+		ecc.NewIECC(dram.DDR4x16()),
+		ecc.NewXED(dram.DDR4x16()),
+		ecc.NewDUO(dram.DDR4x16()),
+		core.MustNew(dram.DDR4x16(), core.DefaultConfig()),
+	}
+}
+
+// PerfResult holds normalized performance per workload per scheme.
+type PerfResult struct {
+	Workloads []string
+	Schemes   []string
+	// Normalized[w][s] = cycles(none) / cycles(scheme): 1.0 = baseline
+	// speed, higher is better.
+	Normalized [][]float64
+	GeoMean    []float64
+}
+
+// F4Performance runs the SPEC-like suite through the timing simulator
+// under every scheme's cost model.
+func F4Performance(schemes []ecc.Scheme, requests int) *PerfResult {
+	suite := trace.SPECLike(requests)
+	return perfOn(schemes, suite)
+}
+
+func perfOn(schemes []ecc.Scheme, suite []trace.Workload) *PerfResult {
+	res := &PerfResult{}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.Name())
+	}
+	baseline := make([]uint64, len(suite))
+	for wi, wl := range suite {
+		res.Workloads = append(res.Workloads, wl.Name)
+		cfg := memsim.DefaultConfig()
+		baseline[wi] = memsim.Run(cfg, wl).Cycles
+	}
+	res.Normalized = make([][]float64, len(suite))
+	for wi, wl := range suite {
+		res.Normalized[wi] = make([]float64, len(schemes))
+		for si, s := range schemes {
+			cfg := memsim.DefaultConfig()
+			cfg.Cost = s.Cost()
+			cycles := memsim.Run(cfg, wl).Cycles
+			res.Normalized[wi][si] = float64(baseline[wi]) / float64(cycles)
+		}
+	}
+	res.GeoMean = make([]float64, len(schemes))
+	for si := range schemes {
+		col := make([]float64, len(suite))
+		for wi := range suite {
+			col[wi] = res.Normalized[wi][si]
+		}
+		res.GeoMean[si] = stats.GeoMean(col)
+	}
+	return res
+}
+
+// Render formats the F4 table.
+func (r *PerfResult) Render() string {
+	t := &Table{
+		Title:  "F4: performance normalized to No-ECC (higher is better)",
+		Header: append([]string{"workload"}, r.Schemes...),
+	}
+	for wi, w := range r.Workloads {
+		row := []string{w}
+		for si := range r.Schemes {
+			row = append(row, fmt.Sprintf("%.3f", r.Normalized[wi][si]))
+		}
+		t.AddRow(row...)
+	}
+	gm := []string{"geomean"}
+	for _, g := range r.GeoMean {
+		gm = append(gm, fmt.Sprintf("%.3f", g))
+	}
+	t.AddRow(gm...)
+	t.Notes = append(t.Notes, r.headline()...)
+	return t.Render()
+}
+
+// headline extracts the abstract's performance comparisons.
+func (r *PerfResult) headline() []string {
+	idx := map[string]int{}
+	for i, n := range r.Schemes {
+		idx[n] = i
+	}
+	var notes []string
+	if pi, ok := idx["pair"]; ok {
+		if xi, ok := idx["xed"]; ok {
+			notes = append(notes, fmt.Sprintf("PAIR over XED: %+.1f%% (geomean)", (r.GeoMean[pi]/r.GeoMean[xi]-1)*100))
+		}
+		if di, ok := idx["duo"]; ok {
+			notes = append(notes, fmt.Sprintf("PAIR over DUO: %+.1f%% (geomean)", (r.GeoMean[pi]/r.GeoMean[di]-1)*100))
+		}
+	}
+	return notes
+}
+
+// F5WriteSweep sweeps the write ratio on a random-access stream — the
+// ablation isolating where XED's parity-write traffic and the RMW costs
+// bite (figure F5).
+func F5WriteSweep(schemes []ecc.Scheme, requests int) *Table {
+	fracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	suite := trace.WriteSweep(requests, fracs, 0.3)
+	res := perfOn(schemes, suite)
+	t := &Table{
+		Title:  "F5: normalized performance vs write ratio (30% of writes masked)",
+		Header: append([]string{"write ratio"}, res.Schemes...),
+	}
+	for wi := range suite {
+		row := []string{fmt.Sprintf("%.0f%%", fracs[wi]*100)}
+		for si := range res.Schemes {
+			row = append(row, fmt.Sprintf("%.3f", res.Normalized[wi][si]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// F4Latency renders the p99 read-latency companion to F4: average and
+// tail read latency per scheme on the two most latency-revealing
+// workloads (a pointer-chaser and a masked-write-heavy mix). Companion
+// writes and RMW reads interfere with demand reads, which shows in the
+// tail long before it moves the mean.
+func F4Latency(requests int) *Table {
+	t := &Table{
+		Title:  "F4b: read latency (mean / p99, ns) per scheme",
+		Header: []string{"workload"},
+	}
+	schemes := PerfSchemes()
+	for _, s := range schemes {
+		t.Header = append(t.Header, s.Name())
+	}
+	suite := trace.SPECLike(requests)
+	for _, wl := range suite {
+		if wl.Name != "mcf" && wl.Name != "x264" {
+			continue
+		}
+		row := []string{wl.Name}
+		for _, s := range schemes {
+			cfg := memsim.DefaultConfig()
+			cfg.Cost = s.Cost()
+			res := memsim.Run(cfg, wl)
+			row = append(row, fmt.Sprintf("%.0f/%.0f",
+				res.AvgReadLatencyNS(cfg.Timing), res.P99ReadLatencyNS(cfg.Timing)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "XED's parity writes queue ahead of demand reads: the p99 inflates far more than the mean")
+	return t
+}
+
+// F11ScrubTraffic measures the performance cost of patrol scrubbing at
+// several rates on a moderately loaded workload — the bandwidth side of
+// the reliability/scrub-interval trade-off (F8 is the reliability side).
+func F11ScrubTraffic(requests int) *Table {
+	wl := trace.Generate(trace.Params{
+		Name: "mixed", Requests: requests, Lines: 1 << 20, Pattern: trace.Random,
+		ReadFrac: 0.7, MaskedFrac: 0.2, MeanGap: 4, Window: 8, Seed: 42,
+	})
+	t := &Table{
+		Title:  "F11: performance vs patrol-scrub rate (PAIR cost model)",
+		Header: []string{"scrub period (cycles)", "scrub reads", "cycles", "normalized"},
+	}
+	pairCost := core.MustNew(dram.DDR4x16(), core.DefaultConfig()).Cost()
+	base := func() memsim.Result {
+		cfg := memsim.DefaultConfig()
+		cfg.Cost = pairCost
+		return memsim.Run(cfg, wl)
+	}()
+	t.AddRow("off", "0", fmt.Sprintf("%d", base.Cycles), "1.000")
+	for _, period := range []uint64{10000, 1000, 100} {
+		cfg := memsim.DefaultConfig()
+		cfg.Cost = pairCost
+		cfg.ScrubPeriod = period
+		r := memsim.Run(cfg, wl)
+		t.AddRow(fmt.Sprintf("%d", period),
+			fmt.Sprintf("%d", r.ScrubReads),
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%.3f", float64(base.Cycles)/float64(r.Cycles)))
+	}
+	t.Notes = append(t.Notes, "pairs with F8: tighter scrubbing buys transient-fault pairing protection at this bandwidth price")
+	return t
+}
+
+// T3Complexity renders the decoder-complexity and latency comparison.
+// Gate counts are analytic estimates: Hamming costs are exact XOR counts
+// from the parity-check columns; Reed-Solomon costs use the standard
+// constant-multiplier estimate of ~20 XOR2 gates per GF(256) multiply
+// (encoder: k*(n-k) multipliers; syndrome/interpolation decoder: ~2x).
+func T3Complexity() *Table {
+	t := &Table{
+		Title:  "T3: storage, logic and latency overheads",
+		Header: []string{"scheme", "storage ovh", "enc XOR (est)", "dec XOR (est)", "read latency adder", "write cost"},
+	}
+	const gfMulXOR = 20
+	rsEnc := func(n, k int) int { return k * (n - k) * gfMulXOR }
+	rsDec := func(n, k int) int { return 2 * n * (n - k) * gfMulXOR }
+	hammingEncXOR := func(k int) int { return hamming.MustSEC(k).EncoderXORs() }
+
+	iecc := ecc.NewIECC(dram.DDR4x16())
+	t.AddRow("iecc", pct(iecc.StorageOverhead()),
+		fmt.Sprintf("%d", hammingEncXOR(128)),
+		fmt.Sprintf("%d", hammingEncXOR(128)+136),
+		fmt.Sprintf("%.1fns", iecc.Cost().DecodeLatencyNS), "internal RMW (masked)")
+
+	xed := ecc.NewXED(dram.DDR4x16())
+	t.AddRow("xed", pct(xed.StorageOverhead()),
+		fmt.Sprintf("%d", hammingEncXOR(128)+128*3),
+		fmt.Sprintf("%d", hammingEncXOR(128)+128*3),
+		fmt.Sprintf("%.1fns", xed.Cost().DecodeLatencyNS), "+1 parity write / write")
+
+	duo := ecc.NewDUO(dram.DDR4x16())
+	t.AddRow("duo", pct(duo.StorageOverhead()),
+		fmt.Sprintf("%d", rsEnc(18, 16)),
+		fmt.Sprintf("%d", rsDec(18, 16)),
+		fmt.Sprintf("%.1fns", duo.Cost().DecodeLatencyNS), "BL9 bursts; RMW (masked)")
+
+	pairBase := core.MustNew(dram.DDR4x16(), core.BaseConfig())
+	t.AddRow("pair-base", pct(pairBase.StorageOverhead()),
+		fmt.Sprintf("%d", rsEnc(18, 16)),
+		fmt.Sprintf("%d", rsDec(18, 16)),
+		fmt.Sprintf("%.1fns", pairBase.Cost().DecodeLatencyNS), "internal RMW (masked)")
+
+	pairFull := core.MustNew(dram.DDR4x16(), core.DefaultConfig())
+	t.AddRow("pair", pct(pairFull.StorageOverhead()),
+		fmt.Sprintf("%d", rsEnc(20, 16)),
+		fmt.Sprintf("%d", rsDec(20, 16)),
+		fmt.Sprintf("%.1fns", pairFull.Cost().DecodeLatencyNS), "internal RMW (masked)")
+
+	t.Notes = append(t.Notes,
+		"XED enc/dec adds the 4-chip XOR tree (128*3) for the rank-parity image",
+		"RS costs: k*(n-k) const multipliers encode, ~2*n*(n-k) decode, 20 XOR2 per GF(256) multiplier")
+	return t
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pair/internal/core"
+	"pair/internal/dram"
+	"pair/internal/ecc"
+	"pair/internal/faults"
+	"pair/internal/reliability"
+	"pair/internal/stats"
+)
+
+// CommoditySchemes returns the x16 evaluation set in presentation order.
+func CommoditySchemes() []ecc.Scheme {
+	return []ecc.Scheme{
+		ecc.NewIECC(dram.DDR4x16()),
+		ecc.NewXED(dram.DDR4x16()),
+		ecc.NewDUO(dram.DDR4x16()),
+		core.MustNew(dram.DDR4x16(), core.BaseConfig()),
+		core.MustNew(dram.DDR4x16(), core.DefaultConfig()),
+	}
+}
+
+// T1Config renders the scheme-configuration comparison table.
+func T1Config() *Table {
+	t := &Table{
+		Title:  "T1: evaluated ECC configurations (commodity DDR4 x16, BL8; SECDED on 9x x8)",
+		Header: []string{"scheme", "code", "granularity", "symbol alignment", "corrects", "storage ovh", "bus change"},
+	}
+	rows := []struct {
+		s                                        ecc.Scheme
+		code, gran, align, capability, busChange string
+	}{
+		{ecc.NewNone(dram.DDR4x16()), "-", "-", "-", "0", "none"},
+		{ecc.NewIECC(dram.DDR4x16()), "Hamming (136,128) SEC", "chip access (128b)", "bit", "1 bit", "none"},
+		{ecc.NewSECDED(dram.DDR4x8ECC()), "Hsiao (72,64) SEC-DED", "beat (64b)", "bit", "1 bit", "9th chip"},
+		{ecc.NewXED(dram.DDR4x16()), "on-die detect + rank XOR", "chip access / rank", "bit / chip", "1 chip*", "+1 wr/wr"},
+		{ecc.NewDUO(dram.DDR4x16()), "RS(18,16) GF(256)", "chip access", "beat (byte)", "1 sym", "BL8->BL9"},
+		{core.MustNew(dram.DDR4x16(), core.BaseConfig()), "RS(18,16) GF(256)", "chip access", "pin", "1 sym", "none"},
+		{core.MustNew(dram.DDR4x16(), core.DefaultConfig()), "RS(20,16) expandable", "chip access", "pin", "2 sym", "none"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.s.Name(), r.code, r.gran, r.align, r.capability, pct(r.s.StorageOverhead()), r.busChange)
+	}
+	t.Notes = append(t.Notes,
+		"XED corrects one *flagged* chip per access via the rank-XOR image; unflagged (aliased) corruption escapes.",
+		"PAIR expansion symbols live in spare columns and never cross the DQ pins.")
+	return t
+}
+
+// SweepSettings sizes the F1/F2/F6 semi-analytic sweeps.
+type SweepSettings struct {
+	Trials int     // Monte-Carlo trials per conditioned flip count
+	MaxK   int     // largest conditioned flip count
+	BERLo  float64 // sweep range
+	BERHi  float64
+	Points int
+	Seed   int64
+}
+
+// DefaultSweep returns publication-scale settings.
+func DefaultSweep() SweepSettings {
+	return SweepSettings{Trials: 20000, MaxK: 12, BERLo: 1e-8, BERHi: 1e-4, Points: 9, Seed: 1}
+}
+
+// QuickSweep returns bench/CI-scale settings.
+func QuickSweep() SweepSettings {
+	return SweepSettings{Trials: 2500, MaxK: 8, BERLo: 1e-8, BERHi: 1e-4, Points: 5, Seed: 1}
+}
+
+// SweepResult holds the F1/F2 series for a scheme set.
+type SweepResult struct {
+	BERs     []float64
+	Schemes  []string
+	Fail     [][]float64 // [scheme][ber] DUE+SDC probability per line access
+	SDC      [][]float64 // [scheme][ber]
+	Profiles []*reliability.ConditionalProfile
+}
+
+// F1F2 runs the inherent-fault reliability sweep over the given schemes.
+func F1F2(schemes []ecc.Scheme, st SweepSettings) *SweepResult {
+	bers := reliability.LogspaceBERs(st.BERLo, st.BERHi, st.Points)
+	res := &SweepResult{BERs: bers}
+	for _, s := range schemes {
+		prof := reliability.BuildProfile(s, reliability.SweepConfig{MaxK: st.MaxK, Trials: st.Trials, Seed: st.Seed})
+		res.Profiles = append(res.Profiles, prof)
+		res.Schemes = append(res.Schemes, s.Name())
+		fail := make([]float64, len(bers))
+		sdc := make([]float64, len(bers))
+		for i, b := range bers {
+			r := prof.AtBER(b)
+			fail[i] = r.Fail()
+			sdc[i] = r.SDC
+		}
+		res.Fail = append(res.Fail, fail)
+		res.SDC = append(res.SDC, sdc)
+	}
+	return res
+}
+
+// RenderF1 renders the uncorrectable/failure probability series.
+func (r *SweepResult) RenderF1() string {
+	t := &Table{
+		Title:  "F1: P(DUE or SDC) per 64B line access vs inherent weak-cell BER",
+		Header: append([]string{"BER"}, r.Schemes...),
+	}
+	for i, b := range r.BERs {
+		row := []string{sci(b)}
+		for s := range r.Schemes {
+			row = append(row, sci(r.Fail[s][i]))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, r.headline()...)
+	return t.Render()
+}
+
+// RenderF2 renders the SDC-only series.
+func (r *SweepResult) RenderF2() string {
+	t := &Table{
+		Title:  "F2: P(SDC, silent corruption) per 64B line access vs inherent weak-cell BER",
+		Header: append([]string{"BER"}, r.Schemes...),
+	}
+	for i, b := range r.BERs {
+		row := []string{sci(b)}
+		for s := range r.Schemes {
+			row = append(row, sci(r.SDC[s][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// headline extracts the abstract's comparison ratios from the sweep.
+func (r *SweepResult) headline() []string {
+	idx := map[string]int{}
+	for i, n := range r.Schemes {
+		idx[n] = i
+	}
+	pairIdx, okP := idx["pair"]
+	var notes []string
+	if !okP {
+		return nil
+	}
+	for _, rival := range []string{"xed", "duo"} {
+		ri, ok := idx[rival]
+		if !ok {
+			continue
+		}
+		best := 0.0
+		at := 0.0
+		for i := range r.BERs {
+			ratio := stats.Ratio(r.Fail[ri][i], r.Fail[pairIdx][i])
+			if ratio > best {
+				best = ratio
+				at = r.BERs[i]
+			}
+		}
+		notes = append(notes, fmt.Sprintf("max reliability ratio %s/pair = %.1e (at BER %.0e)", rival, best, at))
+	}
+	return notes
+}
+
+// T2Coverage runs the fault-type coverage table over the scheme set.
+func T2Coverage(schemes []ecc.Scheme, trials int, seed int64) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("T2: outcome by injected fault pattern (%d trials each; CE/DUE/SDC shares)", trials),
+		Header: []string{"pattern"},
+	}
+	for _, s := range schemes {
+		t.Header = append(t.Header, s.Name())
+	}
+	for _, l := range reliability.StandardCoverageLabels() {
+		row := []string{l.Label}
+		for _, s := range schemes {
+			r := reliability.Coverage(s, l.Label, trials, seed, l.Inject)
+			row = append(row, fmt.Sprintf("%.0f/%.0f/%.0f", r.Rates.CE*100, r.Rates.DUE*100, r.Rates.SDC*100))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "cells are CE/DUE/SDC percentages; 100/0/0 = always corrected")
+	return t
+}
+
+// F3Lifetime runs the lifetime Monte-Carlo for each scheme and renders
+// the 7-year failure and SDC probabilities plus the yearly CDF.
+func F3Lifetime(schemes []ecc.Scheme, devices int, seed int64) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("F3: 7-year mission failure probability, field FIT rates, %d ranks, 24h scrub", devices),
+		Header: []string{"scheme", "P(fail)", "P(SDC)", "P(DUE)", "yearly CDF"},
+	}
+	for _, s := range schemes {
+		r := reliability.RunLifetime(reliability.LifetimeConfig{
+			Scheme:  s,
+			Devices: devices,
+			Seed:    seed,
+		})
+		cdf := ""
+		for i, c := range r.FailYearCDF {
+			if i > 0 {
+				cdf += " "
+			}
+			cdf += sci(c)
+		}
+		t.AddRow(s.Name(), sci(r.FailProb()), sci(r.SDCProb()),
+			sci(float64(r.DUEFailures)/float64(r.Devices)), cdf)
+	}
+	t.Notes = append(t.Notes,
+		"operational (field-FIT) faults; inherent weak-cell hazards are the F1/F2 sweeps",
+		"XED's rank-XOR reconstructs whole-chip faults, so its DUE column benefits here; its SDC column shows the aliasing hazard")
+	return t
+}
+
+// F6Expandability sweeps the PAIR expansion level at a fixed adverse BER.
+func F6Expandability(trials int, seed int64) *Table {
+	const ber = 1e-5
+	t := &Table{
+		Title:  fmt.Sprintf("F6: PAIR reliability vs expansion level (inherent BER %.0e)", ber),
+		Header: []string{"config", "codeword", "t", "storage ovh", "P(fail)", "P(SDC)"},
+	}
+	for exp := 0; exp <= 4; exp++ {
+		s := core.MustNew(dram.DDR4x16(), core.Config{BaseParity: 2, Expansion: exp, DecodeLatencyNS: 2})
+		prof := reliability.BuildProfile(s, reliability.SweepConfig{MaxK: 8, Trials: trials, Seed: seed})
+		r := prof.AtBER(ber)
+		t.AddRow(
+			fmt.Sprintf("base+%d", exp),
+			fmt.Sprintf("RS(%d,16)", s.CodewordLength()),
+			fmt.Sprintf("%d", s.T()),
+			pct(s.StorageOverhead()),
+			sci(r.Fail()),
+			sci(r.SDC),
+		)
+	}
+	t.Notes = append(t.Notes, "each +1 expansion symbol is appended to spare columns without rewriting stored data")
+	return t
+}
+
+// F7Burst measures burst-error correction vs burst length, along pins
+// (PAIR's aligned axis) and across pins (the crosstalk axis).
+func F7Burst(schemes []ecc.Scheme, trials int, seed int64) *Table {
+	t := &Table{
+		Title:  "F7: failure rate under burst errors (along-pin b@1pin / across-pin b@1beat)",
+		Header: []string{"burst len"},
+	}
+	for _, s := range schemes {
+		t.Header = append(t.Header, s.Name())
+	}
+	for _, b := range []int{2, 4, 8} {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, s := range schemes {
+			blen := b
+			along := reliability.Coverage(s, "pin-burst", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+				faults.InjectPinBurst(rng, st.Chips[rng.Intn(st.Org.ChipsPerRank)].Data, blen)
+			})
+			across := reliability.Coverage(s, "beat-burst", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+				faults.InjectBeatBurst(rng, st.Chips[rng.Intn(st.Org.ChipsPerRank)].Data, blen)
+			})
+			row = append(row, fmt.Sprintf("%s / %s", sci(along.Rates.Fail()), sci(across.Rates.Fail())))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "PAIR corrects every along-pin burst by construction; across-pin bursts are its documented trade-off")
+	return t
+}

@@ -1,0 +1,264 @@
+// Package faults models DRAM fault behaviour at the two granularities the
+// PAIR evaluation needs.
+//
+// Access level: injectors that corrupt a single chip access (a
+// dram.Burst) with a given pattern — inherent weak-cell flips at a swept
+// bit-error rate, single-cell upsets, whole-pin (DQ/TSV) faults, bitline
+// lanes, beat faults, and burst errors along or across pins. These drive
+// the codeword-level reliability experiments (F1/F2/T2/F6/F7).
+//
+// Device level: permanent fault records with geometric footprints (which
+// accesses of which bank/row/column they touch), FIT rates shaped after
+// published field studies, footprint intersection, and per-access error
+// pattern synthesis. These drive the lifetime Monte-Carlo (F3), where the
+// dangerous events are single faults whose pattern defeats a scheme and
+// pairs of faults whose footprints overlap in one access.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pair/internal/dram"
+)
+
+// Kind enumerates the fault classes of the model.
+type Kind int
+
+const (
+	// InherentCell is a process-scaling weak cell: a random single bit,
+	// present from manufacturing, at a per-bit rate swept by experiments.
+	InherentCell Kind = iota
+	// TransientBit is a soft single-bit upset; scrubbing removes it.
+	TransientBit
+	// PermanentCell is a hard single-cell fault (one bit of one access).
+	PermanentCell
+	// PermanentWord corrupts one whole column access (random pattern).
+	PermanentWord
+	// PermanentPin kills one DQ pin of a chip: every access loses that
+	// pin's symbol (TSV/bond-wire/IO driver failures).
+	PermanentPin
+	// PermanentColumn is a bitline fault: one bit lane of every access at
+	// one column address of one bank.
+	PermanentColumn
+	// PermanentRow is a full wordline fault: every access of one row of
+	// one bank returns garbage.
+	PermanentRow
+	// PermanentLocalWordline is a mat-local wordline fault: every access
+	// of one row is corrupted only in the MatPins pins the failing mat
+	// feeds. Scaled DRAM breaks rows at mat granularity more often than
+	// whole-row; the locality is what pin-aligned codewords exploit.
+	PermanentLocalWordline
+	// PermanentBank is a local-decoder/sense-amp fault: every access of
+	// one bank is suspect (random corruption per access).
+	PermanentBank
+	numKinds
+)
+
+// NumKinds is the number of fault kinds.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case InherentCell:
+		return "inherent-cell"
+	case TransientBit:
+		return "transient-bit"
+	case PermanentCell:
+		return "permanent-cell"
+	case PermanentWord:
+		return "permanent-word"
+	case PermanentPin:
+		return "permanent-pin"
+	case PermanentColumn:
+		return "permanent-column"
+	case PermanentRow:
+		return "permanent-row"
+	case PermanentLocalWordline:
+		return "permanent-local-wordline"
+	case PermanentBank:
+		return "permanent-bank"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// FITEntry is a failure-in-time rate (failures per 10^9 device-hours) for
+// one fault kind of one chip.
+type FITEntry struct {
+	Kind Kind
+	Rate float64
+}
+
+// DefaultFITTable returns per-chip FIT rates shaped after the published
+// field studies this literature cites (Sridharan et al.). The absolute
+// values set the x-axis scale of the lifetime experiment; the scheme
+// ordering the paper claims depends on the *mix* (distributed cell faults
+// dominate, pattern faults are significant), which these preserve.
+func DefaultFITTable() []FITEntry {
+	return []FITEntry{
+		{TransientBit, 14.2},
+		{PermanentCell, 18.6},
+		{PermanentWord, 1.4},
+		{PermanentPin, 2.0},
+		{PermanentColumn, 5.1},
+		{PermanentRow, 4.8},
+		{PermanentLocalWordline, 4.0},
+		{PermanentBank, 10.0},
+	}
+}
+
+// --- Access-level injectors -------------------------------------------
+//
+// Each injector XORs an error pattern into mask (a zeroed Burst of the
+// chip-access shape) and returns the number of bits flipped.
+
+// InjectInherent flips each bit independently with probability ber.
+func InjectInherent(rng *rand.Rand, mask *dram.Burst, ber float64) int {
+	n := 0
+	for pin := 0; pin < mask.Pins; pin++ {
+		for beat := 0; beat < mask.Beats; beat++ {
+			if rng.Float64() < ber {
+				mask.Flip(pin, beat)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// InjectNCells flips exactly n distinct random bits.
+func InjectNCells(rng *rand.Rand, mask *dram.Burst, n int) int {
+	total := mask.Pins * mask.Beats
+	if n > total {
+		n = total
+	}
+	perm := rng.Perm(total)
+	for _, idx := range perm[:n] {
+		mask.Flip(idx%mask.Pins, idx/mask.Pins)
+	}
+	return n
+}
+
+// InjectPin corrupts one random pin: each of its beats is replaced by a
+// random value, guaranteeing at least one flipped bit. Returns flips.
+func InjectPin(rng *rand.Rand, mask *dram.Burst) int {
+	return injectPinAt(rng, mask, rng.Intn(mask.Pins))
+}
+
+func injectPinAt(rng *rand.Rand, mask *dram.Burst, pin int) int {
+	n := 0
+	for n == 0 {
+		for beat := 0; beat < mask.Beats; beat++ {
+			if rng.Intn(2) == 1 {
+				mask.Flip(pin, beat)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// InjectLane flips one fixed (pin, beat) position — the per-access
+// signature of a bitline (column) fault.
+func InjectLane(rng *rand.Rand, mask *dram.Burst) int {
+	mask.Flip(rng.Intn(mask.Pins), rng.Intn(mask.Beats))
+	return 1
+}
+
+// InjectBeat corrupts one random beat across all pins (an IO-strobe
+// glitch): each pin's bit in that beat flips with probability 1/2, at
+// least one flip guaranteed.
+func InjectBeat(rng *rand.Rand, mask *dram.Burst) int {
+	beat := rng.Intn(mask.Beats)
+	n := 0
+	for n == 0 {
+		for pin := 0; pin < mask.Pins; pin++ {
+			if rng.Intn(2) == 1 {
+				mask.Flip(pin, beat)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// InjectWord replaces the whole access with random corruption: every bit
+// flips with probability 1/2 (at least one flip guaranteed).
+func InjectWord(rng *rand.Rand, mask *dram.Burst) int {
+	n := 0
+	for n == 0 {
+		for pin := 0; pin < mask.Pins; pin++ {
+			for beat := 0; beat < mask.Beats; beat++ {
+				if rng.Intn(2) == 1 {
+					mask.Flip(pin, beat)
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// MatPins is the number of adjacent DQ pins one mat feeds in this model;
+// a mat-local wordline fault corrupts exactly these pins of an access.
+const MatPins = 2
+
+// InjectLocalWordline corrupts the MatPins adjacent pins of one random
+// mat across all beats (each bit flips with probability 1/2, at least one
+// flip). Returns the number of flips.
+func InjectLocalWordline(rng *rand.Rand, mask *dram.Burst) int {
+	return injectLocalWordlineAt(rng, mask, rng.Intn(mask.Pins/MatPins))
+}
+
+// ApplyLocalWordline corrupts the pins of the given mat index (for
+// device-level faults whose mat is fixed).
+func ApplyLocalWordline(rng *rand.Rand, mask *dram.Burst, mat int) int {
+	return injectLocalWordlineAt(rng, mask, mat%(mask.Pins/MatPins))
+}
+
+func injectLocalWordlineAt(rng *rand.Rand, mask *dram.Burst, mat int) int {
+	base := mat * MatPins
+	n := 0
+	for n == 0 {
+		for i := 0; i < MatPins; i++ {
+			for beat := 0; beat < mask.Beats; beat++ {
+				if rng.Intn(2) == 1 {
+					mask.Flip(base+i, beat)
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// InjectPinBurst flips b consecutive beats of one random pin — a burst
+// error along the pin's serial line, the pattern PAIR's pin alignment
+// confines to one symbol. Returns b.
+func InjectPinBurst(rng *rand.Rand, mask *dram.Burst, b int) int {
+	if b > mask.Beats {
+		b = mask.Beats
+	}
+	pin := rng.Intn(mask.Pins)
+	start := rng.Intn(mask.Beats - b + 1)
+	for i := 0; i < b; i++ {
+		mask.Flip(pin, start+i)
+	}
+	return b
+}
+
+// InjectBeatBurst flips one beat's bit on b consecutive pins — a burst
+// across the bus width (crosstalk), the pattern beat-aligned symbols
+// confine but pin-aligned symbols spread. Returns b.
+func InjectBeatBurst(rng *rand.Rand, mask *dram.Burst, b int) int {
+	if b > mask.Pins {
+		b = mask.Pins
+	}
+	beat := rng.Intn(mask.Beats)
+	start := rng.Intn(mask.Pins - b + 1)
+	for i := 0; i < b; i++ {
+		mask.Flip(start+i, beat)
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package gf256
+
+import "fmt"
+
+// Matrix is a dense matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf256: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Matrix) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// MulVec returns m * v.
+func (m *Matrix) MulVec(v []byte) []byte {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("gf256: MulVec dimension mismatch %d != %d", len(v), m.Cols))
+	}
+	out := make([]byte, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = DotProduct(m.Row(r), v)
+	}
+	return out
+}
+
+// SolveLinear solves the square system A*x = b by Gaussian elimination with
+// partial pivoting (any nonzero pivot works in a field). It returns the
+// solution vector, or ok=false if A is singular. A and b are not modified.
+func SolveLinear(a *Matrix, b []byte) (x []byte, ok bool) {
+	if a.Rows != a.Cols || len(b) != a.Rows {
+		panic("gf256: SolveLinear requires a square system")
+	}
+	n := a.Rows
+	m := a.Clone()
+	rhs := make([]byte, n)
+	copy(rhs, b)
+
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		m.SwapRows(col, pivot)
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+
+		inv := Inv(m.At(col, col))
+		row := m.Row(col)
+		for c := col; c < n; c++ {
+			row[c] = Mul(row[c], inv)
+		}
+		rhs[col] = Mul(rhs[col], inv)
+
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := m.At(r, col)
+			if factor == 0 {
+				continue
+			}
+			target := m.Row(r)
+			for c := col; c < n; c++ {
+				target[c] ^= Mul(factor, row[c])
+			}
+			rhs[r] ^= Mul(factor, rhs[col])
+		}
+	}
+	return rhs, true
+}
+
+// Vandermonde returns the n x k matrix with entry (i, j) = xs[i]^j.
+// It is the generator matrix of an evaluation-style Reed-Solomon code.
+func Vandermonde(xs []byte, k int) *Matrix {
+	m := NewMatrix(len(xs), k)
+	for i, x := range xs {
+		v := byte(1)
+		for j := 0; j < k; j++ {
+			m.Set(i, j, v)
+			v = Mul(v, x)
+		}
+	}
+	return m
+}

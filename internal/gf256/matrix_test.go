@@ -1,0 +1,106 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLinearRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	solved := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = byte(rng.Intn(256))
+		}
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = byte(rng.Intn(256))
+		}
+		b := a.MulVec(want)
+		got, ok := SolveLinear(a, b)
+		if !ok {
+			continue // singular draw; fine
+		}
+		solved++
+		back := a.MulVec(got)
+		for i := range b {
+			if back[i] != b[i] {
+				t.Fatalf("solution does not satisfy system (n=%d)", n)
+			}
+		}
+	}
+	if solved < 150 {
+		t.Fatalf("too many singular draws: solved only %d/200", solved)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2) // identical rows -> singular
+	if _, ok := SolveLinear(a, []byte{1, 2}); ok {
+		t.Fatal("singular system reported as solvable")
+	}
+}
+
+func TestSolveLinearDoesNotMutateInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 7)
+	a.Set(1, 1, 2)
+	b := []byte{9, 4}
+	aCopy := a.Clone()
+	bCopy := append([]byte(nil), b...)
+	SolveLinear(a, b)
+	for i := range a.Data {
+		if a.Data[i] != aCopy.Data[i] {
+			t.Fatal("SolveLinear mutated A")
+		}
+	}
+	for i := range b {
+		if b[i] != bCopy[i] {
+			t.Fatal("SolveLinear mutated b")
+		}
+	}
+}
+
+func TestVandermondeMatchesPolyEval(t *testing.T) {
+	xs := []byte{1, 2, 3, 4, 5}
+	k := 3
+	v := Vandermonde(xs, k)
+	msg := []byte{7, 11, 13} // polynomial 7 + 11x + 13x^2
+	out := v.MulVec(msg)
+	for i, x := range xs {
+		if out[i] != PolyEval(Polynomial(msg), x) {
+			t.Fatalf("Vandermonde eval mismatch at point %d", x)
+		}
+	}
+}
+
+func TestMatrixSwapRows(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Row(0), []byte{1, 2, 3})
+	copy(m.Row(1), []byte{4, 5, 6})
+	m.SwapRows(0, 1)
+	if m.At(0, 0) != 4 || m.At(1, 2) != 3 {
+		t.Fatal("SwapRows failed")
+	}
+	m.SwapRows(1, 1) // no-op
+	if m.At(1, 0) != 1 {
+		t.Fatal("self-swap corrupted row")
+	}
+}
+
+func TestNewMatrixInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape did not panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}

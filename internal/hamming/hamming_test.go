@@ -1,0 +1,266 @@
+package hamming
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"pair/internal/bitvec"
+)
+
+func randData(rng *rand.Rand, k int) *bitvec.Vec {
+	v := bitvec.New(k)
+	for i := 0; i < k; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+func TestSECShapes(t *testing.T) {
+	// The canonical IECC code: (136,128).
+	c := MustSEC(128)
+	if c.N != 136 || c.M != 8 {
+		t.Fatalf("SEC(128) = (%d,%d) with %d checks, want (136,128) m=8", c.N, c.K, c.M)
+	}
+	// (71,64) per-64-bit-word variant.
+	c = MustSEC(64)
+	if c.N != 71 || c.M != 7 {
+		t.Fatalf("SEC(64) = (%d,%d), want (71,64)", c.N, c.K)
+	}
+}
+
+func TestSECDEDShapes(t *testing.T) {
+	c := MustSECDED(64)
+	if c.N != 72 || c.M != 8 {
+		t.Fatalf("SECDED(64) = (%d,%d), want (72,64)", c.N, c.K)
+	}
+	if !c.IsSECDED() {
+		t.Fatal("IsSECDED false")
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	if _, err := NewSEC(0); err == nil {
+		t.Fatal("SEC k=0 accepted")
+	}
+	if _, err := NewSECDED(-1); err == nil {
+		t.Fatal("SECDED k=-1 accepted")
+	}
+}
+
+func TestColumnsDistinct(t *testing.T) {
+	for _, c := range []*Code{MustSEC(128), MustSEC(64), MustSECDED(64), MustSECDED(128)} {
+		seen := make(map[uint16]bool)
+		for _, col := range c.cols {
+			if col == 0 {
+				t.Fatal("zero column")
+			}
+			if seen[col] {
+				t.Fatalf("duplicate column %#x", col)
+			}
+			seen[col] = true
+		}
+	}
+}
+
+func TestEncodeZeroSyndrome(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []*Code{MustSEC(128), MustSECDED(64)} {
+		for trial := 0; trial < 100; trial++ {
+			cw := c.Encode(randData(rng, c.K))
+			if c.Syndrome(cw) != 0 {
+				t.Fatalf("(%d,%d): encoded word has nonzero syndrome", c.N, c.K)
+			}
+		}
+	}
+}
+
+func TestSingleErrorAlwaysCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []*Code{MustSEC(128), MustSEC(64), MustSECDED(64)} {
+		for pos := 0; pos < c.N; pos++ {
+			data := randData(rng, c.K)
+			cw := c.Encode(data)
+			rx := cw.Clone()
+			rx.Flip(pos)
+			out, outcome := c.Decode(rx)
+			if outcome != Corrected {
+				t.Fatalf("(%d,%d) pos=%d: outcome %v", c.N, c.K, pos, outcome)
+			}
+			if !out.Equal(cw) {
+				t.Fatalf("(%d,%d) pos=%d: wrong correction", c.N, c.K, pos)
+			}
+		}
+	}
+}
+
+func TestCleanDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := MustSEC(128)
+	cw := c.Encode(randData(rng, 128))
+	out, outcome := c.Decode(cw)
+	if outcome != Clean || !out.Equal(cw) {
+		t.Fatal("clean word not accepted")
+	}
+}
+
+func TestSECDoubleErrorNeverSilentlyClean(t *testing.T) {
+	// Every double error must produce a nonzero syndrome (d >= 3): outcome
+	// is Corrected (a miscorrection) or Detected, never Clean.
+	rng := rand.New(rand.NewSource(4))
+	c := MustSEC(128)
+	miscorrections, detections := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		data := randData(rng, c.K)
+		cw := c.Encode(data)
+		rx := cw.Clone()
+		i := rng.Intn(c.N)
+		j := rng.Intn(c.N)
+		for j == i {
+			j = rng.Intn(c.N)
+		}
+		rx.Flip(i)
+		rx.Flip(j)
+		out, outcome := c.Decode(rx)
+		switch outcome {
+		case Clean:
+			t.Fatal("double error decoded as clean")
+		case Corrected:
+			if out.Equal(cw) {
+				t.Fatal("double error 'corrected' to the true word — impossible")
+			}
+			miscorrections++
+		case Detected:
+			detections++
+		}
+	}
+	if miscorrections == 0 {
+		t.Fatal("SEC never miscorrected a double error — the IECC hazard is not modeled")
+	}
+	if detections == 0 {
+		t.Fatal("SEC never detected a double error — shortened-code detection missing")
+	}
+	t.Logf("SEC(136,128) doubles: %d miscorrected, %d detected", miscorrections, detections)
+}
+
+func TestSECDEDDetectsAllDoubleErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := MustSECDED(64)
+	for trial := 0; trial < 1500; trial++ {
+		cw := c.Encode(randData(rng, c.K))
+		rx := cw.Clone()
+		i := rng.Intn(c.N)
+		j := rng.Intn(c.N)
+		for j == i {
+			j = rng.Intn(c.N)
+		}
+		rx.Flip(i)
+		rx.Flip(j)
+		if _, outcome := c.Decode(rx); outcome != Detected {
+			t.Fatalf("SECDED double error at (%d,%d) not detected: %v", i, j, outcome)
+		}
+	}
+}
+
+func TestSECDEDExhaustiveDoubleDetection(t *testing.T) {
+	// Exhaustive over all C(72,2) = 2556 double-error positions for one
+	// data word: the Hsiao property is structural, not statistical.
+	c := MustSECDED(64)
+	rng := rand.New(rand.NewSource(6))
+	cw := c.Encode(randData(rng, 64))
+	for i := 0; i < c.N; i++ {
+		for j := i + 1; j < c.N; j++ {
+			rx := cw.Clone()
+			rx.Flip(i)
+			rx.Flip(j)
+			if _, outcome := c.Decode(rx); outcome != Detected {
+				t.Fatalf("double (%d,%d) not detected", i, j)
+			}
+		}
+	}
+}
+
+func TestDataExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := MustSEC(128)
+	data := randData(rng, 128)
+	if !c.Data(c.Encode(data)).Equal(data) {
+		t.Fatal("Data() does not invert Encode()")
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	if got := MustSEC(128).StorageOverhead(); got != 8.0/128.0 {
+		t.Fatalf("SEC(136,128) overhead %v", got)
+	}
+	if got := MustSECDED(64).StorageOverhead(); got != 8.0/64.0 {
+		t.Fatalf("SECDED(72,64) overhead %v", got)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Clean.String() != "clean" || Corrected.String() != "corrected" || Detected.String() != "detected" {
+		t.Fatal("Outcome strings wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Fatal("unknown outcome must still render")
+	}
+}
+
+func TestOversizedCodesRejected(t *testing.T) {
+	if _, err := NewSEC(1 << 17); err == nil {
+		t.Fatal("SEC beyond 16 check bits accepted")
+	}
+	if _, err := NewSECDED(1 << 17); err == nil {
+		t.Fatal("SECDED beyond 16 check bits accepted")
+	}
+}
+
+func TestMustPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSEC did not panic")
+		}
+	}()
+	MustSEC(0)
+}
+
+func TestEncoderXORsPlausible(t *testing.T) {
+	c := MustSEC(128)
+	x := c.EncoderXORs()
+	// Each of 128 data columns has weight >= 2 (non-unit), so the total
+	// is at least 2*128 - 8; and every column has weight <= 8.
+	if x < 2*128-8 || x > 8*128 {
+		t.Fatalf("encoder XOR count %d implausible", x)
+	}
+	// Hsiao (72,64): 56 weight-3 columns + 8 weight-5 columns = 208 ones,
+	// minus one per check bit = exactly 200 XORs.
+	h := MustSECDED(64)
+	if hx := h.EncoderXORs(); hx != 200 {
+		t.Fatalf("Hsiao encoder XOR count %d, want 200", hx)
+	}
+}
+
+func TestSECDEDOddWeightColumns(t *testing.T) {
+	c := MustSECDED(64)
+	for i, col := range c.cols {
+		if bits.OnesCount16(col)%2 != 1 {
+			t.Fatalf("column %d has even weight", i)
+		}
+	}
+}
+
+func TestDecodePreservesInput(t *testing.T) {
+	// Decode must work on a clone: the received word is evidence.
+	c := MustSEC(64)
+	data := bitvec.New(64)
+	data.Set(5, true)
+	cw := c.Encode(data)
+	rx := cw.Clone()
+	rx.Flip(10)
+	before := rx.String()
+	c.Decode(rx)
+	if rx.String() != before {
+		t.Fatal("Decode mutated its input")
+	}
+}

@@ -1,0 +1,73 @@
+package memsim
+
+import (
+	"testing"
+
+	"pair/internal/ecc"
+	"pair/internal/trace"
+)
+
+func TestScrubTrafficInjected(t *testing.T) {
+	wl := seqReads(3000)
+	cfg := DefaultConfig()
+	cfg.ScrubPeriod = 500
+	res := Run(cfg, wl)
+	if res.ScrubReads == 0 {
+		t.Fatal("no scrub reads injected")
+	}
+	// Rough rate check: about one scrub per 500 cycles of runtime.
+	want := res.Cycles / 500
+	if res.ScrubReads < want/2 || res.ScrubReads > want*2 {
+		t.Fatalf("scrub reads %d, expected ~%d", res.ScrubReads, want)
+	}
+	// Scrubbing must cost cycles.
+	base := Run(DefaultConfig(), wl)
+	if res.Cycles <= base.Cycles {
+		t.Fatal("scrub traffic free")
+	}
+	// Trace read accounting must be unaffected.
+	if res.Reads != base.Reads {
+		t.Fatal("scrub reads leaked into trace read count")
+	}
+}
+
+func TestScrubOffByDefault(t *testing.T) {
+	res := Run(DefaultConfig(), trace.SPECLike(500)[0])
+	if res.ScrubReads != 0 {
+		t.Fatal("scrubbing on by default")
+	}
+}
+
+func TestReadLatencyHistogram(t *testing.T) {
+	res := Run(DefaultConfig(), seqReads(2000))
+	if res.ReadLatency == nil || res.ReadLatency.Count() != 2000 {
+		t.Fatalf("histogram missing or wrong count")
+	}
+	tm := DDR4_2400()
+	p99 := res.P99ReadLatencyNS(tm)
+	avg := res.AvgReadLatencyNS(tm)
+	if p99 < avg {
+		t.Fatalf("p99 %.1f < mean %.1f", p99, avg)
+	}
+	if (Result{}).P99ReadLatencyNS(tm) != 0 {
+		t.Fatal("empty result must report 0 p99")
+	}
+}
+
+func TestTailLatencyGrowsUnderRMWCosts(t *testing.T) {
+	// Companion writes and RMW reads interfere with reads: the p99 read
+	// latency must grow more than the mean when XED-like costs apply.
+	wl := trace.Generate(trace.Params{
+		Name: "wh", Requests: 6000, Lines: 1 << 18, Pattern: trace.Random,
+		ReadFrac: 0.6, MaskedFrac: 0.4, MeanGap: 3, Window: 8, Seed: 9,
+	})
+	tm := DDR4_2400()
+	base := Run(DefaultConfig(), wl)
+	cfg := DefaultConfig()
+	cfg.Cost = ecc.AccessCost{ExtraWritesPerWrite: 1, ExtraReadsPerMaskedWrite: 1}
+	xed := Run(cfg, wl)
+	if xed.P99ReadLatencyNS(tm) <= base.P99ReadLatencyNS(tm) {
+		t.Fatalf("tail latency did not grow: %.1f vs %.1f",
+			xed.P99ReadLatencyNS(tm), base.P99ReadLatencyNS(tm))
+	}
+}

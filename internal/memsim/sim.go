@@ -1,0 +1,463 @@
+package memsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pair/internal/dram"
+	"pair/internal/ecc"
+	"pair/internal/stats"
+	"pair/internal/trace"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Org    dram.Organization
+	Ranks  int
+	Timing Timing
+	Cost   ecc.AccessCost
+	Seed   int64
+	// ScrubPeriod, when positive, injects one patrol-scrub read every
+	// ScrubPeriod cycles (walking the address space sequentially) — the
+	// background traffic a memory-scrubbing reliability policy costs.
+	ScrubPeriod uint64
+}
+
+// DefaultConfig returns a single-rank DDR4-2400 x16 channel with no ECC
+// cost model.
+func DefaultConfig() Config {
+	return Config{Org: dram.DDR4x16(), Ranks: 1, Timing: DDR4_2400(), Seed: 1}
+}
+
+// Result aggregates one run.
+type Result struct {
+	Cycles         uint64 // completion time of the last operation
+	Reads          uint64 // trace reads
+	Writes         uint64 // trace writes (full + masked)
+	MaskedWrites   uint64
+	ExtraReads     uint64 // RMW and detection re-reads
+	ExtraWrites    uint64 // companion parity writes
+	RowHits        uint64
+	RowMisses      uint64
+	Refreshes      uint64
+	ScrubReads     uint64 // injected patrol-scrub reads
+	ReadLatencySum uint64 // sum over trace reads, in cycles
+	// ReadLatency holds the per-read latency distribution in cycles
+	// (tail latency is where RMW and companion-write interference show).
+	ReadLatency *stats.Histogram
+}
+
+// P99ReadLatencyNS returns the 99th-percentile trace-read latency in
+// nanoseconds (0 when no reads were observed).
+func (r Result) P99ReadLatencyNS(t Timing) float64 {
+	if r.ReadLatency == nil || r.ReadLatency.Count() == 0 {
+		return 0
+	}
+	return r.ReadLatency.Percentile(99) * t.NSPerCycle
+}
+
+// AvgReadLatencyNS returns the mean trace-read latency in nanoseconds.
+func (r Result) AvgReadLatencyNS(t Timing) float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.ReadLatencySum) / float64(r.Reads) * t.NSPerCycle
+}
+
+// ExecSeconds returns wall-clock execution time.
+func (r Result) ExecSeconds(t Timing) float64 {
+	return float64(r.Cycles) * t.NSPerCycle * 1e-9
+}
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+)
+
+// op is one bus-level access derived from a trace request.
+type op struct {
+	kind      opKind
+	line      uint64
+	readyAt   uint64 // earliest schedulable cycle
+	enq       uint64 // admission time (FCFS order, latency base)
+	reqIdx    int    // owning trace request, -1 for posted extras
+	dependent *op    // released when this op completes (RMW write leg)
+	last      bool   // completing this op completes the trace request
+	isRead    bool   // trace-visible read (latency accounting)
+}
+
+type bankState struct {
+	openRow  int
+	actOK    uint64 // earliest next ACT (tRC)
+	casOK    uint64 // earliest next CAS after ACT (tRCD met)
+	preOK    uint64 // earliest next PRE
+	lastBeat uint64 // end of last data transfer on this bank
+}
+
+type completionEvent struct {
+	at     uint64
+	reqIdx int
+	o      *op
+}
+
+type completionHeap []completionEvent
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completionEvent)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simulator carries the run state.
+type simulator struct {
+	cfg    Config
+	mapper *dram.AddressMapper
+	rng    *rand.Rand
+
+	now         uint64
+	banks       []bankState
+	busFreeAt   uint64
+	lastCASGrp  int // bank group of the previous CAS (-1 initially)
+	lastCASAt   uint64
+	lastWasWr   bool
+	lastDataEnd uint64
+	fawRing     [][]uint64 // per rank, last 4 ACT times
+	lastRefresh uint64
+
+	res Result
+}
+
+// Run simulates the workload under the configuration and returns the
+// aggregate result. Runs are deterministic for a fixed (Config, Workload).
+func Run(cfg Config, wl trace.Workload) Result {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	if cfg.Timing.NSPerCycle == 0 {
+		cfg.Timing = DDR4_2400()
+	}
+	mapper, err := dram.NewAddressMapper(cfg.Org, cfg.Ranks)
+	if err != nil {
+		panic(fmt.Sprintf("memsim: %v", err))
+	}
+	s := &simulator{
+		cfg:        cfg,
+		mapper:     mapper,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		lastCASGrp: -1,
+	}
+	s.res.ReadLatency = stats.NewHistogram()
+	s.banks = make([]bankState, mapper.NumFlatBanks())
+	for i := range s.banks {
+		s.banks[i].openRow = -1
+	}
+	s.fawRing = make([][]uint64, cfg.Ranks)
+	for i := range s.fawRing {
+		s.fawRing[i] = make([]uint64, 4)
+	}
+	s.run(wl)
+	return s.res
+}
+
+func (s *simulator) run(wl trace.Workload) {
+	window := wl.Window
+	if window <= 0 {
+		window = 8
+	}
+	cap64 := s.mapper.Capacity()
+
+	var (
+		pending     []*op // admitted, schedulable (or waiting on readyAt)
+		completions completionHeap
+		outstanding int
+		traceIdx    int
+		arrive      uint64 // issue-pipeline clock of the next trace request
+		lastFinish  uint64
+		nextScrub   = s.cfg.ScrubPeriod
+		scrubLine   uint64
+	)
+	if len(wl.Reqs) > 0 {
+		arrive = uint64(wl.Reqs[0].Gap)
+	}
+	admit := func() {
+		for traceIdx < len(wl.Reqs) && arrive <= s.now && outstanding < window {
+			r := wl.Reqs[traceIdx]
+			line := r.Line % cap64
+			ops := s.expand(r, line, traceIdx)
+			pending = append(pending, ops...)
+			outstanding++
+			traceIdx++
+			if traceIdx < len(wl.Reqs) {
+				arrive += uint64(wl.Reqs[traceIdx].Gap)
+				if arrive < s.now {
+					arrive = s.now
+				}
+			}
+		}
+	}
+
+	for {
+		// Retire completions up to now.
+		for len(completions) > 0 && completions[0].at <= s.now {
+			ev := heap.Pop(&completions).(completionEvent)
+			if ev.reqIdx >= 0 {
+				outstanding--
+			}
+			if ev.o != nil && ev.o.dependent != nil {
+				dep := ev.o.dependent
+				dep.readyAt = ev.at
+				pending = append(pending, dep)
+			}
+		}
+		admit()
+		if s.cfg.ScrubPeriod > 0 && s.now >= nextScrub {
+			pending = append(pending, &op{kind: opRead, line: scrubLine % cap64, readyAt: s.now, enq: s.now, reqIdx: -1})
+			s.res.ScrubReads++
+			scrubLine += 64 // stride across rows over time
+			nextScrub += s.cfg.ScrubPeriod
+		}
+
+		// Pick the next operation: FR-FCFS with write draining.
+		idx := s.pick(pending)
+		if idx < 0 {
+			// Nothing schedulable now: advance time to the next event.
+			next := uint64(math.MaxUint64)
+			if len(completions) > 0 {
+				next = completions[0].at
+			}
+			if traceIdx < len(wl.Reqs) && outstanding < window && arrive < next {
+				next = arrive
+			}
+			for _, o := range pending {
+				if o.readyAt > s.now && o.readyAt < next {
+					next = o.readyAt
+				}
+			}
+			if next == uint64(math.MaxUint64) {
+				break // drained
+			}
+			s.now = next
+			continue
+		}
+		o := pending[idx]
+		pending = append(pending[:idx], pending[idx+1:]...)
+		finish := s.schedule(o)
+		if finish > lastFinish {
+			lastFinish = finish
+		}
+		if o.isRead {
+			s.res.ReadLatencySum += finish - o.enq
+			s.res.ReadLatency.Observe(float64(finish - o.enq))
+		}
+		reqIdx := -1
+		if o.last {
+			reqIdx = o.reqIdx
+		}
+		heap.Push(&completions, completionEvent{at: finish, reqIdx: reqIdx, o: o})
+	}
+	s.res.Cycles = lastFinish
+}
+
+// expand turns a trace request into bus operations, applying the ECC cost
+// model.
+func (s *simulator) expand(r trace.Request, line uint64, idx int) []*op {
+	cost := s.cfg.Cost
+	var ops []*op
+	switch r.Op {
+	case trace.Read:
+		s.res.Reads++
+		ops = append(ops, &op{kind: opRead, line: line, readyAt: s.now, enq: s.now, reqIdx: idx, last: true, isRead: true})
+		if cost.DetectionRereadRate > 0 && s.rng.Float64() < cost.DetectionRereadRate {
+			s.res.ExtraReads++
+			ops = append(ops, &op{kind: opRead, line: line, readyAt: s.now, enq: s.now, reqIdx: -1})
+		}
+	case trace.Write, trace.MaskedWrite:
+		s.res.Writes++
+		w := &op{kind: opWrite, line: line, readyAt: s.now, enq: s.now, reqIdx: idx, last: true}
+		if r.Op == trace.MaskedWrite {
+			s.res.MaskedWrites++
+			if cost.ExtraReadsPerMaskedWrite > 0 && s.rng.Float64() < cost.ExtraReadsPerMaskedWrite {
+				// Read-modify-write: the write leg waits for the read.
+				s.res.ExtraReads++
+				rd := &op{kind: opRead, line: line, readyAt: s.now, enq: s.now, reqIdx: idx, dependent: w}
+				ops = append(ops, rd)
+				w = nil // released on read completion
+			}
+		}
+		if w != nil {
+			ops = append(ops, w)
+		}
+		if cost.ExtraWritesPerWrite > 0 && s.rng.Float64() < cost.ExtraWritesPerWrite {
+			// Companion parity-image write (posted; separate region).
+			s.res.ExtraWrites++
+			pline := (line + s.mapper.Capacity()/2) % s.mapper.Capacity()
+			ops = append(ops, &op{kind: opWrite, line: pline, readyAt: s.now, enq: s.now, reqIdx: -1})
+		}
+		if cost.ExtraReadsPerWrite > 0 && s.rng.Float64() < cost.ExtraReadsPerWrite {
+			s.res.ExtraReads++
+			ops = append(ops, &op{kind: opRead, line: line, readyAt: s.now, enq: s.now, reqIdx: -1})
+		}
+	}
+	return ops
+}
+
+// pick chooses the next operation index, or -1 if none is ready. Policy:
+// FR-FCFS — row hits first, then oldest — with reads prioritized over
+// writes unless the write backlog exceeds the drain threshold.
+func (s *simulator) pick(pending []*op) int {
+	const drainThreshold = 12
+	nwReady, nrReady := 0, 0
+	for _, o := range pending {
+		if o.readyAt <= s.now {
+			if o.kind == opWrite {
+				nwReady++
+			} else {
+				nrReady++
+			}
+		}
+	}
+	if nwReady+nrReady == 0 {
+		return -1
+	}
+	preferWrites := nwReady > drainThreshold || nrReady == 0
+
+	best := -1
+	bestHit := false
+	var bestEnq uint64
+	for i, o := range pending {
+		if o.readyAt > s.now {
+			continue
+		}
+		if (o.kind == opWrite) != preferWrites {
+			continue
+		}
+		a := s.mapper.Map(o.line)
+		hit := s.banks[s.mapper.FlatBank(a)].openRow == a.Row
+		if best < 0 || (hit && !bestHit) || (hit == bestHit && o.enq < bestEnq) {
+			best = i
+			bestHit = hit
+			bestEnq = o.enq
+		}
+	}
+	return best
+}
+
+// schedule issues the operation, advancing bank/bus state, and returns its
+// completion cycle.
+func (s *simulator) schedule(o *op) uint64 {
+	t := s.cfg.Timing
+	a := s.mapper.Map(o.line)
+	fb := s.mapper.FlatBank(a)
+	b := &s.banks[fb]
+
+	casEarliest := maxU(s.now, o.readyAt)
+
+	// Refresh: an all-bank refresh starts at every multiple of tREFI
+	// (absolute time) and blocks commands for tRFC; the window itself
+	// elapses in the background, so only operations landing inside it
+	// stall.
+	if refIdx := casEarliest / uint64(t.TREFI); refIdx > 0 {
+		refStart := refIdx * uint64(t.TREFI)
+		if casEarliest < refStart+uint64(t.TRFC) {
+			casEarliest = refStart + uint64(t.TRFC)
+		}
+		if refIdx > s.lastRefresh {
+			s.res.Refreshes += refIdx - s.lastRefresh
+			s.lastRefresh = refIdx
+		}
+	}
+
+	// Row management.
+	if b.openRow != a.Row {
+		s.res.RowMisses++
+		preAt := maxU(casEarliest, b.preOK)
+		actAt := maxU(preAt+uint64(t.TRP), b.actOK)
+		// Inter-ACT constraints: tRRD within the rank and the tFAW window.
+		ring := s.fawRing[a.Rank]
+		actAt = maxU(actAt, ring[0]+uint64(t.TFAW))
+		copy(ring, ring[1:])
+		ring[3] = actAt
+		b.actOK = actAt + uint64(t.TRC)
+		b.casOK = actAt + uint64(t.TRCD)
+		b.preOK = actAt + uint64(t.TRAS)
+		b.openRow = a.Row
+		casEarliest = maxU(casEarliest, b.casOK)
+	} else {
+		s.res.RowHits++
+		casEarliest = maxU(casEarliest, b.casOK)
+	}
+
+	// CAS-to-CAS spacing by bank group, and bus turnaround.
+	if s.lastCASGrp >= 0 {
+		ccd := uint64(t.TCCDS)
+		if s.lastCASGrp == a.Group {
+			ccd = uint64(t.TCCDL)
+		}
+		casEarliest = maxU(casEarliest, s.lastCASAt+ccd)
+	}
+	isWrite := o.kind == opWrite
+	if s.lastDataEnd > 0 {
+		if isWrite && !s.lastWasWr {
+			casEarliest = maxU(casEarliest, s.lastDataEnd+uint64(t.TRTW))
+		} else if !isWrite && s.lastWasWr {
+			casEarliest = maxU(casEarliest, s.lastDataEnd+uint64(t.TWTR))
+		}
+	}
+
+	// Data-bus occupancy.
+	extra := s.cfg.Cost.ExtraReadBeats
+	casToData := uint64(t.CL)
+	if isWrite {
+		extra = s.cfg.Cost.ExtraWriteBeats
+		casToData = uint64(t.CWL)
+	}
+	burst := uint64(t.BurstCycles(extra))
+	if s.busFreeAt > casEarliest+casToData {
+		casEarliest = s.busFreeAt - casToData
+	}
+
+	casAt := casEarliest
+	dataStart := casAt + casToData
+	dataEnd := dataStart + burst
+
+	// Commit state.
+	s.now = casAt
+	s.lastCASGrp = a.Group
+	s.lastCASAt = casAt
+	s.lastWasWr = isWrite
+	s.lastDataEnd = dataEnd
+	s.busFreeAt = dataEnd
+	b.casOK = maxU(b.casOK, casAt+uint64(t.TCCDL))
+	if isWrite {
+		b.preOK = maxU(b.preOK, dataEnd+uint64(t.TWR))
+	} else {
+		b.preOK = maxU(b.preOK, casAt+uint64(t.TRTP))
+	}
+	b.lastBeat = dataEnd
+
+	finish := dataEnd
+	if !isWrite {
+		finish += s.cfg.Timing.NSToCycles(s.cfg.Cost.DecodeLatencyNS)
+	}
+	return finish
+}
+
+func maxU(xs ...uint64) uint64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

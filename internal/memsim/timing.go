@@ -1,0 +1,92 @@
+// Package memsim is a trace-driven, command-level DDR4 timing simulator.
+// It models per-bank state machines (ACT/RD/WR/PRE with row-buffer
+// hits/misses), the shared data bus, bank-group timing (tCCD_L vs tCCD_S),
+// the tFAW activation window, periodic refresh, a FR-FCFS scheduler with
+// write draining, and a limited-outstanding-request (MLP window) processor
+// front-end.
+//
+// ECC schemes plug in through ecc.AccessCost: burst extension beats
+// (DUO), companion parity writes (XED), read-modify-write reads for
+// masked writes, decode latency on read completions, and detection
+// re-reads. The performance experiments (paper figures F4/F5) compare
+// total execution cycles across schemes on identical traces.
+//
+// Fidelity note (documented reconstruction decision): commands are chosen
+// one at a time in global time order rather than per-cycle per-channel,
+// which slightly serializes command issue but preserves everything the
+// study measures — bus occupancy, RMW amplification, extra writes, burst
+// length and latency adders.
+package memsim
+
+// Timing holds DDR4 timing parameters in memory-controller clock cycles
+// (one cycle = one DRAM command clock; DDR transfers two beats per cycle).
+type Timing struct {
+	NSPerCycle float64 // wall-clock nanoseconds per controller cycle
+
+	CL   int // read CAS latency
+	CWL  int // write CAS latency
+	TRCD int // ACT to CAS
+	TRP  int // PRE to ACT
+	TRAS int // ACT to PRE
+	TRC  int // ACT to ACT (same bank)
+	TBL  int // burst length in cycles for BL8 (8 beats / 2 per cycle)
+
+	TCCDS int // CAS to CAS, different bank group
+	TCCDL int // CAS to CAS, same bank group
+	TRRDS int // ACT to ACT, different bank group
+	TRRDL int // ACT to ACT, same bank group
+	TFAW  int // four-activation window per rank
+
+	TWR  int // write recovery (end of write data to PRE)
+	TWTR int // write-to-read turnaround
+	TRTW int // read-to-write turnaround
+	TRTP int // read to PRE
+
+	TRFC  int // refresh cycle time
+	TREFI int // refresh interval
+}
+
+// DDR4_2400 returns DDR4-2400R timing (1200 MHz command clock).
+func DDR4_2400() Timing {
+	return Timing{
+		NSPerCycle: 0.833,
+		CL:         16,
+		CWL:        12,
+		TRCD:       16,
+		TRP:        16,
+		TRAS:       32,
+		TRC:        48,
+		TBL:        4,
+		TCCDS:      4,
+		TCCDL:      6,
+		TRRDS:      4,
+		TRRDL:      6,
+		TFAW:       26,
+		TWR:        18,
+		TWTR:       9,
+		TRTW:       8,
+		TRTP:       9,
+		TRFC:       384,
+		TREFI:      9344,
+	}
+}
+
+// NSToCycles converts nanoseconds to whole cycles, rounding up.
+func (t Timing) NSToCycles(ns float64) uint64 {
+	if ns <= 0 {
+		return 0
+	}
+	c := ns / t.NSPerCycle
+	u := uint64(c)
+	if float64(u) < c {
+		u++
+	}
+	return u
+}
+
+// BurstCycles returns the data-bus occupancy of a burst of 8+extra beats
+// (two beats per cycle, rounded up).
+func (t Timing) BurstCycles(extraBeats int) int {
+	beats := 8 + extraBeats
+	return (beats + 1) / 2
+}

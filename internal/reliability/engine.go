@@ -1,0 +1,300 @@
+// Package reliability implements the Monte-Carlo evaluation machinery for
+// the PAIR study: the semi-analytic inherent-fault (BER) sweep behind
+// figures F1/F2/F6, the per-fault-type coverage campaign behind table T2
+// and figure F7, and the device-lifetime simulation behind figure F3.
+//
+// # Semi-analytic BER sweep
+//
+// Raw Monte-Carlo cannot resolve failure probabilities of 1e-12 at low
+// bit-error rates. Instead the sweep conditions on the number of flipped
+// stored bits: P(fail) = sum_k Binom(totalBits, ber, k) * P(fail | k),
+// with P(fail | k) estimated once per k by injecting exactly k distinct
+// random weak cells into the stored image. The conditional terms are
+// BER-independent, so one set of conditional estimates serves the whole
+// sweep — and the tail terms are exact binomial weights, letting the
+// curves extend to arbitrarily low BER.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"pair/internal/ecc"
+	"pair/internal/faults"
+)
+
+// OutcomeRates is the per-access probability of each classified outcome.
+type OutcomeRates struct {
+	OK, CE, DUE, SDC float64
+}
+
+// Fail returns the total failure probability (DUE + SDC).
+func (r OutcomeRates) Fail() float64 { return r.DUE + r.SDC }
+
+// Add accumulates s into r scaled by w.
+func (r *OutcomeRates) addScaled(s OutcomeRates, w float64) {
+	r.OK += w * s.OK
+	r.CE += w * s.CE
+	r.DUE += w * s.DUE
+	r.SDC += w * s.SDC
+}
+
+// ConditionalProfile holds P(outcome | exactly k flipped stored bits) for
+// k = 0..MaxK, estimated by Monte-Carlo.
+type ConditionalProfile struct {
+	SchemeName string
+	TotalBits  int
+	Trials     int
+	PerK       []OutcomeRates // index k
+}
+
+// SweepConfig parameterizes the semi-analytic BER sweep.
+type SweepConfig struct {
+	MaxK   int   // largest conditioned flip count (default 16)
+	Trials int   // Monte-Carlo trials per k (default 20000)
+	Seed   int64 // base RNG seed
+}
+
+func (c *SweepConfig) setDefaults() {
+	if c.MaxK == 0 {
+		c.MaxK = 16
+	}
+	if c.Trials == 0 {
+		c.Trials = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// BuildProfile estimates the conditional outcome rates for a scheme.
+// Trials are split across CPU workers; results are deterministic for a
+// given (scheme, config) because each worker derives its RNG from the
+// seed and worker index.
+func BuildProfile(scheme ecc.Scheme, cfg SweepConfig) *ConditionalProfile {
+	cfg.setDefaults()
+	totalBits := scheme.Encode(make([]byte, scheme.Org().LineBytes())).TotalBits()
+	prof := &ConditionalProfile{
+		SchemeName: scheme.Name(),
+		TotalBits:  totalBits,
+		Trials:     cfg.Trials,
+		PerK:       make([]OutcomeRates, cfg.MaxK+1),
+	}
+	prof.PerK[0] = OutcomeRates{OK: 1}
+
+	nw := runtime.GOMAXPROCS(0)
+	if nw > cfg.Trials {
+		nw = 1
+	}
+	for k := 1; k <= cfg.MaxK; k++ {
+		counts := make([][4]int64, nw)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*1000003 + int64(w)*7919))
+				trials := cfg.Trials / nw
+				if w == 0 {
+					trials += cfg.Trials % nw
+				}
+				line := make([]byte, scheme.Org().LineBytes())
+				for t := 0; t < trials; t++ {
+					rng.Read(line)
+					st := scheme.Encode(line)
+					ecc.FlipRandomStoredBits(rng, st, k)
+					decoded, claim := scheme.Decode(st)
+					counts[w][ecc.Classify(line, decoded, claim)]++
+				}
+			}(w)
+		}
+		wg.Wait()
+		var agg [4]int64
+		for _, c := range counts {
+			for i := range agg {
+				agg[i] += c[i]
+			}
+		}
+		n := float64(cfg.Trials)
+		prof.PerK[k] = OutcomeRates{
+			OK:  float64(agg[ecc.OutcomeOK]) / n,
+			CE:  float64(agg[ecc.OutcomeCE]) / n,
+			DUE: float64(agg[ecc.OutcomeDUE]) / n,
+			SDC: float64(agg[ecc.OutcomeSDC]) / n,
+		}
+	}
+	return prof
+}
+
+// AtBER folds the conditional profile with the binomial flip-count
+// distribution at the given inherent bit-error rate. Probability mass at
+// k > MaxK is conservatively counted as failure (split evenly between DUE
+// and SDC); at the BERs of interest it is negligible.
+func (p *ConditionalProfile) AtBER(ber float64) OutcomeRates {
+	if ber < 0 || ber > 1 {
+		panic(fmt.Sprintf("reliability: invalid BER %v", ber))
+	}
+	var out OutcomeRates
+	tail := 1.0
+	for k := 0; k < len(p.PerK); k++ {
+		w := binomPMF(p.TotalBits, k, ber)
+		out.addScaled(p.PerK[k], w)
+		tail -= w
+	}
+	if tail > 0 {
+		out.DUE += tail / 2
+		out.SDC += tail / 2
+	}
+	return out
+}
+
+// binomPMF computes C(n,k) p^k (1-p)^(n-k) in log space.
+func binomPMF(n, k int, p float64) float64 {
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lg)
+}
+
+func lchoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// SweepPoint is one (BER, outcome rates) sample of a sweep.
+type SweepPoint struct {
+	BER   float64
+	Rates OutcomeRates
+}
+
+// Sweep evaluates the profile across the given BERs.
+func (p *ConditionalProfile) Sweep(bers []float64) []SweepPoint {
+	out := make([]SweepPoint, len(bers))
+	for i, b := range bers {
+		out[i] = SweepPoint{BER: b, Rates: p.AtBER(b)}
+	}
+	return out
+}
+
+// LogspaceBERs returns n BERs log-spaced over [lo, hi].
+func LogspaceBERs(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("reliability: invalid BER range")
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// CoverageResult reports outcome rates for one scheme under one injected
+// fault pattern kind.
+type CoverageResult struct {
+	Scheme string
+	Label  string
+	Rates  OutcomeRates
+	Trials int
+}
+
+// Coverage measures outcome rates when the given injection function is
+// applied to every trial's image. Injectors receive the per-trial RNG and
+// the cloned image.
+func Coverage(scheme ecc.Scheme, label string, trials int, seed int64, inject func(*rand.Rand, *ecc.Stored)) CoverageResult {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > trials {
+		nw = 1
+	}
+	counts := make([][4]int64, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*104729))
+			n := trials / nw
+			if w == 0 {
+				n += trials % nw
+			}
+			line := make([]byte, scheme.Org().LineBytes())
+			for t := 0; t < n; t++ {
+				rng.Read(line)
+				st := scheme.Encode(line)
+				inject(rng, st)
+				decoded, claim := scheme.Decode(st)
+				counts[w][ecc.Classify(line, decoded, claim)]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var agg [4]int64
+	for _, c := range counts {
+		for i := range agg {
+			agg[i] += c[i]
+		}
+	}
+	n := float64(trials)
+	return CoverageResult{
+		Scheme: scheme.Name(),
+		Label:  label,
+		Trials: trials,
+		Rates: OutcomeRates{
+			OK:  float64(agg[ecc.OutcomeOK]) / n,
+			CE:  float64(agg[ecc.OutcomeCE]) / n,
+			DUE: float64(agg[ecc.OutcomeDUE]) / n,
+			SDC: float64(agg[ecc.OutcomeSDC]) / n,
+		},
+	}
+}
+
+// StandardCoverageLabels returns the fault-pattern injectors of table T2,
+// in presentation order.
+func StandardCoverageLabels() []struct {
+	Label  string
+	Inject func(*rand.Rand, *ecc.Stored)
+} {
+	mk := func(kind faults.Kind) func(*rand.Rand, *ecc.Stored) {
+		return func(rng *rand.Rand, st *ecc.Stored) {
+			ecc.InjectAccessFault(rng, st, kind, -1)
+		}
+	}
+	return []struct {
+		Label  string
+		Inject func(*rand.Rand, *ecc.Stored)
+	}{
+		{"1-cell", mk(faults.PermanentCell)},
+		{"2-cell", func(rng *rand.Rand, st *ecc.Stored) {
+			chip := rng.Intn(len(st.Chips))
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+		}},
+		{"pin", mk(faults.PermanentPin)},
+		{"column-lane", mk(faults.PermanentColumn)},
+		{"word", mk(faults.PermanentWord)},
+		{"row", mk(faults.PermanentRow)},
+		{"local-wordline", mk(faults.PermanentLocalWordline)},
+		{"bank", mk(faults.PermanentBank)},
+		{"pin-burst-4", func(rng *rand.Rand, st *ecc.Stored) {
+			faults.InjectPinBurst(rng, st.Chips[rng.Intn(st.Org.ChipsPerRank)].Data, 4)
+		}},
+		{"beat-burst-2", func(rng *rand.Rand, st *ecc.Stored) {
+			faults.InjectBeatBurst(rng, st.Chips[rng.Intn(st.Org.ChipsPerRank)].Data, 2)
+		}},
+	}
+}

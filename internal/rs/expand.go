@@ -1,0 +1,367 @@
+package rs
+
+import (
+	"fmt"
+
+	"pair/internal/gf256"
+)
+
+// Expandable is a generalized Reed-Solomon code in the evaluation view:
+// the k message symbols define (by interpolation) a polynomial f of degree
+// < k, and the codeword is (f(p_0), ..., f(p_{n-1})) for n distinct
+// evaluation points. The encoding is systematic: the message symbols are
+// the evaluations at the first k points.
+//
+// The crucial property — the one the PAIR paper's title names — is
+// expandability: appending evaluations at fresh points turns an (n,k)
+// codeword into an (n+e,k) codeword whose first n symbols are bit-for-bit
+// the original codeword. A DRAM vendor can therefore store a base code in
+// the in-DRAM redundancy region and later raise the correction capability
+// (for weak dies, or at a rank-level decoder) by storing only the extra
+// symbols, never rewriting the already-programmed array.
+type Expandable struct {
+	K      int
+	Points []byte // n distinct evaluation points
+	// parityGen caches the (n-k) x k matrix mapping data symbols to
+	// parity symbols (parity_j = sum_i parityGen[j][i] * data_i); it
+	// makes systematic encoding a matrix-vector product and gives the
+	// decoder a cheap clean-word fast path.
+	parityGen [][]byte
+}
+
+// NewExpandable builds an expandable code with the given message length and
+// evaluation points. Points must be distinct and there must be at least k
+// of them.
+func NewExpandable(k int, points []byte) (*Expandable, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("rs: invalid k=%d", k)
+	}
+	if len(points) < k {
+		return nil, fmt.Errorf("rs: %d evaluation points < k=%d", len(points), k)
+	}
+	if len(points) > 256 {
+		return nil, fmt.Errorf("rs: %d evaluation points exceed field size", len(points))
+	}
+	seen := make(map[byte]bool, len(points))
+	for _, p := range points {
+		if seen[p] {
+			return nil, fmt.Errorf("rs: duplicate evaluation point %#x", p)
+		}
+		seen[p] = true
+	}
+	e := &Expandable{K: k, Points: append([]byte(nil), points...)}
+	e.buildParityGen()
+	return e, nil
+}
+
+// buildParityGen derives the parity rows by encoding the k unit messages
+// through Lagrange interpolation once at construction time.
+func (e *Expandable) buildParityGen() {
+	n := e.N()
+	e.parityGen = make([][]byte, n-e.K)
+	for j := range e.parityGen {
+		e.parityGen[j] = make([]byte, e.K)
+	}
+	msg := make([]byte, e.K)
+	for i := 0; i < e.K; i++ {
+		msg[i] = 1
+		f := gf256.LagrangeInterpolate(e.Points[:e.K], msg)
+		for j := 0; j < n-e.K; j++ {
+			e.parityGen[j][i] = gf256.PolyEval(f, e.Points[e.K+j])
+		}
+		msg[i] = 0
+	}
+}
+
+// DefaultPoints returns the canonical point sequence alpha^0, alpha^1, ...
+// (n distinct nonzero points, n <= 255).
+func DefaultPoints(n int) []byte {
+	if n > 255 {
+		panic("rs: more than 255 default points requested")
+	}
+	pts := make([]byte, n)
+	for i := range pts {
+		pts[i] = gf256.Exp(i)
+	}
+	return pts
+}
+
+// NewExpandableDefault builds an (n,k) expandable code on the canonical
+// points.
+func NewExpandableDefault(n, k int) (*Expandable, error) {
+	if n <= k {
+		return nil, fmt.Errorf("rs: invalid parameters (n=%d, k=%d)", n, k)
+	}
+	return NewExpandable(k, DefaultPoints(n))
+}
+
+// N returns the codeword length.
+func (e *Expandable) N() int { return len(e.Points) }
+
+// T returns the guaranteed error-correction capability floor((n-k)/2).
+func (e *Expandable) T() int { return (e.N() - e.K) / 2 }
+
+// messagePoly interpolates the degree-<k polynomial through the message at
+// the first k points.
+func (e *Expandable) messagePoly(data []byte) gf256.Polynomial {
+	if len(data) != e.K {
+		panic(fmt.Sprintf("rs: message length %d, want %d", len(data), e.K))
+	}
+	return gf256.LagrangeInterpolate(e.Points[:e.K], data)
+}
+
+// Encode returns the n-symbol systematic codeword for the k-symbol
+// message, using the cached parity-generator matrix (linearity of the
+// code makes parity a matrix-vector product).
+func (e *Expandable) Encode(data []byte) []byte {
+	if len(data) != e.K {
+		panic(fmt.Sprintf("rs: message length %d, want %d", len(data), e.K))
+	}
+	cw := make([]byte, e.N())
+	copy(cw, data)
+	for j, row := range e.parityGen {
+		cw[e.K+j] = gf256.DotProduct(row, data)
+	}
+	return cw
+}
+
+// Expand returns a new code with the extra evaluation points appended.
+// Codewords of e are prefixes of codewords of the expanded code.
+func (e *Expandable) Expand(extra ...byte) (*Expandable, error) {
+	return NewExpandable(e.K, append(append([]byte(nil), e.Points...), extra...))
+}
+
+// ExtendCodeword computes the expansion symbols that turn cw (a codeword of
+// e) into a codeword of the expanded code `to`, and returns the full
+// extended codeword. The first e.N() symbols are returned unchanged — this
+// is the defining property of expansion. `to` must have been produced by
+// e.Expand (same K, point list extending e's).
+func (e *Expandable) ExtendCodeword(cw []byte, to *Expandable) ([]byte, error) {
+	if len(cw) != e.N() {
+		return nil, fmt.Errorf("rs: codeword length %d, want %d", len(cw), e.N())
+	}
+	if to.K != e.K || to.N() < e.N() {
+		return nil, fmt.Errorf("rs: target code is not an expansion of the source")
+	}
+	for i, p := range e.Points {
+		if to.Points[i] != p {
+			return nil, fmt.Errorf("rs: target point %d differs from source", i)
+		}
+	}
+	f := e.messagePoly(cw[:e.K])
+	out := make([]byte, to.N())
+	copy(out, cw)
+	for i := e.N(); i < to.N(); i++ {
+		out[i] = gf256.PolyEval(f, to.Points[i])
+	}
+	return out, nil
+}
+
+// Decode corrects errors and erasures in received using the
+// Berlekamp-Welch algorithm and returns the corrected codeword and the
+// number of symbol positions changed. The guarantee is
+// 2*errors + erasures <= n-k; beyond it the decoder returns
+// ErrUncorrectable or (rarely) miscorrects, like any bounded-distance
+// decoder.
+func (e *Expandable) Decode(received []byte, erasures []int) ([]byte, int, error) {
+	n := e.N()
+	if len(received) != n {
+		return nil, 0, fmt.Errorf("rs: Decode word length %d, want %d", len(received), n)
+	}
+	erased := make(map[int]bool, len(erasures))
+	for _, pos := range erasures {
+		if pos < 0 || pos >= n {
+			return nil, 0, fmt.Errorf("rs: erasure position %d out of range [0,%d)", pos, n)
+		}
+		erased[pos] = true
+	}
+	// Puncture the erased coordinates: decode the (n-s, k) code on the
+	// surviving points, which corrects floor((n-s-k)/2) errors — the
+	// classical 2e+s <= n-k budget.
+	xs := make([]byte, 0, n-len(erased))
+	ys := make([]byte, 0, n-len(erased))
+	for i := 0; i < n; i++ {
+		if !erased[i] {
+			xs = append(xs, e.Points[i])
+			ys = append(ys, received[i])
+		}
+	}
+	if len(xs) < e.K {
+		return nil, 0, ErrUncorrectable
+	}
+	// Fast path: a clean word (no erasures flagged, parity consistent)
+	// needs no solver. This is the overwhelmingly common case in the
+	// low-error-rate Monte-Carlo campaigns.
+	if len(erasures) == 0 {
+		clean := true
+		for j, row := range e.parityGen {
+			if gf256.DotProduct(row, received[:e.K]) != received[e.K+j] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			out := make([]byte, n)
+			copy(out, received)
+			return out, 0, nil
+		}
+	}
+	emax := (len(xs) - e.K) / 2
+
+	f, ok := berlekampWelch(xs, ys, e.K, emax)
+	if !ok {
+		return nil, 0, ErrUncorrectable
+	}
+
+	// Rebuild the full codeword from f and count changes on non-erased
+	// positions; changes beyond emax mean the solver produced a word
+	// outside the decoding radius.
+	out := make([]byte, n)
+	nchanged := 0
+	for i := 0; i < n; i++ {
+		v := gf256.PolyEval(f, e.Points[i])
+		out[i] = v
+		if v != received[i] {
+			nchanged++
+			if !erased[i] && nchanged > emax+len(erased) {
+				return nil, 0, ErrUncorrectable
+			}
+		}
+	}
+	// Count errors outside erasures precisely.
+	errs := 0
+	for i := 0; i < n; i++ {
+		if !erased[i] && out[i] != received[i] {
+			errs++
+		}
+	}
+	if errs > emax {
+		return nil, 0, ErrUncorrectable
+	}
+	return out, nchanged, nil
+}
+
+// Data extracts the message symbols from a systematic codeword.
+func (e *Expandable) Data(cw []byte) []byte { return cw[:e.K] }
+
+// berlekampWelch finds the polynomial f of degree < k such that
+// f(xs[i]) == ys[i] for all but at most emax positions, if one exists.
+//
+// It solves for E(x) (monic, degree emax) and Q(x) (degree < k+emax) with
+// Q(x_i) = y_i * E(x_i) for all i, then f = Q / E. If at most emax of the
+// ys disagree with some degree-<k polynomial, a solution exists and the
+// quotient is that polynomial.
+func berlekampWelch(xs, ys []byte, k, emax int) (gf256.Polynomial, bool) {
+	n := len(xs)
+	if emax == 0 {
+		// No error budget: interpolate through k points and verify the rest.
+		f := gf256.LagrangeInterpolate(xs[:k], ys[:k])
+		for i := k; i < n; i++ {
+			if gf256.PolyEval(f, xs[i]) != ys[i] {
+				return nil, false
+			}
+		}
+		return f, true
+	}
+
+	ncols := k + 2*emax // unknowns: q_0..q_{k+emax-1}, e_0..e_{emax-1}
+	rows := make([][]byte, n)
+	rhs := make([]byte, n)
+	for i := 0; i < n; i++ {
+		row := make([]byte, ncols)
+		// Q coefficients.
+		p := byte(1)
+		for j := 0; j < k+emax; j++ {
+			row[j] = p
+			p = gf256.Mul(p, xs[i])
+		}
+		// E coefficients (excluding the monic leading term).
+		p = ys[i]
+		for j := 0; j < emax; j++ {
+			row[k+emax+j] = p
+			p = gf256.Mul(p, xs[i])
+		}
+		// Move the monic term y_i * x_i^emax to the RHS.
+		rows[i] = row
+		rhs[i] = gf256.Mul(ys[i], gf256.Pow(xs[i], emax))
+	}
+	sol, ok := solveAny(rows, rhs)
+	if !ok {
+		return nil, false
+	}
+	q := gf256.PolyTrim(gf256.Polynomial(sol[:k+emax]))
+	eloc := make(gf256.Polynomial, emax+1)
+	copy(eloc, sol[k+emax:])
+	eloc[emax] = 1 // monic
+
+	f, rem := gf256.PolyDivMod(q, eloc)
+	if gf256.PolyDegree(rem) >= 0 {
+		return nil, false
+	}
+	if gf256.PolyDegree(f) >= k {
+		return nil, false
+	}
+	return f, true
+}
+
+// solveAny solves the (possibly overdetermined) linear system rows*x = rhs
+// by Gauss-Jordan elimination, assigning zero to free variables. It returns
+// ok=false if the system is inconsistent.
+func solveAny(rows [][]byte, rhs []byte) ([]byte, bool) {
+	n := len(rows)
+	if n == 0 {
+		return nil, false
+	}
+	ncols := len(rows[0])
+	// Work on copies.
+	a := make([][]byte, n)
+	for i := range rows {
+		a[i] = append([]byte(nil), rows[i]...)
+	}
+	b := append([]byte(nil), rhs...)
+
+	pivotCol := make([]int, 0, ncols)
+	r := 0
+	for c := 0; c < ncols && r < n; c++ {
+		pivot := -1
+		for i := r; i < n; i++ {
+			if a[i][c] != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[r], a[pivot] = a[pivot], a[r]
+		b[r], b[pivot] = b[pivot], b[r]
+		inv := gf256.Inv(a[r][c])
+		for j := c; j < ncols; j++ {
+			a[r][j] = gf256.Mul(a[r][j], inv)
+		}
+		b[r] = gf256.Mul(b[r], inv)
+		for i := 0; i < n; i++ {
+			if i == r || a[i][c] == 0 {
+				continue
+			}
+			factor := a[i][c]
+			for j := c; j < ncols; j++ {
+				a[i][j] ^= gf256.Mul(factor, a[r][j])
+			}
+			b[i] ^= gf256.Mul(factor, b[r])
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	// Consistency: remaining rows must have zero RHS.
+	for i := r; i < n; i++ {
+		if b[i] != 0 {
+			return nil, false
+		}
+	}
+	x := make([]byte, ncols)
+	for i, c := range pivotCol {
+		x[c] = b[i]
+	}
+	return x, true
+}

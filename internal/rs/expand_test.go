@@ -1,0 +1,237 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestNewExpandableValidation(t *testing.T) {
+	if _, err := NewExpandable(0, []byte{1, 2}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewExpandable(3, []byte{1, 2}); err == nil {
+		t.Fatal("fewer points than k accepted")
+	}
+	if _, err := NewExpandable(2, []byte{1, 2, 2}); err == nil {
+		t.Fatal("duplicate points accepted")
+	}
+	if _, err := NewExpandableDefault(16, 18); err == nil {
+		t.Fatal("n<=k accepted")
+	}
+}
+
+func TestExpandableEncodeSystematic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	e, err := NewExpandableDefault(18, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := randMsg(rng, 16)
+	cw := e.Encode(msg)
+	if len(cw) != 18 {
+		t.Fatalf("codeword length %d", len(cw))
+	}
+	if !bytes.Equal(cw[:16], msg) {
+		t.Fatal("encoding not systematic")
+	}
+}
+
+func TestExpandableDecodeUpToT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, shape := range [][2]int{{18, 16}, {20, 16}, {22, 16}, {24, 16}} {
+		e, err := NewExpandableDefault(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for nerr := 0; nerr <= e.T(); nerr++ {
+			for trial := 0; trial < 60; trial++ {
+				msg := randMsg(rng, e.K)
+				cw := e.Encode(msg)
+				rx := append([]byte(nil), cw...)
+				corrupt(rng, rx, nerr)
+				out, n, err := e.Decode(rx, nil)
+				if err != nil {
+					t.Fatalf("(%d,%d) nerr=%d: %v", e.N(), e.K, nerr, err)
+				}
+				if n != nerr || !bytes.Equal(out, cw) {
+					t.Fatalf("(%d,%d) nerr=%d: wrong correction (n=%d)", e.N(), e.K, nerr, n)
+				}
+			}
+		}
+	}
+}
+
+func TestExpandableDecodeErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	e, _ := NewExpandableDefault(20, 16)
+	// 2e + s <= 4
+	for nerr := 0; nerr <= 2; nerr++ {
+		for ners := 0; 2*nerr+ners <= 4; ners++ {
+			if nerr+ners == 0 {
+				continue
+			}
+			for trial := 0; trial < 40; trial++ {
+				msg := randMsg(rng, e.K)
+				cw := e.Encode(msg)
+				rx := append([]byte(nil), cw...)
+				perm := rng.Perm(e.N())
+				erasures := perm[:ners]
+				for _, p := range perm[:ners+nerr] {
+					rx[p] ^= byte(1 + rng.Intn(255))
+				}
+				out, _, err := e.Decode(rx, erasures)
+				if err != nil {
+					t.Fatalf("e=%d s=%d: %v", nerr, ners, err)
+				}
+				if !bytes.Equal(out, cw) {
+					t.Fatalf("e=%d s=%d: wrong correction", nerr, ners)
+				}
+			}
+		}
+	}
+}
+
+func TestExpansionPreservesStoredSymbols(t *testing.T) {
+	// The defining property: expanding (18,16) -> (20,16) must not change
+	// the first 18 symbols.
+	rng := rand.New(rand.NewSource(23))
+	base, _ := NewExpandableDefault(18, 16)
+	expanded, err := base.Expand(DefaultPoints(20)[18:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		msg := randMsg(rng, 16)
+		cwBase := base.Encode(msg)
+		cwFull, err := base.ExtendCodeword(cwBase, expanded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cwFull[:18], cwBase) {
+			t.Fatal("expansion modified stored symbols")
+		}
+		// Direct encoding with the expanded code must agree.
+		direct := expanded.Encode(msg)
+		if !bytes.Equal(direct, cwFull) {
+			t.Fatal("extended codeword differs from direct expanded encoding")
+		}
+	}
+}
+
+func TestExpansionRaisesCorrectionPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	base, _ := NewExpandableDefault(18, 16)               // t = 1
+	expanded, _ := base.Expand(DefaultPoints(20)[18:]...) // t = 2
+	baseFail, expOK := 0, 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		msg := randMsg(rng, 16)
+		cwBase := base.Encode(msg)
+		cwFull, _ := base.ExtendCodeword(cwBase, expanded)
+
+		// Two errors within the base 18 symbols.
+		rxBase := append([]byte(nil), cwBase...)
+		pos := corrupt(rng, rxBase, 2)
+
+		if out, _, err := base.Decode(rxBase, nil); err != nil || !bytes.Equal(out, cwBase) {
+			baseFail++
+		}
+		rxFull := append([]byte(nil), cwFull...)
+		for _, p := range pos {
+			rxFull[p] = rxBase[p]
+		}
+		if out, _, err := expanded.Decode(rxFull, nil); err == nil && bytes.Equal(out, cwFull) {
+			expOK++
+		}
+	}
+	if expOK != trials {
+		t.Fatalf("expanded code corrected only %d/%d double errors", expOK, trials)
+	}
+	if baseFail == 0 {
+		t.Fatal("base t=1 code corrected all double errors — implausible")
+	}
+}
+
+func TestExtendCodewordValidation(t *testing.T) {
+	base, _ := NewExpandableDefault(18, 16)
+	other, _ := NewExpandableDefault(20, 15)
+	if _, err := base.ExtendCodeword(make([]byte, 18), other); err == nil {
+		t.Fatal("mismatched K accepted")
+	}
+	if _, err := base.ExtendCodeword(make([]byte, 17), base); err == nil {
+		t.Fatal("wrong codeword length accepted")
+	}
+	// Target whose prefix points differ.
+	pts := DefaultPoints(20)
+	pts[0], pts[1] = pts[1], pts[0]
+	twisted, _ := NewExpandable(16, pts)
+	if _, err := base.ExtendCodeword(make([]byte, 18), twisted); err == nil {
+		t.Fatal("non-prefix expansion accepted")
+	}
+}
+
+func TestExpandableAgreesWithBCHViewOnCorrectionPower(t *testing.T) {
+	// Both views of an (n,k) RS code are MDS with the same t; check the
+	// evaluation view corrects everything the BCH view does at t=2.
+	rng := rand.New(rand.NewSource(25))
+	ev, _ := NewExpandableDefault(20, 16)
+	bch := MustNew(20, 16)
+	for trial := 0; trial < 100; trial++ {
+		msg := randMsg(rng, 16)
+		cwE := ev.Encode(msg)
+		cwB := bch.Encode(msg)
+		rxE := append([]byte(nil), cwE...)
+		rxB := append([]byte(nil), cwB...)
+		// Same two error positions in both (values differ; capability is
+		// position-driven for MDS codes).
+		perm := rng.Perm(20)
+		for _, p := range perm[:2] {
+			rxE[p] ^= 0x5A
+			rxB[p] ^= 0x5A
+		}
+		if out, _, err := ev.Decode(rxE, nil); err != nil || !bytes.Equal(out, cwE) {
+			t.Fatalf("evaluation view failed on double error: %v", err)
+		}
+		if out, _, err := bch.Decode(rxB, nil); err != nil || !bytes.Equal(out, cwB) {
+			t.Fatalf("BCH view failed on double error: %v", err)
+		}
+	}
+}
+
+func TestExpandableBeyondCapability(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	e, _ := NewExpandableDefault(18, 16) // t=1
+	detected := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		msg := randMsg(rng, 16)
+		cw := e.Encode(msg)
+		rx := append([]byte(nil), cw...)
+		corrupt(rng, rx, 2)
+		out, _, err := e.Decode(rx, nil)
+		if err != nil {
+			detected++
+			continue
+		}
+		// Miscorrection must still land on a codeword of the code.
+		reenc := e.Encode(out[:16])
+		if !bytes.Equal(reenc, out) {
+			t.Fatal("miscorrection produced non-codeword")
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no double error detected by t=1 evaluation decoder")
+	}
+}
+
+func TestExpandableTooManyErasures(t *testing.T) {
+	e, _ := NewExpandableDefault(18, 16)
+	cw := e.Encode(make([]byte, 16))
+	cw[0] ^= 1
+	// Erase so many that fewer than k symbols survive.
+	erasures := []int{0, 1, 2}
+	if _, _, err := e.Decode(cw, erasures); err == nil {
+		t.Fatal("decode with < k surviving symbols accepted")
+	}
+}

@@ -1,0 +1,304 @@
+// Package rs implements Reed-Solomon codes over GF(2^8) in the two views
+// the PAIR architecture needs:
+//
+//   - Code: the classic BCH view — a systematic encoder driven by a
+//     generator polynomial with consecutive roots, and an
+//     errors-and-erasures decoder (Berlekamp-Massey + Chien search +
+//     Forney algorithm). This is the hot-path codec used by the in-DRAM
+//     PAIR decoder and by the DUO rank-level decoder.
+//
+//   - Expandable: the evaluation (generalized RS) view — a codeword is
+//     the evaluation of the message polynomial at n distinct points, so
+//     appending evaluations at fresh points *expands* the code from
+//     (n,k) to (n+e,k) without modifying any already-stored symbol.
+//     This is the "expandability of Reed-Solomon code" the paper's title
+//     refers to; see expand.go.
+//
+// A Code with n-k = 2t parity symbols corrects any combination of nu
+// symbol errors and s symbol erasures with 2*nu + s <= 2t. Decoding
+// failures are reported via ErrUncorrectable; patterns beyond the
+// guarantee may instead *miscorrect* (decode to a different codeword),
+// which is exactly the silent-data-corruption behaviour the reliability
+// experiments must observe, so it is deliberately not hidden.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"pair/internal/gf256"
+)
+
+// ErrUncorrectable is returned when the decoder detects that the received
+// word is beyond its correction capability.
+var ErrUncorrectable = errors.New("rs: uncorrectable error pattern")
+
+// Code is a systematic Reed-Solomon code over GF(2^8) in the BCH view.
+// Codewords are laid out data-first: positions [0,K) hold the message and
+// positions [K,N) hold the parity symbols.
+type Code struct {
+	N   int // codeword length in symbols (<= 255)
+	K   int // message length in symbols
+	T   int // guaranteed error-correction capability, floor((N-K)/2)
+	fcr int // exponent of the first consecutive generator root
+	gen gf256.Polynomial
+}
+
+// New constructs an (n,k) Reed-Solomon code. n must satisfy
+// k < n <= 255.
+func New(n, k int) (*Code, error) {
+	if k <= 0 || n <= k || n > 255 {
+		return nil, fmt.Errorf("rs: invalid parameters (n=%d, k=%d): need 0 < k < n <= 255", n, k)
+	}
+	nparity := n - k
+	roots := make([]byte, nparity)
+	for j := 0; j < nparity; j++ {
+		roots[j] = gf256.Exp(j) // fcr = 0
+	}
+	return &Code{
+		N:   n,
+		K:   k,
+		T:   nparity / 2,
+		fcr: 0,
+		gen: gf256.PolyFromRoots(roots),
+	}, nil
+}
+
+// MustNew is New, panicking on error; for statically-known-valid shapes.
+func MustNew(n, k int) *Code {
+	c, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumParity returns the number of parity symbols, n-k.
+func (c *Code) NumParity() int { return c.N - c.K }
+
+// Encode returns the n-symbol systematic codeword for the k-symbol message.
+func (c *Code) Encode(data []byte) []byte {
+	cw := make([]byte, c.N)
+	c.EncodeTo(data, cw)
+	return cw
+}
+
+// EncodeTo writes the systematic codeword for data into cw, which must have
+// length N. data must have length K. data and cw may overlap at cw[:K].
+func (c *Code) EncodeTo(data, cw []byte) {
+	if len(data) != c.K {
+		panic(fmt.Sprintf("rs: Encode message length %d, want %d", len(data), c.K))
+	}
+	if len(cw) != c.N {
+		panic(fmt.Sprintf("rs: Encode codeword length %d, want %d", len(cw), c.N))
+	}
+	copy(cw, data)
+	parity := cw[c.K:]
+	for i := range parity {
+		parity[i] = 0
+	}
+	// LFSR division: parity = (data * x^(n-k)) mod gen.
+	// gen is monic of degree n-k; gen[n-k] == 1.
+	np := c.N - c.K
+	for _, d := range data {
+		feedback := d ^ parity[0]
+		copy(parity, parity[1:])
+		parity[np-1] = 0
+		if feedback != 0 {
+			for j := 0; j < np; j++ {
+				// coefficient of x^(np-1-j) in gen
+				parity[j] ^= gf256.Mul(feedback, c.gen[np-1-j])
+			}
+		}
+	}
+}
+
+// Syndromes returns the 2t syndromes of word (length N). All-zero syndromes
+// mean the word is a codeword.
+func (c *Code) Syndromes(word []byte) []byte {
+	if len(word) != c.N {
+		panic(fmt.Sprintf("rs: Syndromes word length %d, want %d", len(word), c.N))
+	}
+	np := c.N - c.K
+	syn := make([]byte, np)
+	for j := 0; j < np; j++ {
+		root := gf256.Exp(c.fcr + j)
+		// Evaluate word as polynomial with word[0] the highest-degree
+		// coefficient (degree n-1) via Horner.
+		var acc byte
+		for _, w := range word {
+			acc = gf256.Mul(acc, root) ^ w
+		}
+		syn[j] = acc
+	}
+	return syn
+}
+
+// IsCodeword reports whether word is a valid codeword.
+func (c *Code) IsCodeword(word []byte) bool {
+	for _, s := range c.Syndromes(word) {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode corrects errors and erasures in received (length N) in a copy and
+// returns the corrected codeword along with the number of symbols changed.
+// erasures lists symbol positions known to be unreliable (each position in
+// [0,N)). The pattern is guaranteed correctable when
+// 2*errors + erasures <= N-K; beyond that the decoder either returns
+// ErrUncorrectable or — for some patterns, as with any bounded-distance
+// decoder — miscorrects.
+func (c *Code) Decode(received []byte, erasures []int) ([]byte, int, error) {
+	if len(received) != c.N {
+		return nil, 0, fmt.Errorf("rs: Decode word length %d, want %d", len(received), c.N)
+	}
+	np := c.N - c.K
+	if len(erasures) > np {
+		return nil, 0, ErrUncorrectable
+	}
+	word := make([]byte, c.N)
+	copy(word, received)
+
+	syn := c.Syndromes(word)
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero && len(erasures) == 0 {
+		return word, 0, nil
+	}
+	if allZero {
+		// Erasure positions were flagged but the word is consistent;
+		// nothing to change.
+		return word, 0, nil
+	}
+
+	// Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^(N-1-pos).
+	gamma := gf256.Polynomial{1}
+	for _, pos := range erasures {
+		if pos < 0 || pos >= c.N {
+			return nil, 0, fmt.Errorf("rs: erasure position %d out of range [0,%d)", pos, c.N)
+		}
+		x := gf256.Exp(c.N - 1 - pos)
+		gamma = gf256.PolyMul(gamma, gf256.Polynomial{1, x})
+	}
+
+	// Modified syndromes Xi(x) = Gamma(x) * S(x) mod x^2t.
+	synPoly := gf256.Polynomial(syn)
+	xi := gf256.PolyMul(gamma, synPoly)
+	if len(xi) > np {
+		xi = xi[:np]
+	}
+
+	// Berlekamp-Massey on the modified syndromes for the error locator.
+	lambda := berlekampMassey(xi, np, len(erasures))
+
+	// Full locator Psi = Lambda * Gamma.
+	psi := gf256.PolyMul(lambda, gamma)
+	degPsi := gf256.PolyDegree(psi)
+	if degPsi < 0 || degPsi > np {
+		return nil, 0, ErrUncorrectable
+	}
+
+	// Chien search: find positions whose locator X satisfies Psi(X^-1)=0.
+	positions := make([]int, 0, degPsi)
+	for pos := 0; pos < c.N; pos++ {
+		xInv := gf256.Exp(255 - (c.N - 1 - pos)) // (alpha^(N-1-pos))^-1
+		if gf256.PolyEval(psi, xInv) == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != degPsi {
+		// Locator degree does not match its root count: detected failure.
+		return nil, 0, ErrUncorrectable
+	}
+
+	// Forney: Omega(x) = S(x) * Psi(x) mod x^2t;
+	// e_pos = X^(1-fcr) * Omega(X^-1) / Psi'(X^-1).
+	omega := gf256.PolyMul(synPoly, psi)
+	if len(omega) > np {
+		omega = omega[:np]
+	}
+	psiDeriv := gf256.PolyDeriv(psi)
+
+	nchanged := 0
+	for _, pos := range positions {
+		x := gf256.Exp(c.N - 1 - pos)
+		xInv := gf256.Inv(x)
+		denom := gf256.PolyEval(psiDeriv, xInv)
+		if denom == 0 {
+			return nil, 0, ErrUncorrectable
+		}
+		num := gf256.PolyEval(omega, xInv)
+		mag := gf256.Mul(gf256.Pow(x, 1-c.fcr), gf256.Div(num, denom))
+		if mag != 0 {
+			word[pos] ^= mag
+			nchanged++
+		}
+	}
+
+	// Final consistency check: the corrected word must be a codeword.
+	if !c.IsCodeword(word) {
+		return nil, 0, ErrUncorrectable
+	}
+	return word, nchanged, nil
+}
+
+// Data extracts the message symbols from a systematic codeword.
+func (c *Code) Data(cw []byte) []byte {
+	return cw[:c.K]
+}
+
+// berlekampMassey finds the minimal LFSR (error-locator polynomial) for the
+// given (possibly erasure-modified) syndrome sequence. np is the total
+// number of parity symbols; nerasures the count already consumed by the
+// erasure locator, which halves the budget left for unknown errors.
+func berlekampMassey(syn gf256.Polynomial, np, nerasures int) gf256.Polynomial {
+	lambda := gf256.Polynomial{1}
+	prev := gf256.Polynomial{1}
+	l := 0
+	m := 1
+	b := byte(1)
+
+	budget := np - nerasures
+	for i := 0; i < budget; i++ {
+		n := i + nerasures
+		// Discrepancy d = syn[n] + sum_{j=1..l} lambda[j]*syn[n-j].
+		var d byte
+		if n < len(syn) {
+			d = syn[n]
+		}
+		for j := 1; j <= l && j < len(lambda); j++ {
+			if n-j >= 0 && n-j < len(syn) {
+				d ^= gf256.Mul(lambda[j], syn[n-j])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			tmp := make(gf256.Polynomial, len(lambda))
+			copy(tmp, lambda)
+			coef := gf256.Div(d, b)
+			shifted := gf256.PolyMulX(gf256.PolyScale(prev, coef), m)
+			lambda = gf256.PolyAdd(lambda, shifted)
+			l = i + 1 - l
+			prev = tmp
+			b = d
+			m = 1
+		} else {
+			coef := gf256.Div(d, b)
+			shifted := gf256.PolyMulX(gf256.PolyScale(prev, coef), m)
+			lambda = gf256.PolyAdd(lambda, shifted)
+			m++
+		}
+	}
+	return lambda
+}

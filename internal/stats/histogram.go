@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram collects float64 samples for percentile queries. It stores
+// samples exactly (the experiment scales here are small enough) and sorts
+// lazily.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank,
+// or NaN when empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: invalid percentile %v", p))
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	return Mean(h.samples)
+}
+
+// Max returns the largest sample (NaN when empty).
+func (h *Histogram) Max() float64 { return h.Percentile(100) }

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 100; i >= 1; i-- { // reverse order: sorting must handle it
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	// Observing after a query must re-sort.
+	h.Observe(1000)
+	if h.Max() != 1000 {
+		t.Fatal("lazy sort stale after Observe")
+	}
+}
+
+func TestHistogramEmptyAndInvalid(t *testing.T) {
+	h := NewHistogram()
+	if !math.IsNaN(h.Percentile(50)) || !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram must return NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid percentile did not panic")
+		}
+	}()
+	h.Observe(1)
+	h.Percentile(101)
+}

@@ -1,0 +1,139 @@
+// Package stats provides the small statistical toolkit the experiments
+// use: outcome counters, binomial confidence intervals, and aggregate
+// helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter tallies string-keyed events.
+type Counter struct {
+	counts map[string]int64
+	total  int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int64)}
+}
+
+// Add increments key by n.
+func (c *Counter) Add(key string, n int64) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Inc increments key by one.
+func (c *Counter) Inc(key string) { c.Add(key, 1) }
+
+// Get returns key's count.
+func (c *Counter) Get(key string) int64 { return c.counts[key] }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() int64 { return c.total }
+
+// Rate returns key's share of the total (0 if empty).
+func (c *Counter) Rate(key string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// Keys returns the keys in sorted order.
+func (c *Counter) Keys() []string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge adds another counter's tallies into c.
+func (c *Counter) Merge(other *Counter) {
+	for k, v := range other.counts {
+		c.Add(k, v)
+	}
+}
+
+// String renders the counter for logs.
+func (c *Counter) String() string {
+	s := ""
+	for _, k := range c.Keys() {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, c.counts[k])
+	}
+	return s
+}
+
+// WilsonInterval returns the Wilson score 95% confidence interval for a
+// binomial proportion with k successes out of n trials.
+func WilsonInterval(k, n int64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the normal
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// GeoMean returns the geometric mean of strictly positive values; it
+// panics on non-positive inputs and returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Ratio returns a/b, or +Inf when b is zero and a positive, or 1 when
+// both are zero — the convention the reliability-ratio tables use so a
+// scheme with zero observed failures reads as "at least this much
+// better".
+func Ratio(a, b float64) float64 {
+	switch {
+	case b != 0:
+		return a / b
+	case a == 0:
+		return 1
+	default:
+		return math.Inf(1)
+	}
+}

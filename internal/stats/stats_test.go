@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a")
+	c.Add("b", 3)
+	c.Inc("a")
+	if c.Get("a") != 2 || c.Get("b") != 3 || c.Total() != 5 {
+		t.Fatalf("counts wrong: %v", c)
+	}
+	if c.Rate("a") != 0.4 {
+		t.Fatalf("rate = %v", c.Rate("a"))
+	}
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	other := NewCounter()
+	other.Add("a", 8)
+	c.Merge(other)
+	if c.Get("a") != 10 || c.Total() != 13 {
+		t.Fatal("merge failed")
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+	empty := NewCounter()
+	if empty.Rate("x") != 0 {
+		t.Fatal("rate on empty counter")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("n=0 must give [0,1]")
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("50/100 interval [%v,%v] must straddle 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide: [%v,%v]", lo, hi)
+	}
+	// Zero successes: lower bound 0, upper bound small but positive.
+	lo, hi = WilsonInterval(0, 10000)
+	if lo != 0 || hi <= 0 || hi > 0.01 {
+		t.Fatalf("0/10000 interval [%v,%v]", lo, hi)
+	}
+	// All successes mirror.
+	lo, hi = WilsonInterval(10000, 10000)
+	if hi != 1 || lo < 0.99 {
+		t.Fatalf("10000/10000 interval [%v,%v]", lo, hi)
+	}
+	// Monotone tightening with n.
+	_, hi1 := WilsonInterval(0, 100)
+	_, hi2 := WilsonInterval(0, 10000)
+	if hi2 >= hi1 {
+		t.Fatal("interval does not tighten with n")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive input did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("plain ratio wrong")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Fatal("0/0 must be 1")
+	}
+	if !math.IsInf(Ratio(5, 0), 1) {
+		t.Fatal("x/0 must be +Inf")
+	}
+}

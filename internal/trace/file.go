@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write serializes the workload in the text format `tracegen` emits and
+// Parse reads:
+//
+//	# trace <name> window=<n> requests=<n>
+//	R|W|M <line-address-hex> <gap-cycles>
+func (w Workload) Write(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if _, err := fmt.Fprintf(bw, "# trace %s window=%d requests=%d\n", w.Name, w.Window, len(w.Reqs)); err != nil {
+		return err
+	}
+	for _, r := range w.Reqs {
+		op := "R"
+		switch r.Op {
+		case Write:
+			op = "W"
+		case MaskedWrite:
+			op = "M"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %x %d\n", op, r.Line, r.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a workload from the text trace format. The header comment
+// is optional; without it the name defaults to "trace" and the window
+// to 8.
+func Parse(in io.Reader) (Workload, error) {
+	w := Workload{Name: "trace", Window: 8}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			parseHeader(text, &w)
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return w, fmt.Errorf("trace: line %d: want `op addr gap`, got %q", lineNo, text)
+		}
+		var op Op
+		switch fields[0] {
+		case "R", "r":
+			op = Read
+		case "W", "w":
+			op = Write
+		case "M", "m":
+			op = MaskedWrite
+		default:
+			return w, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return w, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		gap, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return w, fmt.Errorf("trace: line %d: bad gap: %v", lineNo, err)
+		}
+		w.Reqs = append(w.Reqs, Request{Op: op, Line: addr, Gap: uint32(gap)})
+	}
+	if err := sc.Err(); err != nil {
+		return w, err
+	}
+	if len(w.Reqs) == 0 {
+		return w, fmt.Errorf("trace: empty trace")
+	}
+	return w, nil
+}
+
+func parseHeader(text string, w *Workload) {
+	fields := strings.Fields(strings.TrimPrefix(text, "#"))
+	for i, f := range fields {
+		switch {
+		case f == "trace" && i+1 < len(fields):
+			w.Name = fields[i+1]
+		case strings.HasPrefix(f, "window="):
+			if v, err := strconv.Atoi(strings.TrimPrefix(f, "window=")); err == nil && v > 0 {
+				w.Window = v
+			}
+		}
+	}
+}

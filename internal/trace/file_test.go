@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	w := Generate(Params{Name: "rt", Requests: 500, Lines: 1 << 12, Pattern: Random,
+		ReadFrac: 0.6, MaskedFrac: 0.4, Window: 5, Seed: 1})
+	var buf bytes.Buffer
+	if err := w.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "rt" || back.Window != 5 || len(back.Reqs) != 500 {
+		t.Fatalf("header lost: %+v", back)
+	}
+	for i := range w.Reqs {
+		if back.Reqs[i] != w.Reqs[i] {
+			t.Fatalf("request %d differs: %+v != %+v", i, back.Reqs[i], w.Reqs[i])
+		}
+	}
+}
+
+func TestParseWithoutHeader(t *testing.T) {
+	w, err := Parse(strings.NewReader("R ff 3\nW 10 0\nM a0 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "trace" || w.Window != 8 || len(w.Reqs) != 3 {
+		t.Fatalf("defaults wrong: %+v", w)
+	}
+	if w.Reqs[0] != (Request{Op: Read, Line: 0xff, Gap: 3}) {
+		t.Fatalf("req 0 = %+v", w.Reqs[0])
+	}
+	if w.Reqs[2].Op != MaskedWrite {
+		t.Fatal("masked write not parsed")
+	}
+}
+
+func TestParseLowercaseAndBlank(t *testing.T) {
+	w, err := Parse(strings.NewReader("\n  \nr 1 0\nw 2 1\n"))
+	if err != nil || len(w.Reqs) != 2 {
+		t.Fatalf("lenient parse failed: %v %+v", err, w)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"R ff\n",        // missing field
+		"X ff 3\n",      // bad op
+		"R zz 3\n",      // bad address
+		"R ff notnum\n", // bad gap
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}

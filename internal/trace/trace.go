@@ -1,0 +1,236 @@
+// Package trace generates the synthetic memory-request streams the
+// performance experiments run. The paper evaluated SPEC-like workloads on
+// a simulator; those traces are proprietary, so this package substitutes
+// deterministic generators whose knobs — read/write mix, masked-write
+// fraction, locality pattern and memory-level parallelism — are fitted to
+// the well-known memory behaviour classes of SPEC CPU (streaming lbm,
+// pointer-chasing mcf, strided milc, hot-spotted gcc, ...). Relative
+// scheme performance depends only on these knobs, which is what makes the
+// substitution behaviour-preserving (see DESIGN.md).
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is the request type.
+type Op int
+
+const (
+	// Read is a 64-byte line read.
+	Read Op = iota
+	// Write is a full-line write.
+	Write
+	// MaskedWrite is a sub-line (byte-enabled) write; per-access ECC
+	// schemes must read-modify-write it.
+	MaskedWrite
+)
+
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case MaskedWrite:
+		return "masked-write"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Request is one memory access. Gap is the number of front-end cycles
+// between this request becoming issueable and the previous one's issue —
+// the arrival-process knob.
+type Request struct {
+	Op   Op
+	Line uint64
+	Gap  uint32
+}
+
+// Workload is a named request stream with its processor-side MLP window.
+type Workload struct {
+	Name   string
+	Window int // maximum outstanding requests
+	Reqs   []Request
+}
+
+// Stats summarizes a workload's mix.
+type Stats struct {
+	Reads, Writes, MaskedWrites int
+}
+
+// Stats computes the operation mix.
+func (w Workload) Stats() Stats {
+	var s Stats
+	for _, r := range w.Reqs {
+		switch r.Op {
+		case Read:
+			s.Reads++
+		case Write:
+			s.Writes++
+		case MaskedWrite:
+			s.MaskedWrites++
+		}
+	}
+	return s
+}
+
+// Params parameterize a generated workload.
+type Params struct {
+	Name        string
+	Requests    int
+	ReadFrac    float64 // fraction of requests that are reads
+	MaskedFrac  float64 // fraction of *writes* that are masked
+	Pattern     Pattern
+	Lines       uint64  // footprint in cache lines
+	MeanGap     float64 // mean front-end cycles between requests
+	Window      int     // MLP window
+	HotFraction float64 // for Hotspot: fraction of accesses to 1/32 of lines
+	Stride      uint64  // for Strided
+	Seed        int64
+}
+
+// Pattern selects the address-stream shape.
+type Pattern int
+
+const (
+	// Sequential walks the footprint line by line (streaming).
+	Sequential Pattern = iota
+	// Random draws lines uniformly.
+	Random
+	// Strided walks with a fixed line stride.
+	Strided
+	// Hotspot concentrates HotFraction of accesses on 1/32 of the lines.
+	Hotspot
+	// PointerChase draws random lines with a serialized front end
+	// (dependent loads); combine with Window=1-2.
+	PointerChase
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Random:
+		return "random"
+	case Strided:
+		return "strided"
+	case Hotspot:
+		return "hotspot"
+	case PointerChase:
+		return "pointer-chase"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Generate builds a deterministic workload from the parameters.
+func Generate(p Params) Workload {
+	if p.Requests <= 0 || p.Lines == 0 {
+		panic(fmt.Sprintf("trace: invalid params %+v", p))
+	}
+	if p.Window <= 0 {
+		p.Window = 8
+	}
+	if p.MeanGap <= 0 {
+		p.MeanGap = 4
+	}
+	if p.Stride == 0 {
+		p.Stride = 17
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	reqs := make([]Request, p.Requests)
+	var cursor uint64
+	hotLines := p.Lines / 32
+	if hotLines == 0 {
+		hotLines = 1
+	}
+	for i := range reqs {
+		var line uint64
+		switch p.Pattern {
+		case Sequential:
+			line = cursor % p.Lines
+			cursor++
+		case Strided:
+			line = cursor % p.Lines
+			cursor += p.Stride
+		case Random, PointerChase:
+			line = uint64(rng.Int63n(int64(p.Lines)))
+		case Hotspot:
+			if rng.Float64() < p.HotFraction {
+				line = uint64(rng.Int63n(int64(hotLines)))
+			} else {
+				line = hotLines + uint64(rng.Int63n(int64(p.Lines-hotLines)))
+			}
+		default:
+			panic(fmt.Sprintf("trace: unknown pattern %v", p.Pattern))
+		}
+		op := Read
+		if rng.Float64() >= p.ReadFrac {
+			op = Write
+			if rng.Float64() < p.MaskedFrac {
+				op = MaskedWrite
+			}
+		}
+		// Geometric-ish gap around the mean; keeps arrivals bursty
+		// without heavy tails.
+		gap := uint32(rng.ExpFloat64() * p.MeanGap)
+		if gap > 1000 {
+			gap = 1000
+		}
+		reqs[i] = Request{Op: op, Line: line, Gap: gap}
+	}
+	return Workload{Name: p.Name, Window: p.Window, Reqs: reqs}
+}
+
+// SPECLike returns the ten-workload suite of the performance experiments.
+// The mixes are fitted to the published memory behaviour of the SPEC
+// CPU2017 rate workloads this literature evaluates on; requests counts
+// are sized for simulation speed, not realism — relative scheme
+// performance converges within a few thousand requests.
+func SPECLike(requests int) []Workload {
+	if requests <= 0 {
+		requests = 20000
+	}
+	lines := uint64(1 << 20)
+	mk := func(p Params) Workload {
+		p.Requests = requests
+		p.Lines = lines
+		return Generate(p)
+	}
+	return []Workload{
+		mk(Params{Name: "lbm", Pattern: Sequential, ReadFrac: 0.55, MaskedFrac: 0.05, MeanGap: 2, Window: 16, Seed: 101}),
+		mk(Params{Name: "mcf", Pattern: PointerChase, ReadFrac: 0.97, MaskedFrac: 0.0, MeanGap: 12, Window: 2, Seed: 102}),
+		mk(Params{Name: "milc", Pattern: Strided, ReadFrac: 0.70, MaskedFrac: 0.10, MeanGap: 3, Window: 12, Stride: 33, Seed: 103}),
+		mk(Params{Name: "gcc", Pattern: Hotspot, ReadFrac: 0.80, MaskedFrac: 0.35, MeanGap: 6, Window: 6, HotFraction: 0.6, Seed: 104}),
+		mk(Params{Name: "bwaves", Pattern: Sequential, ReadFrac: 0.65, MaskedFrac: 0.02, MeanGap: 2, Window: 16, Seed: 105}),
+		mk(Params{Name: "cactu", Pattern: Strided, ReadFrac: 0.60, MaskedFrac: 0.15, MeanGap: 4, Window: 10, Stride: 129, Seed: 106}),
+		mk(Params{Name: "omnetpp", Pattern: Random, ReadFrac: 0.85, MaskedFrac: 0.30, MeanGap: 8, Window: 4, Seed: 107}),
+		mk(Params{Name: "x264", Pattern: Hotspot, ReadFrac: 0.60, MaskedFrac: 0.50, MeanGap: 5, Window: 8, HotFraction: 0.4, Seed: 108}),
+		mk(Params{Name: "xz", Pattern: Random, ReadFrac: 0.75, MaskedFrac: 0.25, MeanGap: 7, Window: 6, Seed: 109}),
+		mk(Params{Name: "fotonik", Pattern: Sequential, ReadFrac: 0.50, MaskedFrac: 0.08, MeanGap: 2, Window: 16, Seed: 110}),
+	}
+}
+
+// WriteSweep returns workloads with a swept write ratio (figure F5): a
+// random-pattern stream whose write fraction runs over the given values,
+// masked fraction fixed.
+func WriteSweep(requests int, writeFracs []float64, maskedFrac float64) []Workload {
+	out := make([]Workload, len(writeFracs))
+	for i, wf := range writeFracs {
+		out[i] = Generate(Params{
+			Name:       fmt.Sprintf("wr%02.0f", wf*100),
+			Requests:   requests,
+			Lines:      1 << 20,
+			Pattern:    Random,
+			ReadFrac:   1 - wf,
+			MaskedFrac: maskedFrac,
+			MeanGap:    3,
+			Window:     8,
+			Seed:       200 + int64(i),
+		})
+	}
+	return out
+}

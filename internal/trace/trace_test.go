@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Name: "x", Requests: 500, Lines: 1024, Pattern: Random, ReadFrac: 0.7, MaskedFrac: 0.3, Seed: 9}
+	a := Generate(p)
+	b := Generate(p)
+	if len(a.Reqs) != 500 || len(b.Reqs) != 500 {
+		t.Fatal("wrong length")
+	}
+	for i := range a.Reqs {
+		if a.Reqs[i] != b.Reqs[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateMix(t *testing.T) {
+	w := Generate(Params{Name: "mix", Requests: 20000, Lines: 1 << 16, Pattern: Random, ReadFrac: 0.6, MaskedFrac: 0.5, Seed: 4})
+	s := w.Stats()
+	total := s.Reads + s.Writes + s.MaskedWrites
+	if total != 20000 {
+		t.Fatalf("total %d", total)
+	}
+	readFrac := float64(s.Reads) / float64(total)
+	if readFrac < 0.57 || readFrac > 0.63 {
+		t.Fatalf("read fraction %v, want ~0.6", readFrac)
+	}
+	maskedFrac := float64(s.MaskedWrites) / float64(s.Writes+s.MaskedWrites)
+	if maskedFrac < 0.45 || maskedFrac > 0.55 {
+		t.Fatalf("masked fraction %v, want ~0.5", maskedFrac)
+	}
+}
+
+func TestGenerateAllReads(t *testing.T) {
+	w := Generate(Params{Name: "r", Requests: 1000, Lines: 64, Pattern: Sequential, ReadFrac: 1.0, Seed: 2})
+	if s := w.Stats(); s.Writes != 0 || s.MaskedWrites != 0 {
+		t.Fatalf("pure-read trace has writes: %+v", s)
+	}
+}
+
+func TestSequentialWalksFootprint(t *testing.T) {
+	w := Generate(Params{Name: "seq", Requests: 10, Lines: 1 << 20, Pattern: Sequential, ReadFrac: 1, Seed: 3})
+	for i, r := range w.Reqs {
+		if r.Line != uint64(i) {
+			t.Fatalf("req %d line %d", i, r.Line)
+		}
+	}
+}
+
+func TestStridedPattern(t *testing.T) {
+	w := Generate(Params{Name: "st", Requests: 5, Lines: 1000, Pattern: Strided, ReadFrac: 1, Stride: 7, Seed: 3})
+	for i, r := range w.Reqs {
+		if r.Line != uint64(i*7%1000) {
+			t.Fatalf("req %d line %d", i, r.Line)
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	lines := uint64(1 << 15)
+	w := Generate(Params{Name: "hot", Requests: 20000, Lines: lines, Pattern: Hotspot, ReadFrac: 1, HotFraction: 0.8, Seed: 5})
+	hot := lines / 32
+	inHot := 0
+	for _, r := range w.Reqs {
+		if r.Line < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(len(w.Reqs))
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("hot fraction %v, want ~0.8", frac)
+	}
+}
+
+func TestLinesInRange(t *testing.T) {
+	for _, pat := range []Pattern{Sequential, Random, Strided, Hotspot, PointerChase} {
+		w := Generate(Params{Name: "rng", Requests: 5000, Lines: 777, Pattern: pat, ReadFrac: 0.5, HotFraction: 0.5, Seed: 6})
+		for _, r := range w.Reqs {
+			if r.Line >= 777 {
+				t.Fatalf("%v: line %d out of footprint", pat, r.Line)
+			}
+		}
+	}
+}
+
+func TestSPECLikeSuite(t *testing.T) {
+	suite := SPECLike(1000)
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d workloads", len(suite))
+	}
+	names := map[string]bool{}
+	for _, w := range suite {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+		if len(w.Reqs) != 1000 {
+			t.Fatalf("%s has %d requests", w.Name, len(w.Reqs))
+		}
+		if w.Window <= 0 {
+			t.Fatalf("%s has no window", w.Name)
+		}
+	}
+	// mcf must be read-dominated and low-MLP; x264 masked-write heavy.
+	for _, w := range suite {
+		s := w.Stats()
+		switch w.Name {
+		case "mcf":
+			if float64(s.Reads)/float64(len(w.Reqs)) < 0.9 || w.Window > 2 {
+				t.Fatalf("mcf mix wrong: %+v window %d", s, w.Window)
+			}
+		case "x264":
+			if s.MaskedWrites == 0 || s.MaskedWrites < s.Writes/2 {
+				t.Fatalf("x264 masked writes too few: %+v", s)
+			}
+		}
+	}
+}
+
+func TestWriteSweep(t *testing.T) {
+	ws := WriteSweep(5000, []float64{0, 0.25, 0.5}, 0.4)
+	if len(ws) != 3 {
+		t.Fatal("sweep size wrong")
+	}
+	s0 := ws[0].Stats()
+	if s0.Writes+s0.MaskedWrites != 0 {
+		t.Fatal("0% write point has writes")
+	}
+	s2 := ws[2].Stats()
+	frac := float64(s2.Writes+s2.MaskedWrites) / 5000
+	if frac < 0.46 || frac > 0.54 {
+		t.Fatalf("50%% write point has %v", frac)
+	}
+}
+
+func TestOpAndPatternStrings(t *testing.T) {
+	for _, o := range []Op{Read, Write, MaskedWrite, Op(9)} {
+		if o.String() == "" {
+			t.Fatal("empty op string")
+		}
+	}
+	for _, p := range []Pattern{Sequential, Random, Strided, Hotspot, PointerChase, Pattern(9)} {
+		if p.String() == "" {
+			t.Fatal("empty pattern string")
+		}
+	}
+}
+
+func TestGenerateInvalidParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params did not panic")
+		}
+	}()
+	Generate(Params{Requests: 0, Lines: 10})
+}

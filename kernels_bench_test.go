@@ -1,0 +1,146 @@
+// Kernel microbenchmarks: throughput of the arithmetic and codec layers
+// every experiment sits on.
+package pair_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pair/internal/dram"
+	"pair/internal/ecc"
+	"pair/internal/gf256"
+	"pair/internal/hamming"
+	"pair/internal/memsim"
+	"pair/internal/rs"
+	"pair/internal/trace"
+
+	"pair/internal/bitvec"
+)
+
+func BenchmarkGF256Mul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= gf256.Mul(byte(i), byte(i>>8)|1)
+	}
+	_ = acc
+}
+
+func BenchmarkRSEncode2016(b *testing.B) {
+	c := rs.MustNew(20, 16)
+	msg := make([]byte, 16)
+	rand.New(rand.NewSource(1)).Read(msg)
+	cw := make([]byte, 20)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.EncodeTo(msg, cw)
+	}
+}
+
+func BenchmarkRSDecodeClean(b *testing.B) {
+	c := rs.MustNew(20, 16)
+	msg := make([]byte, 16)
+	rand.New(rand.NewSource(1)).Read(msg)
+	cw := c.Encode(msg)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decode(cw, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSDecodeTwoErrors(b *testing.B) {
+	c := rs.MustNew(20, 16)
+	msg := make([]byte, 16)
+	rand.New(rand.NewSource(1)).Read(msg)
+	cw := c.Encode(msg)
+	rx := append([]byte(nil), cw...)
+	rx[3] ^= 0x55
+	rx[17] ^= 0xAA
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decode(rx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpandableDecodeClean(b *testing.B) {
+	e, _ := rs.NewExpandableDefault(20, 16)
+	msg := make([]byte, 16)
+	rand.New(rand.NewSource(1)).Read(msg)
+	cw := e.Encode(msg)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Decode(cw, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpandableDecodeTwoErrors(b *testing.B) {
+	e, _ := rs.NewExpandableDefault(20, 16)
+	msg := make([]byte, 16)
+	rand.New(rand.NewSource(1)).Read(msg)
+	cw := e.Encode(msg)
+	rx := append([]byte(nil), cw...)
+	rx[3] ^= 0x55
+	rx[17] ^= 0xAA
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Decode(rx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHammingDecode136(b *testing.B) {
+	c := hamming.MustSEC(128)
+	data := bitvec.New(128)
+	for i := 0; i < 128; i += 3 {
+		data.Set(i, true)
+	}
+	cw := c.Encode(data)
+	cw.Flip(40)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		if _, outcome := c.Decode(cw); outcome != hamming.Corrected {
+			b.Fatal("unexpected outcome")
+		}
+	}
+}
+
+func BenchmarkSchemeEncodeDecode(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		s    ecc.Scheme
+	}{
+		{"iecc", ecc.NewIECC(dram.DDR4x16())},
+		{"xed", ecc.NewXED(dram.DDR4x16())},
+		{"duo", ecc.NewDUO(dram.DDR4x16())},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			line := make([]byte, 64)
+			rand.New(rand.NewSource(1)).Read(line)
+			b.SetBytes(64)
+			for i := 0; i < b.N; i++ {
+				st := mk.s.Encode(line)
+				if _, claim := mk.s.Decode(st); claim != ecc.ClaimClean {
+					b.Fatal("clean decode failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMemsim(b *testing.B) {
+	wl := trace.SPECLike(4000)[0]
+	cfg := memsim.DefaultConfig()
+	b.SetBytes(int64(len(wl.Reqs)))
+	for i := 0; i < b.N; i++ {
+		res := memsim.Run(cfg, wl)
+		if res.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}

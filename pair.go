@@ -1,0 +1,136 @@
+// Package pair is the public facade of the PAIR reproduction — the
+// pin-aligned in-DRAM ECC architecture using the expandability of
+// Reed-Solomon codes (Jeong, Kang, Yang; DAC 2020) — together with the
+// baseline schemes it is evaluated against (conventional in-DRAM ECC,
+// rank-level SECDED, XED, DUO), a DRAM fault model, a Monte-Carlo
+// reliability engine and a DDR4 timing simulator.
+//
+// Quick start:
+//
+//	scheme := pair.NewPAIR()
+//	stored := scheme.Encode(line)            // protect a 64B cache line
+//	data, claim := scheme.Decode(stored)     // recover it
+//
+// The experiment surface lives behind RunExperiment / ExperimentIDs; the
+// pairsim binary and the repository benchmarks are thin wrappers over it.
+package pair
+
+import (
+	"fmt"
+
+	"pair/internal/core"
+	"pair/internal/dram"
+	"pair/internal/ecc"
+)
+
+// Scheme is the common interface of every evaluated ECC architecture. See
+// internal/ecc for the contract.
+type Scheme = ecc.Scheme
+
+// Claim and Outcome re-export the decode-claim and ground-truth outcome
+// classifications; Stored is the physical storage image of one protected
+// line (the unit fault injection operates on).
+type (
+	Claim   = ecc.Claim
+	Outcome = ecc.Outcome
+	Stored  = ecc.Stored
+)
+
+// Re-exported classification constants.
+const (
+	ClaimClean     = ecc.ClaimClean
+	ClaimCorrected = ecc.ClaimCorrected
+	ClaimDetected  = ecc.ClaimDetected
+
+	OutcomeOK  = ecc.OutcomeOK
+	OutcomeCE  = ecc.OutcomeCE
+	OutcomeDUE = ecc.OutcomeDUE
+	OutcomeSDC = ecc.OutcomeSDC
+)
+
+// Classify compares a decode result against the golden line.
+func Classify(golden, decoded []byte, claim Claim) Outcome {
+	return ecc.Classify(golden, decoded, claim)
+}
+
+// Organization re-exports the DRAM organization descriptor.
+type Organization = dram.Organization
+
+// DDR4x16 returns the study's commodity organization (4 x16 chips, BL8).
+func DDR4x16() Organization { return dram.DDR4x16() }
+
+// DDR4x8ECC returns the 9-chip x8 ECC-DIMM organization used by the
+// rank-level SECDED baseline.
+func DDR4x8ECC() Organization { return dram.DDR4x8ECC() }
+
+// DDR5x16 returns a DDR5 32-bit subchannel (2 x16 chips, BL16) — each
+// pin carries two PAIR symbols per burst.
+func DDR5x16() Organization { return dram.DDR5x16() }
+
+// PAIRConfig re-exports the PAIR operating-point configuration.
+type PAIRConfig = core.Config
+
+// NewPAIR returns the headline PAIR scheme: pin-aligned RS(20,16), t=2
+// (2 base parity symbols + 2 expansion symbols), on the commodity x16
+// organization.
+func NewPAIR() *core.Scheme { return core.MustNew(dram.DDR4x16(), core.DefaultConfig()) }
+
+// NewPAIRBase returns the unexpanded PAIR base: RS(18,16), t=1.
+func NewPAIRBase() *core.Scheme { return core.MustNew(dram.DDR4x16(), core.BaseConfig()) }
+
+// NewPAIRWith returns PAIR at an arbitrary operating point.
+func NewPAIRWith(org Organization, cfg PAIRConfig) (*core.Scheme, error) { return core.New(org, cfg) }
+
+// NewNone returns the unprotected baseline.
+func NewNone() Scheme { return ecc.NewNone(dram.DDR4x16()) }
+
+// NewIECC returns conventional in-DRAM ECC: a (136,128) SEC Hamming code
+// per chip access.
+func NewIECC() Scheme { return ecc.NewIECC(dram.DDR4x16()) }
+
+// NewXED returns the XED baseline (on-die detection + rank-XOR
+// correction), adapted to the commodity organization as described in
+// DESIGN.md.
+func NewXED() Scheme { return ecc.NewXED(dram.DDR4x16()) }
+
+// NewDUO returns the DUO baseline (on-die redundancy forwarded to a
+// controller-side RS(18,16) over beat-aligned symbols).
+func NewDUO() Scheme { return ecc.NewDUO(dram.DDR4x16()) }
+
+// NewDUORank returns the original nine-chip ECC-DIMM DUO (rank-level
+// RS(81,64), t=8, chip-erasure retry) on the DDR4x8ECC organization.
+func NewDUORank() Scheme { return ecc.NewDUORank(dram.DDR4x8ECC()) }
+
+// NewSECDED returns the rank-level (72,64) Hsiao baseline on the 9-chip
+// ECC-DIMM organization.
+func NewSECDED() Scheme { return ecc.NewSECDED(dram.DDR4x8ECC()) }
+
+// AllSchemes returns the evaluation set of the study, in presentation
+// order: none, iecc, xed, duo, pair-base, pair.
+func AllSchemes() []Scheme {
+	return []Scheme{NewNone(), NewIECC(), NewXED(), NewDUO(), NewPAIRBase(), NewPAIR()}
+}
+
+// SchemeByName builds a scheme from its identifier.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "none":
+		return NewNone(), nil
+	case "iecc":
+		return NewIECC(), nil
+	case "xed":
+		return NewXED(), nil
+	case "duo":
+		return NewDUO(), nil
+	case "duo-rank":
+		return NewDUORank(), nil
+	case "pair-base":
+		return NewPAIRBase(), nil
+	case "pair":
+		return NewPAIR(), nil
+	case "secded":
+		return NewSECDED(), nil
+	default:
+		return nil, fmt.Errorf("pair: unknown scheme %q (want none|iecc|xed|duo|duo-rank|pair-base|pair|secded)", name)
+	}
+}

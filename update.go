@@ -1,0 +1,33 @@
+package pair
+
+import (
+	"fmt"
+
+	"pair/internal/ecc"
+)
+
+// Update performs a masked (partial) write against a stored image: the
+// bytes data[0:len(data)] replace the line content at byte offset off,
+// and the image is re-encoded.
+//
+// This is the read-modify-write every per-access ECC scheme performs for
+// sub-line writes — the operation the timing model charges as
+// ExtraReadsPerMaskedWrite. It decodes the current image first, so a
+// masked write on top of latent corruption behaves like real hardware:
+// correctable errors are scrubbed in passing; an uncorrectable pattern
+// surfaces as an error here instead of being silently folded into fresh
+// parity.
+func Update(scheme Scheme, st *Stored, off int, data []byte) (*Stored, error) {
+	lineBytes := scheme.Org().LineBytes()
+	if off < 0 || off+len(data) > lineBytes {
+		return nil, fmt.Errorf("pair: update [%d,%d) outside %d-byte line", off, off+len(data), lineBytes)
+	}
+	current, claim := scheme.Decode(st)
+	if claim == ecc.ClaimDetected {
+		return nil, fmt.Errorf("pair: masked write hit an uncorrectable line")
+	}
+	merged := make([]byte, lineBytes)
+	copy(merged, current)
+	copy(merged[off:], data)
+	return scheme.Encode(merged), nil
+}

@@ -1,0 +1,89 @@
+package pair_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pair"
+)
+
+func TestUpdateMergesAndReencodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range pair.AllSchemes() {
+		line := make([]byte, s.Org().LineBytes())
+		rng.Read(line)
+		st := s.Encode(line)
+		patch := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+		updated, err := pair.Update(s, st, 12, patch)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		want := append([]byte(nil), line...)
+		copy(want[12:], patch)
+		decoded, claim := s.Decode(updated)
+		if pair.Classify(want, decoded, claim) != pair.OutcomeOK {
+			t.Fatalf("%s: updated line does not decode clean", s.Name())
+		}
+		if !bytes.Equal(decoded, want) {
+			t.Fatalf("%s: merge wrong", s.Name())
+		}
+	}
+}
+
+func TestUpdateScrubsLatentError(t *testing.T) {
+	s := pair.NewPAIR()
+	line := make([]byte, 64)
+	st := s.Encode(line)
+	st.Chips[0].Data.Flip(3, 3) // latent weak cell
+	updated, err := pair.Update(s, st, 0, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, claim := s.Decode(updated)
+	if claim != pair.ClaimClean {
+		t.Fatal("latent error not scrubbed by RMW")
+	}
+	if decoded[0] != 1 {
+		t.Fatal("patch lost")
+	}
+}
+
+func TestUpdateRejectsBadRange(t *testing.T) {
+	s := pair.NewPAIR()
+	st := s.Encode(make([]byte, 64))
+	if _, err := pair.Update(s, st, 62, []byte{1, 2, 3}); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if _, err := pair.Update(s, st, -1, []byte{1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestUpdateRefusesUncorrectable(t *testing.T) {
+	s := pair.NewPAIR()
+	line := make([]byte, 64)
+	st := s.Encode(line)
+	// Garble a whole chip: uncorrectable.
+	for p := 0; p < 16; p++ {
+		st.Chips[0].Data.SetPinSymbol(p, byte(p)*37+1)
+	}
+	if _, err := pair.Update(s, st, 0, []byte{1}); err == nil {
+		t.Fatal("masked write over uncorrectable line accepted")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	for _, id := range []string{"t1", "t3", "t4"} {
+		out, err := pair.RunExperiment(id, true)
+		if err != nil || out == "" {
+			t.Fatalf("RunExperiment(%q): %v", id, err)
+		}
+	}
+	if _, err := pair.RunExperiment("zz", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(pair.ExperimentIDs()) < 15 {
+		t.Fatal("experiment list incomplete")
+	}
+}
