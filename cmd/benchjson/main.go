@@ -1,0 +1,182 @@
+// Command benchjson runs the kernel benchmarks with -benchmem and writes
+// the parsed results as a BENCH_<n>.json trajectory file in the repo root,
+// so successive optimization PRs leave a machine-readable record of where
+// the codec hot paths stood before and after each change.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                     # next free BENCH_<n>.json
+//	go run ./cmd/benchjson -out BENCH_0.json   # explicit slot
+//	go run ./cmd/benchjson -bench 'RS' -label "post-chien"
+//
+// The default -bench regex covers the arithmetic/codec kernels (GF256,
+// RS, Expandable, Hamming, SchemeEncodeDecode) and deliberately excludes
+// the minutes-long figure benchmarks (F1..F12, T1..T4) and Memsim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the BENCH_<n>.json payload.
+type File struct {
+	Label      string   `json:"label,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Bench      string   `json:"bench_regex"`
+	Packages   []string `json:"packages"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8  1000  123 ns/op [... MB/s] [B/op allocs/op]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	bench := flag.String("bench", "^Benchmark(GF256|RS|Expandable|Hamming|SchemeEncodeDecode)", "benchmark regex passed to go test -bench")
+	pkg := flag.String("pkg", ".", "comma-separated packages to benchmark")
+	out := flag.String("out", "", "output path (default: next free BENCH_<n>.json in repo root)")
+	label := flag.String("label", "", "free-form label recorded in the file")
+	benchtime := flag.String("benchtime", "", "value for go test -benchtime")
+	count := flag.Int("count", 1, "value for go test -count")
+	flag.Parse()
+
+	pkgs := strings.Split(*pkg, ",")
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, pkgs...)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	results := parse(string(raw))
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = nextSlot(".")
+	}
+	f := File{
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Bench:      *bench,
+		Packages:   pkgs,
+		Benchmarks: results,
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+}
+
+// parse extracts benchmark results from `go test -bench` output. Averages
+// are taken when -count > 1 repeats a name.
+func parse(out string) []Result {
+	type agg struct {
+		r Result
+		n int
+	}
+	order := []string{}
+	byName := map[string]*agg{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := Result{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "MB/s":
+				r.MBPerS = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		a, ok := byName[r.Name]
+		if !ok {
+			byName[r.Name] = &agg{r: r, n: 1}
+			order = append(order, r.Name)
+			continue
+		}
+		a.r.Iterations += r.Iterations
+		a.r.NsPerOp += r.NsPerOp
+		a.r.MBPerS += r.MBPerS
+		a.r.BytesPerOp += r.BytesPerOp
+		a.r.AllocsPerOp += r.AllocsPerOp
+		a.n++
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		r := a.r
+		if a.n > 1 {
+			r.Iterations /= int64(a.n)
+			r.NsPerOp /= float64(a.n)
+			r.MBPerS /= float64(a.n)
+			r.BytesPerOp /= int64(a.n)
+			r.AllocsPerOp /= int64(a.n)
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// nextSlot returns the first BENCH_<n>.json path that does not exist yet.
+func nextSlot(dir string) string {
+	for n := 0; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

@@ -126,6 +126,61 @@ func (v *Vec) Clear() {
 	}
 }
 
+// CopyFrom overwrites v with other's contents. Lengths must match.
+func (v *Vec) CopyFrom(other *Vec) {
+	if v.n != other.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d != %d", v.n, other.n))
+	}
+	copy(v.words, other.words)
+}
+
+// NumWords returns the number of backing 64-bit words.
+func (v *Vec) NumWords() int { return len(v.words) }
+
+// Word returns backing word i (bits [64i, 64i+64) of the vector; bits at
+// or beyond Len are zero).
+func (v *Vec) Word(i int) uint64 { return v.words[i] }
+
+// GetBits reads the w-bit field starting at bit off (w <= 64, field fully
+// inside the vector) as an LSB-first integer.
+func (v *Vec) GetBits(off, w int) uint64 {
+	if w < 0 || w > 64 || off < 0 || off+w > v.n {
+		panic(fmt.Sprintf("bitvec: GetBits [%d,%d+%d) out of range [0,%d)", off, off, w, v.n))
+	}
+	if w == 0 {
+		return 0
+	}
+	wi, sh := off/64, uint(off%64)
+	val := v.words[wi] >> sh
+	if sh+uint(w) > 64 {
+		val |= v.words[wi+1] << (64 - sh)
+	}
+	if w == 64 {
+		return val
+	}
+	return val & (1<<uint(w) - 1)
+}
+
+// OrBits ORs the low w bits of val into the field starting at bit off
+// (w <= 64, field fully inside the vector). Callers writing over a cleared
+// vector use it as a field store.
+func (v *Vec) OrBits(off int, val uint64, w int) {
+	if w < 0 || w > 64 || off < 0 || off+w > v.n {
+		panic(fmt.Sprintf("bitvec: OrBits [%d,%d+%d) out of range [0,%d)", off, off, w, v.n))
+	}
+	if w == 0 {
+		return
+	}
+	if w < 64 {
+		val &= 1<<uint(w) - 1
+	}
+	wi, sh := off/64, uint(off%64)
+	v.words[wi] |= val << sh
+	if sh+uint(w) > 64 {
+		v.words[wi+1] |= val >> (64 - sh)
+	}
+}
+
 // Bytes serializes the vector LSB-first into a fresh buffer of
 // (Len()+7)/8 bytes (the inverse of FromBytes).
 func (v *Vec) Bytes() []byte {

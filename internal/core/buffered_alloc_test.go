@@ -1,0 +1,31 @@
+// The scheme scratch pool is a sync.Pool, and the race detector randomly
+// drops Pool.Put items, so the zero-allocation guarantee only holds in
+// normal builds.
+//go:build !race
+
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pair/internal/dram"
+)
+
+// TestPairBufferedAllocs pins PAIR's buffered encode+decode steady state at
+// zero allocations per trial.
+func TestPairBufferedAllocs(t *testing.T) {
+	s := MustNew(dram.DDR4x16(), DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	line := randLine(rng, s.Org().LineBytes())
+	st := s.NewStored()
+	dst := make([]byte, len(line))
+	s.EncodeInto(st, line) // warm the scratch pool
+	s.DecodeInto(dst, st)
+	if n := testing.AllocsPerRun(200, func() {
+		s.EncodeInto(st, line)
+		s.DecodeInto(dst, st)
+	}); n != 0 {
+		t.Fatalf("EncodeInto+DecodeInto allocated %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pair/internal/dram"
+	"pair/internal/ecc"
+	"pair/internal/faults"
+)
+
+func pairStoredEqual(a, b *ecc.Stored) bool {
+	if len(a.Chips) != len(b.Chips) {
+		return false
+	}
+	for i := range a.Chips {
+		if !a.Chips[i].Data.Equal(b.Chips[i].Data) ||
+			!a.Chips[i].OnDie.Equal(b.Chips[i].OnDie) {
+			return false
+		}
+	}
+	return true
+}
+
+// corruptBoth applies the identical corruption to both images by replaying
+// the same RNG stream.
+func corruptBoth(seed int64, mode int, a, b *ecc.Stored) {
+	apply := func(rng *rand.Rand, st *ecc.Stored) {
+		switch mode % 4 {
+		case 0:
+			ecc.FlipRandomStoredBits(rng, st, rng.Intn(7))
+		case 1:
+			ecc.InjectAccessFault(rng, st, faults.PermanentPin, -1)
+		case 2:
+			chip := rng.Intn(len(st.Chips))
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
+		case 3:
+			ecc.FlipRandomStoredBits(rng, st, 20+rng.Intn(20))
+		}
+	}
+	apply(rand.New(rand.NewSource(seed)), a)
+	apply(rand.New(rand.NewSource(seed)), b)
+}
+
+// TestPairBufferedDifferential checks EncodeInto ≡ Encode and
+// DecodeInto ≡ Decode for PAIR (expanded, base-only, and spared variants)
+// with buffers reused dirty across trials.
+func TestPairBufferedDifferential(t *testing.T) {
+	org := dram.DDR4x16()
+	full := MustNew(org, DefaultConfig())
+	spared, err := full.WithSparedPins(map[int][]int{0: {3}, 2: {7, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []ecc.BufferedScheme{
+		full,
+		MustNew(org, BaseConfig()),
+		spared,
+	}
+	for _, s := range schemes {
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			st := s.NewStored()
+			dst := make([]byte, s.Org().LineBytes())
+			for trial := 0; trial < 300; trial++ {
+				line := randLine(rng, s.Org().LineBytes())
+				ref := s.Encode(line)
+				s.EncodeInto(st, line)
+				if !pairStoredEqual(ref, st) {
+					t.Fatalf("trial %d: EncodeInto image differs from Encode", trial)
+				}
+				corruptBoth(rng.Int63(), trial, ref, st)
+				refLine, refClaim := s.Decode(ref)
+				claim := s.DecodeInto(dst, st)
+				if claim != refClaim {
+					t.Fatalf("trial %d: claim %v, want %v", trial, claim, refClaim)
+				}
+				if !bytes.Equal(dst, refLine) {
+					t.Fatalf("trial %d: DecodeInto line differs from Decode", trial)
+				}
+			}
+		})
+	}
+}
+

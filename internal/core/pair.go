@@ -34,6 +34,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pair/internal/bitvec"
 	"pair/internal/dram"
@@ -72,6 +73,15 @@ type Scheme struct {
 	base *rs.Expandable // (pins+BaseParity, pins)
 	full *rs.Expandable // (pins+BaseParity+Expansion, pins)
 	name string
+	scr  sync.Pool // *pairScratch per-decode workspace
+}
+
+// pairScratch is the per-goroutine codec workspace: a reusable decoder on
+// the full code, a codeword buffer, and a burst for corrected symbols.
+type pairScratch struct {
+	dec  *rs.ExpandableDecoder
+	word []byte
+	b    *dram.Burst
 }
 
 // New builds a PAIR scheme on the given organization.
@@ -106,7 +116,15 @@ func New(org dram.Organization, cfg Config) (*Scheme, error) {
 	if cfg.Expansion == 0 {
 		name = "pair-base"
 	}
-	return &Scheme{org: org, cfg: cfg, base: base, full: full, name: name}, nil
+	s := &Scheme{org: org, cfg: cfg, base: base, full: full, name: name}
+	s.scr.New = func() any {
+		return &pairScratch{
+			dec:  s.full.NewDecoder(),
+			word: make([]byte, s.full.N()),
+			b:    dram.NewBurst(org.Pins, org.BurstLen),
+		}
+	}
+	return s, nil
 }
 
 // MustNew is New, panicking on error.
@@ -131,14 +149,28 @@ func (s *Scheme) k() int { return s.org.Pins * s.symbolsPerPin() }
 // dataSymbols extracts the pin-aligned data symbols of one chip access:
 // symbol pin*spp+part is bits [part*8, part*8+8) of the pin's burst.
 func (s *Scheme) dataSymbols(b *dram.Burst) []byte {
-	spp := s.symbolsPerPin()
 	out := make([]byte, s.k())
-	for p := 0; p < s.org.Pins; p++ {
-		for part := 0; part < spp; part++ {
-			out[p*spp+part] = b.PinSymbolPart(p, part)
+	s.dataSymbolsInto(out, b)
+	return out
+}
+
+// dataSymbolsInto is dataSymbols into a caller-owned slice (length k). It
+// transposes beat-major burst bits into pin-major symbols one beat field at
+// a time instead of one bit at a time.
+func (s *Scheme) dataSymbolsInto(syms []byte, b *dram.Burst) {
+	spp := s.symbolsPerPin()
+	for i := range syms {
+		syms[i] = 0
+	}
+	bits := b.Bits()
+	for beat := 0; beat < s.org.BurstLen; beat++ {
+		field := bits.GetBits(beat*s.org.Pins, s.org.Pins)
+		part := beat / 8
+		sh := uint(beat % 8)
+		for p := 0; p < s.org.Pins; p++ {
+			syms[p*spp+part] |= byte((field>>uint(p))&1) << sh
 		}
 	}
-	return out
 }
 
 // writeDataSymbols writes pin-aligned symbols back into a burst.
@@ -169,62 +201,92 @@ func (s *Scheme) parityBits() int {
 	return (s.cfg.BaseParity + s.cfg.Expansion) * 8
 }
 
+// NewStored implements ecc.BufferedScheme: one data burst plus the on-die
+// parity region per chip.
+func (s *Scheme) NewStored() *ecc.Stored {
+	st := &ecc.Stored{Org: s.org, Chips: make([]*ecc.ChipImage, s.org.ChipsPerRank)}
+	for i := range st.Chips {
+		st.Chips[i] = &ecc.ChipImage{
+			Data:  dram.NewBurst(s.org.Pins, s.org.BurstLen),
+			OnDie: bitvec.New(s.parityBits()),
+		}
+	}
+	return st
+}
+
 // Encode implements ecc.Scheme. Each chip's access is encoded into one
 // pin-aligned codeword; parity symbols go to the on-die region (base
 // parity first, then expansion symbols).
 func (s *Scheme) Encode(line []byte) *ecc.Stored {
-	bursts := dram.SplitLine(s.org, line)
-	st := &ecc.Stored{Org: s.org, Chips: make([]*ecc.ChipImage, len(bursts))}
-	for i, b := range bursts {
-		cw := s.full.Encode(s.dataSymbols(b))
-		onDie := bitvec.New(s.parityBits())
-		for j, sym := range cw[s.k():] {
-			for bit := 0; bit < 8; bit++ {
-				onDie.Set(j*8+bit, sym&(1<<bit) != 0)
-			}
-		}
-		st.Chips[i] = &ecc.ChipImage{Data: b, OnDie: onDie}
-	}
+	st := s.NewStored()
+	s.EncodeInto(st, line)
 	return st
+}
+
+// EncodeInto implements ecc.BufferedScheme.
+func (s *Scheme) EncodeInto(st *ecc.Stored, line []byte) {
+	scr := s.scr.Get().(*pairScratch)
+	word := scr.word
+	k := s.k()
+	for i, ci := range st.Chips {
+		dram.SplitChipInto(s.org, line, i, ci.Data)
+		s.dataSymbolsInto(word[:k], ci.Data)
+		s.full.EncodeTo(word[:k], word)
+		ci.OnDie.Clear()
+		for j, sym := range word[k:] {
+			ci.OnDie.OrBits(j*8, uint64(sym), 8)
+		}
+	}
+	s.scr.Put(scr)
 }
 
 // Decode implements ecc.Scheme: each chip decodes its pin-aligned
 // codeword in-die with the full (expanded) decoder.
 func (s *Scheme) Decode(st *ecc.Stored) ([]byte, ecc.Claim) {
-	return s.decode(st, nil)
+	line := make([]byte, s.org.LineBytes())
+	return line, s.decodeInto(line, st, nil)
 }
 
-// decode implements Decode with optional per-chip erasure symbol lists
-// (see WithSparedPins).
-func (s *Scheme) decode(st *ecc.Stored, erasures map[int][]int) ([]byte, ecc.Claim) {
+// DecodeInto implements ecc.BufferedScheme.
+func (s *Scheme) DecodeInto(dst []byte, st *ecc.Stored) ecc.Claim {
+	return s.decodeInto(dst, st, nil)
+}
+
+// decodeInto implements DecodeInto with optional per-chip erasure symbol
+// lists (see WithSparedPins).
+func (s *Scheme) decodeInto(dst []byte, st *ecc.Stored, erasures map[int][]int) ecc.Claim {
+	for i := range dst {
+		dst[i] = 0
+	}
 	claim := ecc.ClaimClean
-	bursts := make([]*dram.Burst, len(st.Chips))
+	k := s.k()
+	np := s.cfg.BaseParity + s.cfg.Expansion
+	scr := s.scr.Get().(*pairScratch)
+	word := scr.word
 	for i, ci := range st.Chips {
-		word := make([]byte, s.full.N())
-		copy(word, s.dataSymbols(ci.Data))
-		for j := 0; j < s.cfg.BaseParity+s.cfg.Expansion; j++ {
-			var sym byte
-			for bit := 0; bit < 8; bit++ {
-				if ci.OnDie.Get(j*8 + bit) {
-					sym |= 1 << bit
-				}
-			}
-			word[s.k()+j] = sym
+		s.dataSymbolsInto(word[:k], ci.Data)
+		for j := 0; j < np; j++ {
+			word[k+j] = byte(ci.OnDie.GetBits(j*8, 8))
 		}
-		corrected, nerr, err := s.full.Decode(word, erasures[i])
-		b := dram.NewBurst(s.org.Pins, s.org.BurstLen)
-		if err != nil {
+		nerr, err := scr.dec.DecodeInto(word, word, erasures[i])
+		switch {
+		case err != nil:
 			claim = ecc.ClaimDetected
-			b = ci.Data.Clone()
-		} else {
-			if nerr > 0 && claim != ecc.ClaimDetected {
+			// Pass the raw data along with the flag (word is unspecified
+			// after a decode failure).
+			dram.OrChipInto(s.org, dst, i, ci.Data)
+		case nerr == 0:
+			dram.OrChipInto(s.org, dst, i, ci.Data)
+		default:
+			if claim != ecc.ClaimDetected {
 				claim = ecc.ClaimCorrected
 			}
-			s.writeDataSymbols(b, corrected[:s.k()])
+			s.writeDataSymbols(scr.b, word[:k])
+			dram.OrChipInto(s.org, dst, i, scr.b)
 		}
-		bursts[i] = b
 	}
-	return dram.JoinLine(s.org, bursts), claim
+	s.scr.Put(scr)
+	return claim
 }
 
 // StorageOverhead implements ecc.Scheme: parity bits per data bits.
@@ -288,7 +350,13 @@ func (s *SparedScheme) Name() string { return s.Scheme.name + "-spared" }
 
 // Decode implements ecc.Scheme with the spared pins erased.
 func (s *SparedScheme) Decode(st *ecc.Stored) ([]byte, ecc.Claim) {
-	return s.decode(st, s.erasures)
+	line := make([]byte, s.org.LineBytes())
+	return line, s.decodeInto(line, st, s.erasures)
+}
+
+// DecodeInto implements ecc.BufferedScheme with the spared pins erased.
+func (s *SparedScheme) DecodeInto(dst []byte, st *ecc.Stored) ecc.Claim {
+	return s.decodeInto(dst, st, s.erasures)
 }
 
 // SparedPins returns the number of pins marked bad.

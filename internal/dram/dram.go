@@ -178,6 +178,14 @@ func (b *Burst) Clone() *Burst {
 	return &Burst{Pins: b.Pins, Beats: b.Beats, bits: b.bits.Clone()}
 }
 
+// CopyFrom overwrites b with other's contents. Shapes must match.
+func (b *Burst) CopyFrom(other *Burst) {
+	if b.Pins != other.Pins || b.Beats != other.Beats {
+		panic("dram: burst shape mismatch in CopyFrom")
+	}
+	b.bits.CopyFrom(other.bits)
+}
+
 // Xor applies an error mask of identical shape.
 func (b *Burst) Xor(mask *Burst) {
 	if b.Pins != mask.Pins || b.Beats != mask.Beats {
@@ -283,52 +291,109 @@ func BurstFromBytes(buf []byte, pins, beats int) *Burst {
 	return &Burst{Pins: pins, Beats: beats, bits: bitvec.FromBytes(buf, pins*beats)}
 }
 
+// getLineBits reads the w-bit field (w <= 16) at bit offset off of an
+// LSB-first byte buffer.
+func getLineBits(buf []byte, off, w int) uint64 {
+	var v uint64
+	bo, sh := off>>3, off&7
+	nb := (sh + w + 7) / 8
+	for i := 0; i < nb; i++ {
+		v |= uint64(buf[bo+i]) << (8 * i)
+	}
+	return (v >> uint(sh)) & (1<<uint(w) - 1)
+}
+
+// orLineBits ORs the low w bits (w <= 16) of val into the byte buffer at
+// bit offset off.
+func orLineBits(buf []byte, off int, val uint64, w int) {
+	val &= 1<<uint(w) - 1
+	bo, sh := off>>3, off&7
+	val <<= uint(sh)
+	for i := 0; val != 0; i++ {
+		buf[bo+i] |= byte(val)
+		val >>= 8
+	}
+}
+
 // SplitLine distributes a cache line over the data chips of a rank access:
 // beat-major, chip c carrying bits [c*Pins, (c+1)*Pins) of each beat. The
 // returned slice has one Burst per data chip. len(line) must equal
 // o.LineBytes().
 func SplitLine(o Organization, line []byte) []*Burst {
-	if len(line) != o.LineBytes() {
-		panic(fmt.Sprintf("dram: line length %d, want %d", len(line), o.LineBytes()))
-	}
-	lineBits := bitvec.FromBytes(line, len(line)*8)
 	bursts := make([]*Burst, o.ChipsPerRank)
-	busWidth := o.ChipsPerRank * o.Pins
 	for c := range bursts {
 		bursts[c] = NewBurst(o.Pins, o.BurstLen)
 	}
-	for beat := 0; beat < o.BurstLen; beat++ {
-		for c := 0; c < o.ChipsPerRank; c++ {
-			for p := 0; p < o.Pins; p++ {
-				bit := beat*busWidth + c*o.Pins + p
-				if lineBits.Get(bit) {
-					bursts[c].Set(p, beat, true)
-				}
-			}
-		}
-	}
+	SplitLineInto(o, line, bursts)
 	return bursts
+}
+
+// SplitLineInto is SplitLine over caller-owned bursts: it overwrites every
+// bit of each burst and allocates nothing. Bursts must have the access
+// shape (Pins x BurstLen).
+func SplitLineInto(o Organization, line []byte, bursts []*Burst) {
+	if len(bursts) != o.ChipsPerRank {
+		panic(fmt.Sprintf("dram: %d bursts, want %d", len(bursts), o.ChipsPerRank))
+	}
+	for c, b := range bursts {
+		SplitChipInto(o, line, c, b)
+	}
+}
+
+// SplitChipInto extracts chip's burst of the rank access into b,
+// overwriting every bit and allocating nothing.
+func SplitChipInto(o Organization, line []byte, chip int, b *Burst) {
+	if len(line) != o.LineBytes() {
+		panic(fmt.Sprintf("dram: line length %d, want %d", len(line), o.LineBytes()))
+	}
+	if b.Pins != o.Pins || b.Beats != o.BurstLen {
+		panic("dram: burst shape mismatch in SplitChipInto")
+	}
+	busWidth := o.ChipsPerRank * o.Pins
+	b.bits.Clear()
+	for beat := 0; beat < o.BurstLen; beat++ {
+		field := getLineBits(line, beat*busWidth+chip*o.Pins, o.Pins)
+		b.bits.OrBits(beat*o.Pins, field, o.Pins)
+	}
+}
+
+// OrChipInto ORs chip's burst bits into their line positions. Callers
+// assembling a line chip by chip zero it first (JoinLineInto does both).
+func OrChipInto(o Organization, line []byte, chip int, b *Burst) {
+	if len(line) != o.LineBytes() {
+		panic(fmt.Sprintf("dram: line length %d, want %d", len(line), o.LineBytes()))
+	}
+	if b.Pins != o.Pins || b.Beats != o.BurstLen {
+		panic("dram: burst shape mismatch in OrChipInto")
+	}
+	busWidth := o.ChipsPerRank * o.Pins
+	for beat := 0; beat < o.BurstLen; beat++ {
+		field := b.bits.GetBits(beat*o.Pins, o.Pins)
+		orLineBits(line, beat*busWidth+chip*o.Pins, field, o.Pins)
+	}
 }
 
 // JoinLine reassembles a cache line from per-chip bursts (inverse of
 // SplitLine).
 func JoinLine(o Organization, bursts []*Burst) []byte {
+	line := make([]byte, o.LineBytes())
+	JoinLineInto(o, line, bursts)
+	return line
+}
+
+// JoinLineInto is JoinLine into a caller-owned line buffer: it overwrites
+// every byte and allocates nothing.
+func JoinLineInto(o Organization, line []byte, bursts []*Burst) {
+	if len(line) != o.LineBytes() {
+		panic(fmt.Sprintf("dram: line length %d, want %d", len(line), o.LineBytes()))
+	}
 	if len(bursts) != o.ChipsPerRank {
 		panic(fmt.Sprintf("dram: %d bursts, want %d", len(bursts), o.ChipsPerRank))
 	}
-	lineBits := bitvec.New(o.LineBytes() * 8)
-	busWidth := o.ChipsPerRank * o.Pins
-	for beat := 0; beat < o.BurstLen; beat++ {
-		for c := 0; c < o.ChipsPerRank; c++ {
-			if bursts[c].Pins != o.Pins || bursts[c].Beats != o.BurstLen {
-				panic("dram: burst shape mismatch in JoinLine")
-			}
-			for p := 0; p < o.Pins; p++ {
-				if bursts[c].Get(p, beat) {
-					lineBits.Set(beat*busWidth+c*o.Pins+p, true)
-				}
-			}
-		}
+	for i := range line {
+		line[i] = 0
 	}
-	return lineBits.Bytes()
+	for c, b := range bursts {
+		OrChipInto(o, line, c, b)
+	}
 }

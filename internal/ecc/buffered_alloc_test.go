@@ -1,0 +1,32 @@
+// The scheme scratch pools are sync.Pools, and the race detector randomly
+// drops Pool.Put items, so the zero-allocation guarantee only holds in
+// normal builds.
+//go:build !race
+
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBufferedSchemeAllocs pins the encode+decode steady state at zero
+// allocations per trial for every buffered scheme.
+func TestBufferedSchemeAllocs(t *testing.T) {
+	for _, s := range bufferedSchemesUnderTest() {
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			line := randLine(rng, s.Org().LineBytes())
+			st := s.NewStored()
+			dst := make([]byte, len(line))
+			s.EncodeInto(st, line) // warm the scratch pools
+			s.DecodeInto(dst, st)
+			if n := testing.AllocsPerRun(200, func() {
+				s.EncodeInto(st, line)
+				s.DecodeInto(dst, st)
+			}); n != 0 {
+				t.Fatalf("EncodeInto+DecodeInto allocated %.1f/op, want 0", n)
+			}
+		})
+	}
+}

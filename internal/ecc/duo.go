@@ -1,6 +1,8 @@
 package ecc
 
 import (
+	"sync"
+
 	"pair/internal/dram"
 	"pair/internal/rs"
 )
@@ -29,6 +31,14 @@ import (
 type DUO struct {
 	org  dram.Organization
 	code *rs.Code
+	scr  sync.Pool // *duoScratch per-decode workspace
+}
+
+// duoScratch is the per-goroutine decode workspace: a reusable RS decoder
+// plus a codeword buffer.
+type duoScratch struct {
+	dec  *rs.Decoder
+	word []byte
 }
 
 // NewDUO returns the DUO scheme on the given organization (pins must be a
@@ -41,7 +51,11 @@ func NewDUO(org dram.Organization) *DUO {
 		panic("ecc: DUO requires a multiple of 8 pins for byte symbols")
 	}
 	k := org.AccessBits() / 8
-	return &DUO{org: org, code: rs.MustNew(k+2, k)}
+	s := &DUO{org: org, code: rs.MustNew(k+2, k)}
+	s.scr.New = func() any {
+		return &duoScratch{dec: s.code.NewDecoder(), word: make([]byte, s.code.N)}
+	}
+	return s
 }
 
 // Name implements Scheme.
@@ -53,63 +67,97 @@ func (s *DUO) Org() dram.Organization { return s.org }
 // groups returns the number of byte groups per beat.
 func (s *DUO) groups() int { return s.org.Pins / 8 }
 
-// chipSymbols extracts the beat-aligned data symbols of a chip access.
-func (s *DUO) chipSymbols(b *dram.Burst) []byte {
-	syms := make([]byte, s.code.K)
-	g := s.groups()
-	for beat := 0; beat < s.org.BurstLen; beat++ {
-		for grp := 0; grp < g; grp++ {
-			syms[beat*g+grp] = b.BeatByte(beat, grp)
-		}
+// chipSymbolsInto extracts the beat-aligned data symbols of a chip access
+// into syms (length K). Symbol (beat, group) occupies bits
+// [8*(beat*groups+group), +8) of the burst's bit vector — Pins is a
+// multiple of 8 — so extraction is a sequential byte read.
+func (s *DUO) chipSymbolsInto(syms []byte, b *dram.Burst) {
+	bits := b.Bits()
+	for j := range syms {
+		syms[j] = byte(bits.GetBits(8*j, 8))
 	}
-	return syms
 }
 
-// Encode implements Scheme.
-func (s *DUO) Encode(line []byte) *Stored {
-	bursts := dram.SplitLine(s.org, line)
-	st := &Stored{Org: s.org, Chips: make([]*ChipImage, len(bursts))}
-	for i, b := range bursts {
-		cw := s.code.Encode(s.chipSymbols(b))
-		// The two parity symbols travel on the extension beat.
-		xfer := dram.NewBurst(s.org.Pins, 1)
-		for p := 0; p < 2; p++ {
-			xfer.SetBeatByte(0, p, cw[s.code.K+p])
+// NewStored implements BufferedScheme: one data burst plus the extension
+// beat (Xfer) carrying the two parity symbols per chip.
+func (s *DUO) NewStored() *Stored {
+	st := &Stored{Org: s.org, Chips: make([]*ChipImage, s.org.ChipsPerRank)}
+	for i := range st.Chips {
+		st.Chips[i] = &ChipImage{
+			Data: dram.NewBurst(s.org.Pins, s.org.BurstLen),
+			Xfer: dram.NewBurst(s.org.Pins, 1),
 		}
-		st.Chips[i] = &ChipImage{Data: b, Xfer: xfer}
 	}
 	return st
 }
 
+// Encode implements Scheme.
+func (s *DUO) Encode(line []byte) *Stored {
+	st := s.NewStored()
+	s.EncodeInto(st, line)
+	return st
+}
+
+// EncodeInto implements BufferedScheme.
+func (s *DUO) EncodeInto(st *Stored, line []byte) {
+	scr := s.scr.Get().(*duoScratch)
+	word := scr.word
+	for i, ci := range st.Chips {
+		dram.SplitChipInto(s.org, line, i, ci.Data)
+		s.chipSymbolsInto(word[:s.code.K], ci.Data)
+		s.code.EncodeTo(word[:s.code.K], word)
+		// The two parity symbols travel on the extension beat.
+		xb := ci.Xfer.Bits()
+		xb.Clear()
+		for p := 0; p < 2; p++ {
+			xb.OrBits(8*p, uint64(word[s.code.K+p]), 8)
+		}
+	}
+	s.scr.Put(scr)
+}
+
 // Decode implements Scheme: the controller decodes RS(18,16) per chip.
 func (s *DUO) Decode(st *Stored) ([]byte, Claim) {
+	line := make([]byte, s.org.LineBytes())
+	return line, s.DecodeInto(line, st)
+}
+
+// DecodeInto implements BufferedScheme. Corrected symbol j = (beat, group)
+// of chip c lands at line byte beat*(busWidth/8) + c*(Pins/8) + group, so
+// chips write their line bytes directly and together cover every byte of
+// dst.
+func (s *DUO) DecodeInto(dst []byte, st *Stored) Claim {
 	claim := ClaimClean
-	bursts := make([]*dram.Burst, len(st.Chips))
 	g := s.groups()
+	lineStride := s.org.ChipsPerRank * s.org.Pins / 8
+	scr := s.scr.Get().(*duoScratch)
+	word := scr.word
 	for i, ci := range st.Chips {
-		word := make([]byte, s.code.N)
-		copy(word, s.chipSymbols(ci.Data))
+		bits := ci.Data.Bits()
+		s.chipSymbolsInto(word[:s.code.K], ci.Data)
 		for p := 0; p < 2; p++ {
-			word[s.code.K+p] = ci.Xfer.BeatByte(0, p)
+			word[s.code.K+p] = byte(ci.Xfer.Bits().GetBits(8*p, 8))
 		}
-		corrected, nerr, err := s.code.Decode(word, nil)
-		b := dram.NewBurst(s.org.Pins, s.org.BurstLen)
+		nerr, err := scr.dec.DecodeInto(word, word, nil)
+		base := i * (s.org.Pins / 8)
 		if err != nil {
 			claim = ClaimDetected
-			b = ci.Data.Clone() // pass the raw data along with the flag
+			// Pass the raw data along with the flag (word is unspecified
+			// after a decode failure, so re-read the stored burst).
+			for j := 0; j < s.code.K; j++ {
+				dst[(j/g)*lineStride+base+j%g] = byte(bits.GetBits(8*j, 8))
+			}
 		} else {
 			if nerr > 0 && claim != ClaimDetected {
 				claim = ClaimCorrected
 			}
-			for beat := 0; beat < s.org.BurstLen; beat++ {
-				for grp := 0; grp < g; grp++ {
-					b.SetBeatByte(beat, grp, corrected[beat*g+grp])
-				}
+			for j := 0; j < s.code.K; j++ {
+				dst[(j/g)*lineStride+base+j%g] = word[j]
 			}
 		}
-		bursts[i] = b
 	}
-	return dram.JoinLine(s.org, bursts), claim
+	s.scr.Put(scr)
+	return claim
 }
 
 // StorageOverhead implements Scheme: 16 redundancy bits per 128 data bits.

@@ -32,35 +32,57 @@ func (s *IECC) Name() string { return "iecc" }
 // Org implements Scheme.
 func (s *IECC) Org() dram.Organization { return s.org }
 
-// Encode implements Scheme.
-func (s *IECC) Encode(line []byte) *Stored {
-	bursts := dram.SplitLine(s.org, line)
-	st := &Stored{Org: s.org, Chips: make([]*ChipImage, len(bursts))}
-	for i, b := range bursts {
-		cw := s.code.Encode(b.Bits())
-		onDie := bitvec.New(s.code.M)
-		for j := 0; j < s.code.M; j++ {
-			onDie.Set(j, cw.Get(s.code.K+j))
+// NewStored implements BufferedScheme.
+func (s *IECC) NewStored() *Stored {
+	st := &Stored{Org: s.org, Chips: make([]*ChipImage, s.org.ChipsPerRank)}
+	for i := range st.Chips {
+		st.Chips[i] = &ChipImage{
+			Data:  dram.NewBurst(s.org.Pins, s.org.BurstLen),
+			OnDie: bitvec.New(s.code.M),
 		}
-		st.Chips[i] = &ChipImage{Data: b, OnDie: onDie}
 	}
 	return st
+}
+
+// Encode implements Scheme.
+func (s *IECC) Encode(line []byte) *Stored {
+	st := s.NewStored()
+	s.EncodeInto(st, line)
+	return st
+}
+
+// EncodeInto implements BufferedScheme. The codeword is systematic and the
+// burst's bit vector is exactly the data half, so the on-die region is
+// just the check bits of the burst.
+func (s *IECC) EncodeInto(st *Stored, line []byte) {
+	for i, ci := range st.Chips {
+		dram.SplitChipInto(s.org, line, i, ci.Data)
+		ck := s.code.CheckBits(ci.Data.Bits())
+		ci.OnDie.Clear()
+		ci.OnDie.OrBits(0, uint64(ck), s.code.M)
+	}
 }
 
 // Decode implements Scheme. Each chip decodes independently inside the
 // die; the controller sees only the (possibly miscorrected) data.
 func (s *IECC) Decode(st *Stored) ([]byte, Claim) {
+	line := make([]byte, s.org.LineBytes())
+	return line, s.DecodeInto(line, st)
+}
+
+// DecodeInto implements BufferedScheme. The syndrome of the (data,
+// on-die check) pair is CheckBits(data) XOR storedCheck, so no N-bit word
+// is assembled; a data-bit correction lands directly in the line buffer.
+func (s *IECC) DecodeInto(dst []byte, st *Stored) Claim {
+	for i := range dst {
+		dst[i] = 0
+	}
 	claim := ClaimClean
-	bursts := make([]*dram.Burst, len(st.Chips))
+	busWidth := s.org.ChipsPerRank * s.org.Pins
 	for i, ci := range st.Chips {
-		word := bitvec.New(s.code.N)
-		for j := 0; j < s.code.K; j++ {
-			word.Set(j, ci.Data.Bits().Get(j))
-		}
-		for j := 0; j < s.code.M; j++ {
-			word.Set(s.code.K+j, ci.OnDie.Get(j))
-		}
-		corrected, outcome := s.code.Decode(word)
+		dram.OrChipInto(s.org, dst, i, ci.Data)
+		syn := s.code.CheckBits(ci.Data.Bits()) ^ uint16(ci.OnDie.GetBits(0, s.code.M))
+		pos, outcome := s.code.DecodeSyndrome(syn)
 		switch outcome {
 		case hamming.Detected:
 			claim = ClaimDetected
@@ -68,16 +90,15 @@ func (s *IECC) Decode(st *Stored) ([]byte, Claim) {
 			if claim != ClaimDetected {
 				claim = ClaimCorrected
 			}
-		}
-		b := dram.NewBurst(s.org.Pins, s.org.BurstLen)
-		for j := 0; j < s.code.K; j++ {
-			if corrected.Get(j) {
-				b.Set(j%s.org.Pins, j/s.org.Pins, true)
+			if pos < s.code.K {
+				// Data-bit flip: burst bit pos is (pin pos%Pins, beat
+				// pos/Pins), i.e. line bit beat*busWidth + chip*Pins + pin.
+				bit := (pos/s.org.Pins)*busWidth + i*s.org.Pins + pos%s.org.Pins
+				dst[bit/8] ^= 1 << (bit % 8)
 			}
 		}
-		bursts[i] = b
 	}
-	return dram.JoinLine(s.org, bursts), claim
+	return claim
 }
 
 // StorageOverhead implements Scheme: 8/128 = 6.25%.

@@ -23,23 +23,44 @@ func (n *None) Name() string { return "none" }
 // Org implements Scheme.
 func (n *None) Org() dram.Organization { return n.org }
 
-// Encode implements Scheme.
-func (n *None) Encode(line []byte) *Stored {
-	bursts := dram.SplitLine(n.org, line)
-	st := &Stored{Org: n.org, Chips: make([]*ChipImage, len(bursts))}
-	for i, b := range bursts {
-		st.Chips[i] = &ChipImage{Data: b}
+// NewStored implements BufferedScheme.
+func (n *None) NewStored() *Stored {
+	st := &Stored{Org: n.org, Chips: make([]*ChipImage, n.org.ChipsPerRank)}
+	for i := range st.Chips {
+		st.Chips[i] = &ChipImage{Data: dram.NewBurst(n.org.Pins, n.org.BurstLen)}
 	}
 	return st
 }
 
+// Encode implements Scheme.
+func (n *None) Encode(line []byte) *Stored {
+	st := n.NewStored()
+	n.EncodeInto(st, line)
+	return st
+}
+
+// EncodeInto implements BufferedScheme.
+func (n *None) EncodeInto(st *Stored, line []byte) {
+	for i, ci := range st.Chips {
+		dram.SplitChipInto(n.org, line, i, ci.Data)
+	}
+}
+
 // Decode implements Scheme.
 func (n *None) Decode(st *Stored) ([]byte, Claim) {
-	bursts := make([]*dram.Burst, len(st.Chips))
-	for i, ci := range st.Chips {
-		bursts[i] = ci.Data
+	line := make([]byte, n.org.LineBytes())
+	return line, n.DecodeInto(line, st)
+}
+
+// DecodeInto implements BufferedScheme.
+func (n *None) DecodeInto(dst []byte, st *Stored) Claim {
+	for i := range dst {
+		dst[i] = 0
 	}
-	return dram.JoinLine(n.org, bursts), ClaimClean
+	for i, ci := range st.Chips {
+		dram.OrChipInto(n.org, dst, i, ci.Data)
+	}
+	return ClaimClean
 }
 
 // StorageOverhead implements Scheme.

@@ -204,6 +204,29 @@ type AccessCost struct {
 	DetectionRereadRate float64
 }
 
+// BufferedScheme is the allocation-free fast path a Scheme may offer for
+// Monte-Carlo campaigns: the caller owns the Stored image and the decoded
+// line buffer and reuses both across trials.
+//
+// Ownership rules: EncodeInto must overwrite every stored bit of st (the
+// image may carry fault-injection corruption from a previous trial), and
+// DecodeInto must overwrite every byte of dst. Neither may retain
+// references to the caller's buffers. Implementations keep any per-decode
+// scratch in an internal sync.Pool, so a single scheme value stays safe
+// for concurrent use.
+type BufferedScheme interface {
+	Scheme
+	// NewStored allocates a Stored image shaped for this scheme, ready
+	// for EncodeInto.
+	NewStored() *Stored
+	// EncodeInto (re)builds the physical storage image of line
+	// (Org().LineBytes() bytes) into st.
+	EncodeInto(st *Stored, line []byte)
+	// DecodeInto recovers the line into dst (Org().LineBytes() bytes)
+	// from a possibly corrupted image and reports the decoder's claim.
+	DecodeInto(dst []byte, st *Stored) Claim
+}
+
 // Scheme is one ECC architecture under evaluation.
 type Scheme interface {
 	// Name is a short stable identifier ("pair", "xed", ...).

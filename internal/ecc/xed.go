@@ -1,6 +1,8 @@
 package ecc
 
 import (
+	"sync"
+
 	"pair/internal/bitvec"
 	"pair/internal/dram"
 	"pair/internal/hamming"
@@ -30,6 +32,7 @@ import (
 type XED struct {
 	org  dram.Organization
 	code *hamming.Code
+	rec  sync.Pool // *dram.Burst reconstruction scratch
 }
 
 // NewXED returns the XED scheme on the given organization.
@@ -37,7 +40,9 @@ func NewXED(org dram.Organization) *XED {
 	if err := org.Validate(); err != nil {
 		panic(err)
 	}
-	return &XED{org: org, code: hamming.MustSEC(org.AccessBits())}
+	s := &XED{org: org, code: hamming.MustSEC(org.AccessBits())}
+	s.rec.New = func() any { return dram.NewBurst(org.Pins, org.BurstLen) }
+	return s
 }
 
 // Name implements Scheme.
@@ -46,44 +51,65 @@ func (s *XED) Name() string { return "xed" }
 // Org implements Scheme.
 func (s *XED) Org() dram.Organization { return s.org }
 
-// Encode implements Scheme. Chips[0..ChipsPerRank) are the data chips;
-// Chips[ChipsPerRank] is the inline parity image.
-func (s *XED) Encode(line []byte) *Stored {
-	bursts := dram.SplitLine(s.org, line)
-	st := &Stored{Org: s.org, Chips: make([]*ChipImage, len(bursts)+1)}
-	parity := dram.NewBurst(s.org.Pins, s.org.BurstLen)
-	for i, b := range bursts {
-		st.Chips[i] = &ChipImage{Data: b, OnDie: s.detectorBits(b)}
-		parity.Xor(b)
+// NewStored implements BufferedScheme: data chips plus the inline parity
+// image.
+func (s *XED) NewStored() *Stored {
+	st := &Stored{Org: s.org, Chips: make([]*ChipImage, s.org.ChipsPerRank+1)}
+	for i := range st.Chips {
+		st.Chips[i] = &ChipImage{
+			Data:  dram.NewBurst(s.org.Pins, s.org.BurstLen),
+			OnDie: bitvec.New(s.code.M),
+		}
 	}
-	st.Chips[len(bursts)] = &ChipImage{Data: parity, OnDie: s.detectorBits(parity)}
 	return st
 }
 
-// detectorBits computes the on-die check bits for a burst.
-func (s *XED) detectorBits(b *dram.Burst) *bitvec.Vec {
-	cw := s.code.Encode(b.Bits())
-	onDie := bitvec.New(s.code.M)
-	for j := 0; j < s.code.M; j++ {
-		onDie.Set(j, cw.Get(s.code.K+j))
-	}
-	return onDie
+// Encode implements Scheme. Chips[0..ChipsPerRank) are the data chips;
+// Chips[ChipsPerRank] is the inline parity image.
+func (s *XED) Encode(line []byte) *Stored {
+	st := s.NewStored()
+	s.EncodeInto(st, line)
+	return st
 }
 
-// flagged reports whether the chip's detector fires (nonzero syndrome).
+// EncodeInto implements BufferedScheme.
+func (s *XED) EncodeInto(st *Stored, line []byte) {
+	nData := s.org.ChipsPerRank
+	parity := st.Chips[nData]
+	for i := 0; i < nData; i++ {
+		ci := st.Chips[i]
+		dram.SplitChipInto(s.org, line, i, ci.Data)
+		s.setDetectorBits(ci)
+		if i == 0 {
+			parity.Data.CopyFrom(ci.Data)
+		} else {
+			parity.Data.Xor(ci.Data)
+		}
+	}
+	s.setDetectorBits(parity)
+}
+
+// setDetectorBits writes the on-die check bits of the image's burst.
+func (s *XED) setDetectorBits(ci *ChipImage) {
+	ck := s.code.CheckBits(ci.Data.Bits())
+	ci.OnDie.Clear()
+	ci.OnDie.OrBits(0, uint64(ck), s.code.M)
+}
+
+// flagged reports whether the chip's detector fires (nonzero syndrome):
+// the data's recomputed check bits disagree with the stored ones.
 func (s *XED) flagged(ci *ChipImage) bool {
-	word := bitvec.New(s.code.N)
-	for j := 0; j < s.code.K; j++ {
-		word.Set(j, ci.Data.Bits().Get(j))
-	}
-	for j := 0; j < s.code.M; j++ {
-		word.Set(s.code.K+j, ci.OnDie.Get(j))
-	}
-	return s.code.Syndrome(word) != 0
+	return s.code.CheckBits(ci.Data.Bits()) != uint16(ci.OnDie.GetBits(0, s.code.M))
 }
 
 // Decode implements Scheme.
 func (s *XED) Decode(st *Stored) ([]byte, Claim) {
+	line := make([]byte, s.org.LineBytes())
+	return line, s.DecodeInto(line, st)
+}
+
+// DecodeInto implements BufferedScheme.
+func (s *XED) DecodeInto(dst []byte, st *Stored) Claim {
 	nData := s.org.ChipsPerRank
 	flaggedChip := -1
 	nFlagged := 0
@@ -93,34 +119,43 @@ func (s *XED) Decode(st *Stored) ([]byte, Claim) {
 			nFlagged++
 		}
 	}
-	bursts := make([]*dram.Burst, nData)
-	for i := 0; i < nData; i++ {
-		bursts[i] = st.Chips[i].Data
+	for i := range dst {
+		dst[i] = 0
 	}
 	switch {
 	case nFlagged == 0:
 		// Nothing signalled: data passes through. The rank parity is NOT
 		// verified on ordinary reads (faithful to XED's design), so an
 		// aliased pattern sails through as SDC.
-		return dram.JoinLine(s.org, bursts), ClaimClean
+		for i := 0; i < nData; i++ {
+			dram.OrChipInto(s.org, dst, i, st.Chips[i].Data)
+		}
+		return ClaimClean
 	case nFlagged == 1:
 		parityImg := st.Chips[nData]
 		if s.flagged(parityImg) {
 			// Reconstruction source is itself suspect.
-			return dram.JoinLine(s.org, bursts), ClaimDetected
+			for i := 0; i < nData; i++ {
+				dram.OrChipInto(s.org, dst, i, st.Chips[i].Data)
+			}
+			return ClaimDetected
 		}
-		rec := parityImg.Data.Clone()
+		rec := s.rec.Get().(*dram.Burst)
+		rec.CopyFrom(parityImg.Data)
 		for i := 0; i < nData; i++ {
 			if i != flaggedChip {
 				rec.Xor(st.Chips[i].Data)
+				dram.OrChipInto(s.org, dst, i, st.Chips[i].Data)
 			}
 		}
-		repaired := make([]*dram.Burst, nData)
-		copy(repaired, bursts)
-		repaired[flaggedChip] = rec
-		return dram.JoinLine(s.org, repaired), ClaimCorrected
+		dram.OrChipInto(s.org, dst, flaggedChip, rec)
+		s.rec.Put(rec)
+		return ClaimCorrected
 	default:
-		return dram.JoinLine(s.org, bursts), ClaimDetected
+		for i := 0; i < nData; i++ {
+			dram.OrChipInto(s.org, dst, i, st.Chips[i].Data)
+		}
+		return ClaimDetected
 	}
 }
 

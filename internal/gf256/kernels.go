@@ -1,0 +1,117 @@
+package gf256
+
+// This file holds the allocation-free, bounds-check-friendly kernels the
+// hot codec paths (internal/rs) are built on: a full 64 KiB multiplication
+// table with per-constant row access, fused Horner evaluation steps, and
+// 4-bit nibble-split tables for long-slice multiplication where a full row
+// would thrash the cache.
+
+// mulTab[a][b] = a*b over GF(2^8). 64 KiB; a row (fixed first operand) is
+// four cache lines, which makes constant-times-variable inner loops a
+// single branch-free lookup per element.
+var mulTab [256][256]byte
+
+func init() {
+	// gf256.go's init (sorted first in the package) has already built
+	// expTable/logTable.
+	for a := 1; a < 256; a++ {
+		la := int(logTable[a])
+		row := &mulTab[a]
+		for b := 1; b < 256; b++ {
+			row[b] = expTable[la+int(logTable[b])]
+		}
+	}
+}
+
+// Row returns the multiplication row of c: Row(c)[b] == Mul(c, b) for all
+// b. The row is shared and read-only; callers keep the pointer across an
+// inner loop so each product is one table lookup with no branches.
+func Row(c byte) *[256]byte { return &mulTab[c] }
+
+// MulSliceTo computes dst[i] = c * src[i] for all i. dst and src must have
+// the same length; they may alias. It is the scatter-free counterpart of
+// MulSlice (which accumulates with ^=).
+func MulSliceTo(dst []byte, c byte, src []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSliceTo length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	row := &mulTab[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// EvalAsc evaluates the ascending-power polynomial p (p[i] the x^i
+// coefficient) at x with a fused table-row Horner step: one lookup and one
+// XOR per coefficient, no branches.
+func EvalAsc(p []byte, x byte) byte {
+	row := &mulTab[x]
+	var acc byte
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = row[acc] ^ p[i]
+	}
+	return acc
+}
+
+// EvalDesc evaluates word as a descending-power polynomial (word[0] the
+// highest-degree coefficient) at x — the orientation Reed-Solomon syndrome
+// computation uses.
+func EvalDesc(word []byte, x byte) byte {
+	row := &mulTab[x]
+	var acc byte
+	for _, w := range word {
+		acc = row[acc] ^ w
+	}
+	return acc
+}
+
+// NibbleTable is the 4-bit split multiplication table of a constant c:
+// 32 bytes covering both nibbles, so c*b = lo[b&15] ^ hi[b>>4]. For long
+// slices with a changing constant it beats a full 256-byte row because the
+// whole table stays in registers/L1 regardless of the data distribution.
+type NibbleTable struct {
+	lo, hi [16]byte
+}
+
+// MakeNibbleTable builds the nibble-split table of c.
+func MakeNibbleTable(c byte) NibbleTable {
+	var t NibbleTable
+	if c == 0 {
+		return t
+	}
+	row := &mulTab[c]
+	for i := 0; i < 16; i++ {
+		t.lo[i] = row[i]
+		t.hi[i] = row[i<<4]
+	}
+	return t
+}
+
+// Mul returns c*b using the table.
+func (t *NibbleTable) Mul(b byte) byte { return t.lo[b&0x0f] ^ t.hi[b>>4] }
+
+// MulSliceXor computes dst[i] ^= c*src[i] branch-free.
+func (t *NibbleTable) MulSliceXor(dst, src []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: NibbleTable.MulSliceXor length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= t.lo[s&0x0f] ^ t.hi[s>>4]
+	}
+}
+
+// MulSliceTo computes dst[i] = c*src[i] branch-free.
+func (t *NibbleTable) MulSliceTo(dst, src []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: NibbleTable.MulSliceTo length mismatch")
+	}
+	for i, s := range src {
+		dst[i] = t.lo[s&0x0f] ^ t.hi[s>>4]
+	}
+}

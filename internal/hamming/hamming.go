@@ -182,34 +182,68 @@ func (c *Code) Syndrome(word *bitvec.Vec) uint16 {
 	if word.Len() != c.N {
 		panic(fmt.Sprintf("hamming: word length %d, want %d", word.Len(), c.N))
 	}
+	return c.xorCols(word)
+}
+
+// CheckBits returns the M check bits implied by the K-bit data vector —
+// the XOR of the parity-check columns of its set bits. Because the check
+// columns are unit vectors, the syndrome of a full word equals
+// CheckBits(data) XOR storedCheckBits, which lets callers that keep data
+// and check bits in separate containers (the on-die ECC schemes) skip
+// assembling an N-bit word entirely. Allocates nothing.
+func (c *Code) CheckBits(data *bitvec.Vec) uint16 {
+	if data.Len() != c.K {
+		panic(fmt.Sprintf("hamming: data length %d, want %d", data.Len(), c.K))
+	}
+	return c.xorCols(data)
+}
+
+// xorCols XORs the columns of v's set bits by iterating the backing words
+// directly (no position-slice allocation).
+func (c *Code) xorCols(v *bitvec.Vec) uint16 {
 	var syn uint16
-	for _, pos := range word.OnesPositions() {
-		syn ^= c.cols[pos]
+	for wi := 0; wi < v.NumWords(); wi++ {
+		w := v.Word(wi)
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			syn ^= c.cols[base+b]
+			w &= w - 1
+		}
 	}
 	return syn
 }
 
-// Decode attempts to correct word in place (on a clone) and returns the
-// possibly-corrected word with the outcome classification.
-func (c *Code) Decode(word *bitvec.Vec) (*bitvec.Vec, Outcome) {
-	syn := c.Syndrome(word)
+// DecodeSyndrome classifies a precomputed syndrome without touching the
+// word: it returns the codeword position to flip and Corrected, or -1 with
+// Clean/Detected.
+func (c *Code) DecodeSyndrome(syn uint16) (int, Outcome) {
 	if syn == 0 {
-		return word.Clone(), Clean
+		return -1, Clean
 	}
 	if c.secded && bits.OnesCount16(syn)%2 == 0 {
 		// Even-weight syndrome with odd-weight columns: an even number of
 		// errors — detected, uncorrectable.
-		return word.Clone(), Detected
+		return -1, Detected
 	}
 	pos, ok := c.colIdx[syn]
 	if !ok {
 		// Syndrome matches no column: detected uncorrectable (possible for
 		// shortened codes and for >=2-bit patterns).
-		return word.Clone(), Detected
+		return -1, Detected
 	}
+	return pos, Corrected
+}
+
+// Decode attempts to correct word in place (on a clone) and returns the
+// possibly-corrected word with the outcome classification.
+func (c *Code) Decode(word *bitvec.Vec) (*bitvec.Vec, Outcome) {
+	pos, outcome := c.DecodeSyndrome(c.Syndrome(word))
 	out := word.Clone()
-	out.Flip(pos)
-	return out, Corrected
+	if outcome == Corrected {
+		out.Flip(pos)
+	}
+	return out, outcome
 }
 
 // Data extracts the data bits from a codeword.

@@ -17,6 +17,7 @@ package reliability
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"runtime"
@@ -25,6 +26,49 @@ import (
 	"pair/internal/ecc"
 	"pair/internal/faults"
 )
+
+// numWorkers picks the worker count for a campaign: all CPUs, but never
+// more workers than trials (and at least one, so an empty campaign still
+// terminates cleanly).
+func numWorkers(trials int) int {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > trials {
+		nw = trials
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
+}
+
+// runTrials executes n encode/inject/decode trials with the given RNG and
+// returns the outcome counts. When the scheme implements ecc.BufferedScheme
+// the stored image and both line buffers are reused across trials
+// (allocation-free steady state); the RNG draw order is identical on both
+// paths, so results do not depend on which path ran.
+func runTrials(scheme ecc.Scheme, rng *rand.Rand, n int, inject func(*rand.Rand, *ecc.Stored)) (counts [4]int64) {
+	line := make([]byte, scheme.Org().LineBytes())
+	if buf, ok := scheme.(ecc.BufferedScheme); ok {
+		st := buf.NewStored()
+		decoded := make([]byte, len(line))
+		for t := 0; t < n; t++ {
+			rng.Read(line)
+			buf.EncodeInto(st, line)
+			inject(rng, st)
+			claim := buf.DecodeInto(decoded, st)
+			counts[ecc.Classify(line, decoded, claim)]++
+		}
+		return counts
+	}
+	for t := 0; t < n; t++ {
+		rng.Read(line)
+		st := scheme.Encode(line)
+		inject(rng, st)
+		decoded, claim := scheme.Decode(st)
+		counts[ecc.Classify(line, decoded, claim)]++
+	}
+	return counts
+}
 
 // OutcomeRates is the per-access probability of each classified outcome.
 type OutcomeRates struct {
@@ -85,10 +129,7 @@ func BuildProfile(scheme ecc.Scheme, cfg SweepConfig) *ConditionalProfile {
 	}
 	prof.PerK[0] = OutcomeRates{OK: 1}
 
-	nw := runtime.GOMAXPROCS(0)
-	if nw > cfg.Trials {
-		nw = 1
-	}
+	nw := numWorkers(cfg.Trials)
 	for k := 1; k <= cfg.MaxK; k++ {
 		counts := make([][4]int64, nw)
 		var wg sync.WaitGroup
@@ -101,14 +142,9 @@ func BuildProfile(scheme ecc.Scheme, cfg SweepConfig) *ConditionalProfile {
 				if w == 0 {
 					trials += cfg.Trials % nw
 				}
-				line := make([]byte, scheme.Org().LineBytes())
-				for t := 0; t < trials; t++ {
-					rng.Read(line)
-					st := scheme.Encode(line)
-					ecc.FlipRandomStoredBits(rng, st, k)
-					decoded, claim := scheme.Decode(st)
-					counts[w][ecc.Classify(line, decoded, claim)]++
-				}
+				counts[w] = runTrials(scheme, rng, trials, func(r *rand.Rand, st *ecc.Stored) {
+					ecc.FlipRandomStoredBits(r, st, k)
+				})
 			}(w)
 		}
 		wg.Wait()
@@ -215,31 +251,26 @@ type CoverageResult struct {
 
 // Coverage measures outcome rates when the given injection function is
 // applied to every trial's image. Injectors receive the per-trial RNG and
-// the cloned image.
+// the cloned image. Worker RNG streams are derived from both the seed and
+// a hash of the label, so campaigns over several labels sharing one seed
+// draw independent randomness per label.
 func Coverage(scheme ecc.Scheme, label string, trials int, seed int64, inject func(*rand.Rand, *ecc.Stored)) CoverageResult {
-	nw := runtime.GOMAXPROCS(0)
-	if nw > trials {
-		nw = 1
-	}
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	streamSeed := seed ^ int64(h.Sum64())
+	nw := numWorkers(trials)
 	counts := make([][4]int64, nw)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*104729))
+			rng := rand.New(rand.NewSource(streamSeed + int64(w)*104729))
 			n := trials / nw
 			if w == 0 {
 				n += trials % nw
 			}
-			line := make([]byte, scheme.Org().LineBytes())
-			for t := 0; t < n; t++ {
-				rng.Read(line)
-				st := scheme.Encode(line)
-				inject(rng, st)
-				decoded, claim := scheme.Decode(st)
-				counts[w][ecc.Classify(line, decoded, claim)]++
-			}
+			counts[w] = runTrials(scheme, rng, n, inject)
 		}(w)
 	}
 	wg.Wait()

@@ -328,11 +328,7 @@ func (e *lifetimeEngine) measurePattern(key patternKey) patternStats {
 	cfg := e.cfg
 	org := cfg.Scheme.Org()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(key.a)<<16 ^ int64(key.b)<<24 ^ boolBit(key.pair)<<40 ^ boolBit(key.sameChip)<<41))
-	line := make([]byte, org.LineBytes())
-	failures, sdcs := 0, 0
-	for t := 0; t < cfg.PatternSamples; t++ {
-		rng.Read(line)
-		st := cfg.Scheme.Encode(line)
+	counts := runTrials(cfg.Scheme, rng, cfg.PatternSamples, func(rng *rand.Rand, st *ecc.Stored) {
 		fa := faults.Sample(rng, key.a, org)
 		ecc.ApplyDeviceFault(rng, st, fa)
 		if key.pair {
@@ -346,17 +342,10 @@ func (e *lifetimeEngine) measurePattern(key patternKey) patternStats {
 			}
 			ecc.ApplyDeviceFault(rng, st, fb)
 		}
-		decoded, claim := cfg.Scheme.Decode(st)
-		switch ecc.Classify(line, decoded, claim) {
-		case ecc.OutcomeDUE:
-			failures++
-		case ecc.OutcomeSDC:
-			failures++
-			sdcs++
-		}
-	}
+	})
 	n := float64(cfg.PatternSamples)
-	return patternStats{fail: float64(failures) / n, sdc: float64(sdcs) / n}
+	fail := float64(counts[ecc.OutcomeDUE] + counts[ecc.OutcomeSDC])
+	return patternStats{fail: fail / n, sdc: float64(counts[ecc.OutcomeSDC]) / n}
 }
 
 func boolBit(b bool) int64 {

@@ -1,0 +1,366 @@
+package rs
+
+import (
+	"fmt"
+
+	"pair/internal/gf256"
+)
+
+// Decoder is a reusable decode workspace for one Code. All polynomial and
+// position buffers are preallocated at construction, so the steady-state
+// decode path — clean words, correctable error/erasure patterns, and
+// detected-uncorrectable patterns alike — performs zero heap allocations.
+//
+// A Decoder is NOT safe for concurrent use; give each goroutine its own
+// (NewDecoder is cheap) or go through Code.Decode, which draws from an
+// internal pool.
+type Decoder struct {
+	c *Code
+
+	syn   []byte // 2t syndromes
+	gamma []byte // erasure locator, degree <= np
+	xi    []byte // erasure-modified syndromes, mod x^np
+	omega []byte // error evaluator, mod x^np
+	deriv []byte // formal derivative of psi
+
+	// Berlekamp-Massey scratch. The update lambda += coef * prev * x^m can
+	// transiently reach degree 2*np+1 on adversarial (uncorrectable)
+	// syndrome sequences before the degree check rejects the result, so
+	// these are sized 2*np+2.
+	lambda []byte
+	prev   []byte
+	tmp    []byte
+
+	psi       []byte // full locator lambda*gamma, sized for the worst case
+	terms     []byte // incremental Chien term per psi coefficient
+	positions []int  // error positions found by the Chien search
+}
+
+// NewDecoder returns a fresh decode workspace for the code.
+func (c *Code) NewDecoder() *Decoder {
+	np := c.N - c.K
+	return &Decoder{
+		c:         c,
+		syn:       make([]byte, np),
+		gamma:     make([]byte, np+1),
+		xi:        make([]byte, np),
+		omega:     make([]byte, np),
+		deriv:     make([]byte, np),
+		lambda:    make([]byte, 2*np+2),
+		prev:      make([]byte, 2*np+2),
+		tmp:       make([]byte, 2*np+2),
+		psi:       make([]byte, 3*np+3),
+		terms:     make([]byte, np+1),
+		positions: make([]int, 0, np+1),
+	}
+}
+
+// Code returns the code this workspace decodes.
+func (d *Decoder) Code() *Code { return d.c }
+
+// SyndromesInto fills syn (length NumParity) with the syndromes of word
+// (length N) and reports whether they are all zero — i.e. whether word is
+// a codeword. It allocates nothing.
+func (c *Code) SyndromesInto(syn, word []byte) bool {
+	if len(word) != c.N {
+		panic(fmt.Sprintf("rs: Syndromes word length %d, want %d", len(word), c.N))
+	}
+	np := c.N - c.K
+	if len(syn) != np {
+		panic(fmt.Sprintf("rs: syndrome buffer length %d, want %d", len(syn), np))
+	}
+	allZero := true
+	for j := 0; j < np; j++ {
+		// Horner over the word with the j-th root, one table-row lookup
+		// per symbol (the row caches alpha^(fcr+j) multiplication).
+		row := c.rootRows[j]
+		var acc byte
+		for _, w := range word {
+			acc = row[acc] ^ w
+		}
+		syn[j] = acc
+		if acc != 0 {
+			allZero = false
+		}
+	}
+	return allZero
+}
+
+// SyndromesInto is the workspace-flavoured convenience: it fills the
+// decoder's own syndrome buffer and returns it alongside the all-zero flag.
+// The returned slice is owned by the workspace and valid until the next
+// Decoder call.
+func (d *Decoder) SyndromesInto(word []byte) ([]byte, bool) {
+	ok := d.c.SyndromesInto(d.syn, word)
+	return d.syn, ok
+}
+
+// DecodeInto corrects errors and erasures in received (length N) into dst
+// (length N, may alias received) and returns the number of symbol
+// positions changed. On error dst's contents are unspecified. The
+// correction guarantee and failure semantics are identical to Code.Decode;
+// the steady-state path allocates nothing.
+func (d *Decoder) DecodeInto(dst, received []byte, erasures []int) (int, error) {
+	c := d.c
+	if len(received) != c.N {
+		return 0, fmt.Errorf("rs: Decode word length %d, want %d", len(received), c.N)
+	}
+	if len(dst) != c.N {
+		return 0, fmt.Errorf("rs: Decode destination length %d, want %d", len(dst), c.N)
+	}
+	np := c.N - c.K
+	if len(erasures) > np {
+		return 0, ErrUncorrectable
+	}
+	copy(dst, received)
+
+	if c.SyndromesInto(d.syn, dst) {
+		// Clean word (erasure flags, if any, are consistent): done.
+		return 0, nil
+	}
+
+	var psi []byte
+	if len(erasures) == 0 {
+		// Errors only: Gamma = 1, so Psi is the Berlekamp-Massey locator
+		// itself and the erasure stages (Gamma build, modified syndromes,
+		// locator product) collapse away.
+		psi = d.berlekampMassey(d.syn, np, 0)
+	} else {
+		// Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^(N-1-pos),
+		// built in place by descending-order updates.
+		gamma := d.gamma[:len(erasures)+1]
+		for i := range gamma {
+			gamma[i] = 0
+		}
+		gamma[0] = 1
+		glen := 1
+		for _, pos := range erasures {
+			if pos < 0 || pos >= c.N {
+				return 0, fmt.Errorf("rs: erasure position %d out of range [0,%d)", pos, c.N)
+			}
+			x := gf256.Exp(c.N - 1 - pos)
+			row := gf256.Row(x)
+			for j := glen; j >= 1; j-- {
+				gamma[j] ^= row[gamma[j-1]]
+			}
+			glen++
+		}
+
+		// Modified syndromes Xi(x) = Gamma(x) * S(x) mod x^np, computed as
+		// a truncated product directly into the workspace.
+		xi := d.xi[:np]
+		mulModInto(xi, gamma[:glen], d.syn)
+
+		// Berlekamp-Massey on the modified syndromes for the error
+		// locator, then the full locator Psi = Lambda * Gamma.
+		lambda := d.berlekampMassey(xi, np, len(erasures))
+		psi = d.psi[:len(lambda)+glen]
+		mulInto(psi, lambda, gamma[:glen])
+	}
+	degPsi := polyDeg(psi)
+	if degPsi < 0 || degPsi > np {
+		return 0, ErrUncorrectable
+	}
+	psi = psi[:degPsi+1]
+
+	// Chien search with incremental root-stepping: term i holds
+	// psi[i] * xInv(pos)^i and advancing pos multiplies term i by alpha^i,
+	// so each position costs degPsi lookups instead of a full PolyEval.
+	terms := d.terms[:degPsi+1]
+	for i := 0; i <= degPsi; i++ {
+		terms[i] = gf256.Mul(psi[i], c.chienStart[i])
+	}
+	positions := d.positions[:0]
+	for pos := 0; pos < c.N; pos++ {
+		var sum byte
+		for _, t := range terms {
+			sum ^= t
+		}
+		if sum == 0 {
+			if len(positions) == degPsi {
+				// More roots than the locator degree: detected failure.
+				return 0, ErrUncorrectable
+			}
+			positions = append(positions, pos)
+		}
+		for i := 1; i <= degPsi; i++ {
+			terms[i] = c.chienStep[i][terms[i]]
+		}
+	}
+	if len(positions) != degPsi {
+		// Locator degree does not match its root count: detected failure.
+		return 0, ErrUncorrectable
+	}
+
+	// Forney: Omega(x) = S(x) * Psi(x) mod x^np;
+	// e_pos = X^(1-fcr) * Omega(X^-1) / Psi'(X^-1).
+	omega := d.omega[:np]
+	mulModInto(omega, d.syn, psi)
+	deriv := d.deriv[:0]
+	for i := 1; i < len(psi); i += 2 {
+		for len(deriv) < i-1 {
+			deriv = append(deriv, 0)
+		}
+		deriv = append(deriv, psi[i])
+	}
+
+	nchanged := 0
+	for _, pos := range positions {
+		x := gf256.Exp(c.N - 1 - pos)
+		xInv := gf256.Inv(x)
+		denom := gf256.EvalAsc(deriv, xInv)
+		if denom == 0 {
+			return 0, ErrUncorrectable
+		}
+		num := gf256.EvalAsc(omega, xInv)
+		mag := gf256.Mul(gf256.Pow(x, 1-c.fcr), gf256.Div(num, denom))
+		if mag != 0 {
+			dst[pos] ^= mag
+			nchanged++
+			// Fold the correction into the syndromes: position pos
+			// contributes mag * X^(fcr+j) to syndrome j, so after all
+			// corrections the updated syndromes must vanish. This replaces
+			// the O(N*np) recomputation with O(errors*np) work.
+			row := gf256.Row(x)
+			p := gf256.Mul(mag, gf256.Pow(x, c.fcr))
+			for j := range d.syn {
+				d.syn[j] ^= p
+				p = row[p]
+			}
+		}
+	}
+
+	// Final consistency check: the corrected word must be a codeword,
+	// i.e. the incrementally updated syndromes are all zero.
+	for _, s := range d.syn {
+		if s != 0 {
+			return 0, ErrUncorrectable
+		}
+	}
+	return nchanged, nil
+}
+
+// berlekampMassey runs the workspace Berlekamp-Massey over this decoder's
+// scratch buffers.
+func (d *Decoder) berlekampMassey(syn []byte, np, nerasures int) []byte {
+	out := bmWorkspace(syn, np, nerasures, d.lambda, d.prev, d.tmp)
+	return out
+}
+
+// bmWorkspace finds the minimal LFSR (error-locator polynomial) of the
+// (possibly erasure-modified) syndrome sequence entirely inside the three
+// caller-owned scratch buffers, each sized at least 2*np+2. It mirrors the
+// reference implementation in rs.go coefficient for coefficient; the
+// returned slice aliases one of the scratch buffers and is trimmed to the
+// locator's logical length.
+func bmWorkspace(syn []byte, np, nerasures int, lambda, prev, tmp []byte) []byte {
+	for i := range lambda {
+		lambda[i], prev[i], tmp[i] = 0, 0, 0
+	}
+	lambda[0], prev[0] = 1, 1
+	lenL, lenP := 1, 1
+	l := 0
+	m := 1
+	b := byte(1)
+
+	budget := np - nerasures
+	for i := 0; i < budget; i++ {
+		n := i + nerasures
+		var dis byte
+		if n < len(syn) {
+			dis = syn[n]
+		}
+		for j := 1; j <= l && j < lenL; j++ {
+			if n-j >= 0 && n-j < len(syn) {
+				dis ^= gf256.Mul(lambda[j], syn[n-j])
+			}
+		}
+		if dis == 0 {
+			m++
+			continue
+		}
+		coef := gf256.Div(dis, b)
+		row := gf256.Row(coef)
+		if 2*l <= i {
+			copy(tmp, lambda[:lenL])
+			lenT := lenL
+			for j := 0; j < lenP; j++ {
+				lambda[j+m] ^= row[prev[j]]
+			}
+			if lenP+m > lenL {
+				lenL = lenP + m
+			}
+			l = i + 1 - l
+			// prev <- old lambda (tmp), recycling the buffers by swap.
+			prev, tmp = tmp, prev
+			for j := lenT; j < lenP+m; j++ {
+				prev[j] = 0 // clear residue beyond the copied prefix
+			}
+			lenP = lenT
+			for j := range tmp {
+				tmp[j] = 0
+			}
+			b = dis
+			m = 1
+		} else {
+			for j := 0; j < lenP; j++ {
+				lambda[j+m] ^= row[prev[j]]
+			}
+			if lenP+m > lenL {
+				lenL = lenP + m
+			}
+			m++
+		}
+		for lenL > 0 && lambda[lenL-1] == 0 {
+			lenL--
+		}
+	}
+	return lambda[:lenL]
+}
+
+// mulInto computes the full product a*b into out, which must have length
+// len(a)+len(b) (one beyond the maximal degree). out must not alias a or b.
+func mulInto(out, a, b []byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := gf256.Row(av)
+		for j, bv := range b {
+			out[i+j] ^= row[bv]
+		}
+	}
+}
+
+// mulModInto computes a*b mod x^len(out) into out. out must not alias a or b.
+func mulModInto(out, a, b []byte) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i, av := range a {
+		if av == 0 || i >= len(out) {
+			continue
+		}
+		row := gf256.Row(av)
+		jmax := len(out) - i
+		if jmax > len(b) {
+			jmax = len(b)
+		}
+		for j := 0; j < jmax; j++ {
+			out[i+j] ^= row[b[j]]
+		}
+	}
+}
+
+// polyDeg returns the degree of p, or -1 for the zero polynomial.
+func polyDeg(p []byte) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

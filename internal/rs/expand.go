@@ -2,6 +2,7 @@ package rs
 
 import (
 	"fmt"
+	"sync"
 
 	"pair/internal/gf256"
 )
@@ -27,6 +28,21 @@ type Expandable struct {
 	// makes systematic encoding a matrix-vector product and gives the
 	// decoder a cheap clean-word fast path.
 	parityGen [][]byte
+
+	// Syndrome-decoder tables, valid when fastOK. The dual of the GRS
+	// code on points x_j (all column multipliers 1) is the GRS code with
+	// column multipliers v_j = 1/prod_{m!=j}(x_j - x_m), which gives the
+	// parity checks S_i = sum_j v_j r_j x_j^i = 0 for i < n-k. Those
+	// syndromes feed the same Berlekamp-Massey/Forney machinery the BCH
+	// view uses, replacing the O(n^3) Berlekamp-Welch solve on the hot
+	// path. A zero evaluation point cannot appear in the locator product
+	// (1 - x_j z), so fastOK requires every point to be nonzero; the
+	// canonical DefaultPoints always qualify.
+	fastOK    bool
+	dualV     []byte        // v_j, the dual column multipliers
+	xInv      []byte        // 1/x_j, the candidate locator roots
+	pointRows []*[256]byte  // multiplication row of x_j
+	pool      sync.Pool     // *ExpandableDecoder, backing Decode
 }
 
 // NewExpandable builds an expandable code with the given message length and
@@ -51,7 +67,37 @@ func NewExpandable(k int, points []byte) (*Expandable, error) {
 	}
 	e := &Expandable{K: k, Points: append([]byte(nil), points...)}
 	e.buildParityGen()
+	e.buildSyndromeTables()
+	e.pool.New = func() any { return e.NewDecoder() }
 	return e, nil
+}
+
+// buildSyndromeTables precomputes the dual column multipliers, inverse
+// points, and multiplication rows the syndrome decoder needs. It leaves
+// fastOK false when any evaluation point is zero, in which case decoding
+// falls back to Berlekamp-Welch.
+func (e *Expandable) buildSyndromeTables() {
+	n := e.N()
+	for _, p := range e.Points {
+		if p == 0 {
+			return
+		}
+	}
+	e.dualV = make([]byte, n)
+	e.xInv = make([]byte, n)
+	e.pointRows = make([]*[256]byte, n)
+	for j, xj := range e.Points {
+		prod := byte(1)
+		for m, xm := range e.Points {
+			if m != j {
+				prod = gf256.Mul(prod, xj^xm)
+			}
+		}
+		e.dualV[j] = gf256.Inv(prod)
+		e.xInv[j] = gf256.Inv(xj)
+		e.pointRows[j] = gf256.Row(xj)
+	}
+	e.fastOK = true
 }
 
 // buildParityGen derives the parity rows by encoding the k unit messages
@@ -118,11 +164,23 @@ func (e *Expandable) Encode(data []byte) []byte {
 		panic(fmt.Sprintf("rs: message length %d, want %d", len(data), e.K))
 	}
 	cw := make([]byte, e.N())
+	e.EncodeTo(data, cw)
+	return cw
+}
+
+// EncodeTo writes the systematic codeword for data into cw (length N)
+// without allocating. cw[:K] may alias data.
+func (e *Expandable) EncodeTo(data, cw []byte) {
+	if len(data) != e.K {
+		panic(fmt.Sprintf("rs: message length %d, want %d", len(data), e.K))
+	}
+	if len(cw) != e.N() {
+		panic(fmt.Sprintf("rs: codeword buffer length %d, want %d", len(cw), e.N()))
+	}
 	copy(cw, data)
 	for j, row := range e.parityGen {
-		cw[e.K+j] = gf256.DotProduct(row, data)
+		cw[e.K+j] = gf256.DotProduct(row, cw[:e.K])
 	}
-	return cw
 }
 
 // Expand returns a new code with the extra evaluation points appended.
@@ -157,13 +215,36 @@ func (e *Expandable) ExtendCodeword(cw []byte, to *Expandable) ([]byte, error) {
 	return out, nil
 }
 
-// Decode corrects errors and erasures in received using the
-// Berlekamp-Welch algorithm and returns the corrected codeword and the
-// number of symbol positions changed. The guarantee is
-// 2*errors + erasures <= n-k; beyond it the decoder returns
+// Decode corrects errors and erasures in received and returns the
+// corrected codeword and the number of symbol positions changed. The
+// guarantee is 2*errors + erasures <= n-k; beyond it the decoder returns
 // ErrUncorrectable or (rarely) miscorrects, like any bounded-distance
 // decoder.
+//
+// On codes with all-nonzero points it runs the syndrome fast path through
+// a pooled workspace (one allocation, for the returned word); otherwise it
+// falls back to the Berlekamp-Welch reference. Callers that also own the
+// output buffer should use an ExpandableDecoder directly.
 func (e *Expandable) Decode(received []byte, erasures []int) ([]byte, int, error) {
+	if !e.fastOK {
+		return e.decodeBW(received, erasures)
+	}
+	out := make([]byte, e.N())
+	d := e.pool.Get().(*ExpandableDecoder)
+	nchanged, err := d.DecodeInto(out, received, erasures)
+	e.pool.Put(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, nchanged, nil
+}
+
+// decodeBW is the Berlekamp-Welch reference decoder: a direct linear
+// solve for the error locator and corrected message polynomial. It is
+// retained verbatim both as the fallback for codes with a zero evaluation
+// point and as the oracle the syndrome fast path is differentially tested
+// against.
+func (e *Expandable) decodeBW(received []byte, erasures []int) ([]byte, int, error) {
 	n := e.N()
 	if len(received) != n {
 		return nil, 0, fmt.Errorf("rs: Decode word length %d, want %d", len(received), n)

@@ -1,0 +1,254 @@
+package rs
+
+import (
+	"fmt"
+
+	"pair/internal/gf256"
+)
+
+// ExpandableDecoder is a reusable decode workspace for one Expandable
+// code, the evaluation-view counterpart of Decoder. It runs generalized-RS
+// syndrome decoding — dual-code syndromes, erasure-modified key equation,
+// Berlekamp-Massey, direct root search over the inverse points, and a
+// Forney step rescaled by the dual column multipliers — so the steady
+// state allocates nothing, where the Berlekamp-Welch reference solves an
+// O(n^3) linear system with fresh matrices per call.
+//
+// An ExpandableDecoder is NOT safe for concurrent use; give each goroutine
+// its own (NewDecoder is cheap) or go through Expandable.Decode, which
+// draws from an internal pool.
+type ExpandableDecoder struct {
+	e *Expandable
+
+	syn   []byte // n-k dual syndromes
+	gamma []byte // erasure locator, degree <= np
+	xi    []byte // erasure-modified syndromes, mod x^np
+	omega []byte // error evaluator, mod x^np
+	deriv []byte // formal derivative of psi
+
+	// Berlekamp-Massey scratch, sized 2*np+2 (see Decoder).
+	lambda []byte
+	prev   []byte
+	tmp    []byte
+
+	psi       []byte // full locator lambda*gamma, worst case
+	erased    []bool // per-position erasure mask (deduplication)
+	erasedPos []int  // deduplicated erasure positions
+	positions []int  // locator roots found among the points
+}
+
+// NewDecoder returns a fresh decode workspace for the code. The code must
+// have all-nonzero evaluation points (fast path available); decoding a
+// zero-point code goes through Expandable.Decode's fallback instead.
+func (e *Expandable) NewDecoder() *ExpandableDecoder {
+	n := e.N()
+	np := n - e.K
+	return &ExpandableDecoder{
+		e:         e,
+		syn:       make([]byte, np),
+		gamma:     make([]byte, np+1),
+		xi:        make([]byte, np),
+		omega:     make([]byte, np),
+		deriv:     make([]byte, np),
+		lambda:    make([]byte, 2*np+2),
+		prev:      make([]byte, 2*np+2),
+		tmp:       make([]byte, 2*np+2),
+		psi:       make([]byte, 3*np+3),
+		erased:    make([]bool, n),
+		erasedPos: make([]int, 0, n),
+		positions: make([]int, 0, np+1),
+	}
+}
+
+// Code returns the code this workspace decodes.
+func (d *ExpandableDecoder) Code() *Expandable { return d.e }
+
+// syndromesInto fills syn (length n-k) with the dual-code syndromes
+// S_i = sum_j v_j w_j x_j^i of word and reports whether all are zero,
+// i.e. whether word is a codeword. Powers of each point are generated
+// incrementally with its multiplication row, so the cost is one lookup
+// and one XOR per (nonzero symbol, syndrome) pair.
+func (e *Expandable) syndromesInto(syn, word []byte) bool {
+	for i := range syn {
+		syn[i] = 0
+	}
+	for j, w := range word {
+		if w == 0 {
+			continue
+		}
+		p := gf256.Row(e.dualV[j])[w]
+		row := e.pointRows[j]
+		for i := range syn {
+			syn[i] ^= p
+			p = row[p]
+		}
+	}
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	return allZero
+}
+
+// DecodeInto corrects errors and erasures in received (length N) into dst
+// (length N, may alias received) and returns the number of symbol
+// positions changed. The correction guarantee and failure semantics match
+// Expandable.Decode (and are differentially tested against the
+// Berlekamp-Welch reference); the steady-state path allocates nothing.
+// The code must have all-nonzero evaluation points.
+func (d *ExpandableDecoder) DecodeInto(dst, received []byte, erasures []int) (int, error) {
+	e := d.e
+	n := e.N()
+	np := n - e.K
+	if len(received) != n {
+		return 0, fmt.Errorf("rs: Decode word length %d, want %d", len(received), n)
+	}
+	if len(dst) != n {
+		return 0, fmt.Errorf("rs: Decode destination length %d, want %d", len(dst), n)
+	}
+	if !e.fastOK {
+		return 0, fmt.Errorf("rs: code has a zero evaluation point; use Expandable.Decode")
+	}
+
+	// Validate and deduplicate the erasure list (the reference decoder's
+	// erased-position map keeps duplicates from inflating the budget).
+	for i := range d.erased {
+		d.erased[i] = false
+	}
+	erasedPos := d.erasedPos[:0]
+	for _, pos := range erasures {
+		if pos < 0 || pos >= n {
+			return 0, fmt.Errorf("rs: erasure position %d out of range [0,%d)", pos, n)
+		}
+		if !d.erased[pos] {
+			d.erased[pos] = true
+			erasedPos = append(erasedPos, pos)
+		}
+	}
+	s := len(erasedPos)
+	if n-s < e.K {
+		return 0, ErrUncorrectable
+	}
+	copy(dst, received)
+
+	if e.syndromesInto(d.syn, dst) {
+		// Clean word: nothing to correct regardless of erasure flags.
+		return 0, nil
+	}
+
+	var psi []byte
+	if s == 0 {
+		// Errors only: Gamma = 1, so Psi is the Berlekamp-Massey locator
+		// itself and the erasure stages collapse away.
+		psi = bmWorkspace(d.syn, np, 0, d.lambda, d.prev, d.tmp)
+	} else {
+		// Erasure locator Gamma(x) = prod (1 - x_pos x) over the erased
+		// points, built in place by descending-order updates.
+		gamma := d.gamma[:s+1]
+		for i := range gamma {
+			gamma[i] = 0
+		}
+		gamma[0] = 1
+		glen := 1
+		for _, pos := range erasedPos {
+			row := e.pointRows[pos]
+			for j := glen; j >= 1; j-- {
+				gamma[j] ^= row[gamma[j-1]]
+			}
+			glen++
+		}
+
+		// Modified syndromes Xi = Gamma * S mod x^np, then Berlekamp-
+		// Massey for the error locator and Psi = Lambda * Gamma.
+		xi := d.xi[:np]
+		mulModInto(xi, gamma[:glen], d.syn)
+		lambda := bmWorkspace(xi, np, s, d.lambda, d.prev, d.tmp)
+		psi = d.psi[:len(lambda)+glen]
+		mulInto(psi, lambda, gamma[:glen])
+	}
+	degPsi := polyDeg(psi)
+	if degPsi < 0 || degPsi > np {
+		return 0, ErrUncorrectable
+	}
+	psi = psi[:degPsi+1]
+
+	// Root search: the candidate roots are exactly the inverse evaluation
+	// points, which are arbitrary field elements rather than consecutive
+	// powers of alpha, so evaluate Psi directly at each precomputed
+	// inverse instead of Chien stepping.
+	positions := d.positions[:0]
+	for pos := 0; pos < n; pos++ {
+		if gf256.EvalAsc(psi, e.xInv[pos]) == 0 {
+			if len(positions) == degPsi {
+				// More roots than the locator degree: detected failure.
+				return 0, ErrUncorrectable
+			}
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != degPsi {
+		// Locator degree does not match its root count: detected failure.
+		return 0, ErrUncorrectable
+	}
+
+	// Forney: Omega = S * Psi mod x^np; the dual syndromes carry the
+	// column multipliers, so the raw magnitude x*Omega(1/x)/Psi'(1/x) is
+	// v_pos * e_pos and the true symbol correction divides v_pos back out.
+	omega := d.omega[:np]
+	mulModInto(omega, d.syn, psi)
+	deriv := d.deriv[:0]
+	for i := 1; i < len(psi); i += 2 {
+		for len(deriv) < i-1 {
+			deriv = append(deriv, 0)
+		}
+		deriv = append(deriv, psi[i])
+	}
+
+	nchanged := 0
+	errs := 0
+	emax := (n - s - e.K) / 2
+	for _, pos := range positions {
+		xInv := e.xInv[pos]
+		denom := gf256.EvalAsc(deriv, xInv)
+		if denom == 0 {
+			return 0, ErrUncorrectable
+		}
+		num := gf256.EvalAsc(omega, xInv)
+		mag := gf256.Div(gf256.Mul(e.Points[pos], gf256.Div(num, denom)), e.dualV[pos])
+		if mag != 0 {
+			dst[pos] ^= mag
+			nchanged++
+			if !d.erased[pos] {
+				errs++
+			}
+			// Fold the correction into the syndromes: position pos
+			// contributes v_pos * mag * x_pos^i to syndrome i, so after
+			// all corrections the updated syndromes must vanish. This
+			// replaces the O(n*np) recomputation with O(errors*np) work.
+			p := gf256.Row(e.dualV[pos])[mag]
+			row := e.pointRows[pos]
+			for i := range d.syn {
+				d.syn[i] ^= p
+				p = row[p]
+			}
+		}
+	}
+
+	// Consistency: the corrected word must be a codeword (incrementally
+	// updated syndromes all zero) and the non-erased changes must fit the
+	// 2e+s <= n-k budget — together these make the decoder extensionally
+	// equal to the bounded-distance Berlekamp-Welch reference (the
+	// codeword within the radius is unique when it exists).
+	if errs > emax {
+		return 0, ErrUncorrectable
+	}
+	for _, sy := range d.syn {
+		if sy != 0 {
+			return 0, ErrUncorrectable
+		}
+	}
+	return nchanged, nil
+}

@@ -1,0 +1,220 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pair/internal/gf256"
+)
+
+// TestExpandableDecodeIntoMatchesBW drives the syndrome fast path and the
+// Berlekamp-Welch reference over randomized error/erasure patterns —
+// within budget, beyond budget (uncorrectable and miscorrecting), with
+// duplicate and oversized erasure lists — and requires identical results.
+func TestExpandableDecodeIntoMatchesBW(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	shapes := [][2]int{{20, 16}, {18, 16}, {81, 64}, {12, 3}, {10, 9}, {24, 16}}
+	for _, shape := range shapes {
+		e, err := NewExpandableDefault(shape[0], shape[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.fastOK {
+			t.Fatalf("(%d,%d): default points should enable the fast path", shape[0], shape[1])
+		}
+		d := e.NewDecoder()
+		dst := make([]byte, e.N())
+		np := e.N() - e.K
+		for trial := 0; trial < 400; trial++ {
+			msg := randMsg(rng, e.K)
+			rx := e.Encode(msg)
+			ncorrupt := rng.Intn(np + 3)
+			for _, p := range rng.Perm(e.N())[:ncorrupt] {
+				rx[p] ^= byte(1 + rng.Intn(255))
+			}
+			var erasures []int
+			switch rng.Intn(4) {
+			case 1: // plausible erasures
+				erasures = rng.Perm(e.N())[:rng.Intn(np+1)]
+			case 2: // duplicates allowed
+				for i := 0; i < rng.Intn(4); i++ {
+					erasures = append(erasures, rng.Intn(e.N()))
+					erasures = append(erasures, erasures[0])
+				}
+			case 3: // too many
+				erasures = rng.Perm(e.N())[:min(e.N(), np+1+rng.Intn(3))]
+			}
+
+			wantWord, wantN, wantErr := e.decodeBW(rx, erasures)
+			gotN, gotErr := d.DecodeInto(dst, rx, erasures)
+			if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, ErrUncorrectable) != !errors.Is(wantErr, ErrUncorrectable)) {
+				t.Fatalf("(%d,%d) err mismatch: got %v want %v (corrupt=%d erasures=%v)",
+					e.N(), e.K, gotErr, wantErr, ncorrupt, erasures)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if gotN != wantN || !bytes.Equal(dst, wantWord) {
+				t.Fatalf("(%d,%d) result mismatch: nchanged %d vs %d\n got %x\nwant %x\n  rx %x erasures=%v",
+					e.N(), e.K, gotN, wantN, dst, wantWord, rx, erasures)
+			}
+		}
+	}
+}
+
+// TestExpandableDecodeDelegates checks the public Decode (pooled fast
+// path) agrees with the reference on a quick randomized sweep, including
+// erasure-only correction at the full n-k budget.
+func TestExpandableDecodeDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e, _ := NewExpandableDefault(20, 16)
+	for trial := 0; trial < 200; trial++ {
+		msg := randMsg(rng, e.K)
+		rx := e.Encode(msg)
+		perm := rng.Perm(e.N())
+		nerase := rng.Intn(5)
+		erasures := perm[:nerase]
+		for _, p := range erasures {
+			rx[p] ^= byte(rng.Intn(256))
+		}
+		nerr := rng.Intn(3)
+		for _, p := range perm[nerase : nerase+nerr] {
+			rx[p] ^= byte(1 + rng.Intn(255))
+		}
+		gotWord, gotN, gotErr := e.Decode(rx, erasures)
+		wantWord, wantN, wantErr := e.decodeBW(rx, erasures)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("err mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if gotErr == nil && (gotN != wantN || !bytes.Equal(gotWord, wantWord)) {
+			t.Fatalf("result mismatch: %d vs %d", gotN, wantN)
+		}
+	}
+}
+
+// TestExpandableZeroPointFallback builds a code containing the zero
+// evaluation point and verifies Decode still works via Berlekamp-Welch.
+func TestExpandableZeroPointFallback(t *testing.T) {
+	pts := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	e, err := NewExpandable(4, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.fastOK {
+		t.Fatal("zero point must disable the syndrome fast path")
+	}
+	msg := []byte{9, 8, 7, 6}
+	cw := e.Encode(msg)
+	cw[2] ^= 0x41
+	cw[6] ^= 0x99
+	out, n, err := e.Decode(cw, nil)
+	if err != nil || n != 2 {
+		t.Fatalf("fallback decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(out[:4], msg) {
+		t.Fatalf("fallback decode wrong message: %x", out[:4])
+	}
+	d := e.NewDecoder()
+	if _, err := d.DecodeInto(out, cw, nil); err == nil {
+		t.Fatal("DecodeInto on a zero-point code must refuse")
+	}
+}
+
+// TestExpandableEncodeToMatchesEncode checks the in-place encoder against
+// the allocating one, including the aliasing case.
+func TestExpandableEncodeToMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	e, _ := NewExpandableDefault(20, 16)
+	cw := make([]byte, e.N())
+	for trial := 0; trial < 100; trial++ {
+		msg := randMsg(rng, e.K)
+		want := e.Encode(msg)
+		e.EncodeTo(msg, cw)
+		if !bytes.Equal(cw, want) {
+			t.Fatalf("EncodeTo mismatch: %x vs %x", cw, want)
+		}
+		// Aliased: message already sitting in the codeword buffer.
+		for i := range cw {
+			cw[i] = 0
+		}
+		copy(cw[:e.K], msg)
+		e.EncodeTo(cw[:e.K], cw)
+		if !bytes.Equal(cw, want) {
+			t.Fatalf("aliased EncodeTo mismatch: %x vs %x", cw, want)
+		}
+	}
+}
+
+// TestExpandableExpandKeepsFastPath verifies expansion of a fast-path code
+// still decodes through the syndrome machinery and fixes more errors.
+func TestExpandableExpandKeepsFastPath(t *testing.T) {
+	e, _ := NewExpandableDefault(20, 16)
+	wide, err := e.Expand(gf256.Exp(20), gf256.Exp(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wide.fastOK {
+		t.Fatal("expanded code lost the fast path")
+	}
+	msg := make([]byte, 16)
+	for i := range msg {
+		msg[i] = byte(3 * i)
+	}
+	cw, err := e.ExtendCodeword(e.Encode(msg), wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw[0] ^= 1
+	cw[5] ^= 2
+	cw[11] ^= 3
+	out, n, err := wide.Decode(cw, nil)
+	if err != nil || n != 3 {
+		t.Fatalf("expanded decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(out[:16], msg) {
+		t.Fatalf("expanded decode wrong message")
+	}
+}
+
+// TestExpandableFastPathAllocs pins the zero-allocation property of the
+// workspace encode/decode paths.
+func TestExpandableFastPathAllocs(t *testing.T) {
+	e, _ := NewExpandableDefault(20, 16)
+	d := e.NewDecoder()
+	msg := make([]byte, 16)
+	for i := range msg {
+		msg[i] = byte(i*11 + 1)
+	}
+	cw := make([]byte, 20)
+	e.EncodeTo(msg, cw)
+	dst := make([]byte, 20)
+
+	clean := append([]byte(nil), cw...)
+	twoErr := append([]byte(nil), cw...)
+	twoErr[3] ^= 0x55
+	twoErr[17] ^= 0xAA
+	tooMany := append([]byte(nil), cw...)
+	for i := 0; i < 6; i++ {
+		tooMany[i] ^= byte(0x21 * (i + 1))
+	}
+	erasures := []int{2, 9}
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"EncodeTo", func() { e.EncodeTo(msg, cw) }},
+		{"DecodeInto/clean", func() { d.DecodeInto(dst, clean, nil) }},
+		{"DecodeInto/two-errors", func() { d.DecodeInto(dst, twoErr, nil) }},
+		{"DecodeInto/erasures", func() { d.DecodeInto(dst, twoErr, erasures) }},
+		{"DecodeInto/uncorrectable", func() { d.DecodeInto(dst, tooMany, nil) }},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm up
+		if n := testing.AllocsPerRun(200, tc.fn); n > 0 {
+			t.Errorf("%s allocates %.1f per run, want 0", tc.name, n)
+		}
+	}
+}

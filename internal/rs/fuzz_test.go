@@ -64,6 +64,50 @@ func FuzzDecodeExpandable(f *testing.F) {
 	})
 }
 
+// FuzzDecodeIntoDifferential feeds arbitrary words and erasure lists to
+// both workspace decoders and requires bit-identical behaviour with their
+// allocating references — the BCH reference implementation and the
+// Berlekamp-Welch solver respectively.
+func FuzzDecodeIntoDifferential(f *testing.F) {
+	c := MustNew(20, 16)
+	e, _ := NewExpandableDefault(20, 16)
+	cd := c.NewDecoder()
+	ed := e.NewDecoder()
+	dst := make([]byte, 20)
+	f.Add(make([]byte, 20), []byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 20), []byte{0, 0, 19})
+	f.Add(c.Encode([]byte("sixteen byte msg")), []byte{5, 200})
+	f.Fuzz(func(t *testing.T, word []byte, rawErasures []byte) {
+		if len(word) != 20 || len(rawErasures) > 8 {
+			t.Skip()
+		}
+		erasures := make([]int, len(rawErasures))
+		for i, b := range rawErasures {
+			// Mostly-valid positions with occasional out-of-range values,
+			// so the validation paths stay covered too.
+			erasures[i] = int(b) - 2
+		}
+
+		wantWord, wantN, wantErr := c.decodeReference(word, erasures)
+		gotN, gotErr := cd.DecodeInto(dst, word, erasures)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("bch err mismatch: got %v want %v", gotErr, wantErr)
+		}
+		if wantErr == nil && (gotN != wantN || !bytes.Equal(dst, wantWord)) {
+			t.Fatalf("bch result mismatch for %x erasures %v", word, erasures)
+		}
+
+		wantWord, wantN, wantErr = e.decodeBW(word, erasures)
+		gotN, gotErr = ed.DecodeInto(dst, word, erasures)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("grs err mismatch: got %v want %v", gotErr, wantErr)
+		}
+		if wantErr == nil && (gotN != wantN || !bytes.Equal(dst, wantWord)) {
+			t.Fatalf("grs result mismatch for %x erasures %v", word, erasures)
+		}
+	})
+}
+
 // FuzzEncodeDecodeRoundTrip checks that every message round-trips through
 // both codecs under up-to-t corruption at fuzzer-chosen positions.
 func FuzzEncodeDecodeRoundTrip(f *testing.F) {

@@ -25,6 +25,7 @@ package rs
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pair/internal/gf256"
 )
@@ -42,6 +43,13 @@ type Code struct {
 	T   int // guaranteed error-correction capability, floor((N-K)/2)
 	fcr int // exponent of the first consecutive generator root
 	gen gf256.Polynomial
+
+	// Hot-path tables, built once at construction.
+	genRev     []byte         // gen[np-1-j]: feedback taps in parity order
+	rootRows   []*[256]byte   // multiplication row of each syndrome root
+	chienStart []byte         // xInv(pos=0)^i for the incremental Chien search
+	chienStep  []*[256]byte   // multiplication row of alpha^i (Chien stepping)
+	pool       sync.Pool      // *Decoder, backing the allocating Decode API
 }
 
 // New constructs an (n,k) Reed-Solomon code. n must satisfy
@@ -55,13 +63,32 @@ func New(n, k int) (*Code, error) {
 	for j := 0; j < nparity; j++ {
 		roots[j] = gf256.Exp(j) // fcr = 0
 	}
-	return &Code{
+	c := &Code{
 		N:   n,
 		K:   k,
 		T:   nparity / 2,
 		fcr: 0,
 		gen: gf256.PolyFromRoots(roots),
-	}, nil
+	}
+	c.genRev = make([]byte, nparity)
+	c.rootRows = make([]*[256]byte, nparity)
+	for j := 0; j < nparity; j++ {
+		c.genRev[j] = c.gen[nparity-1-j]
+		c.rootRows[j] = gf256.Row(gf256.Exp(c.fcr + j))
+	}
+	// Chien search tables: position pos has locator X = alpha^(N-1-pos),
+	// so the search evaluates the locator at X^-1 = alpha^(pos-(N-1)).
+	// Advancing pos multiplies the argument by alpha, i.e. term i of the
+	// Horner-expanded locator by alpha^i.
+	c.chienStart = make([]byte, nparity+1)
+	c.chienStep = make([]*[256]byte, nparity+1)
+	startLog := 255 - (n - 1) // log of xInv at pos=0, in [1,255]
+	for i := 0; i <= nparity; i++ {
+		c.chienStart[i] = gf256.Exp(startLog * i)
+		c.chienStep[i] = gf256.Row(gf256.Exp(i))
+	}
+	c.pool.New = func() any { return c.NewDecoder() }
+	return c, nil
 }
 
 // MustNew is New, panicking on error; for statically-known-valid shapes.
@@ -98,46 +125,39 @@ func (c *Code) EncodeTo(data, cw []byte) {
 		parity[i] = 0
 	}
 	// LFSR division: parity = (data * x^(n-k)) mod gen.
-	// gen is monic of degree n-k; gen[n-k] == 1.
+	// gen is monic of degree n-k; gen[n-k] == 1. The feedback taps are
+	// applied through a multiplication table row, one branch-free lookup
+	// per tap.
 	np := c.N - c.K
 	for _, d := range data {
 		feedback := d ^ parity[0]
 		copy(parity, parity[1:])
 		parity[np-1] = 0
 		if feedback != 0 {
-			for j := 0; j < np; j++ {
-				// coefficient of x^(np-1-j) in gen
-				parity[j] ^= gf256.Mul(feedback, c.gen[np-1-j])
+			row := gf256.Row(feedback)
+			for j, g := range c.genRev {
+				parity[j] ^= row[g]
 			}
 		}
 	}
 }
 
 // Syndromes returns the 2t syndromes of word (length N). All-zero syndromes
-// mean the word is a codeword.
+// mean the word is a codeword. For the allocation-free variant see
+// SyndromesInto.
 func (c *Code) Syndromes(word []byte) []byte {
-	if len(word) != c.N {
-		panic(fmt.Sprintf("rs: Syndromes word length %d, want %d", len(word), c.N))
-	}
-	np := c.N - c.K
-	syn := make([]byte, np)
-	for j := 0; j < np; j++ {
-		root := gf256.Exp(c.fcr + j)
-		// Evaluate word as polynomial with word[0] the highest-degree
-		// coefficient (degree n-1) via Horner.
-		var acc byte
-		for _, w := range word {
-			acc = gf256.Mul(acc, root) ^ w
-		}
-		syn[j] = acc
-	}
+	syn := make([]byte, c.N-c.K)
+	c.SyndromesInto(syn, word)
 	return syn
 }
 
 // IsCodeword reports whether word is a valid codeword.
 func (c *Code) IsCodeword(word []byte) bool {
-	for _, s := range c.Syndromes(word) {
-		if s != 0 {
+	if len(word) != c.N {
+		panic(fmt.Sprintf("rs: Syndromes word length %d, want %d", len(word), c.N))
+	}
+	for j := 0; j < c.N-c.K; j++ {
+		if gf256.EvalDesc(word, gf256.Exp(c.fcr+j)) != 0 {
 			return false
 		}
 	}
@@ -151,7 +171,25 @@ func (c *Code) IsCodeword(word []byte) bool {
 // 2*errors + erasures <= N-K; beyond that the decoder either returns
 // ErrUncorrectable or — for some patterns, as with any bounded-distance
 // decoder — miscorrects.
+//
+// Decode draws a workspace from an internal pool, so it is safe for
+// concurrent use and allocates only the returned codeword in steady state;
+// the fully allocation-free path is Decoder.DecodeInto.
 func (c *Code) Decode(received []byte, erasures []int) ([]byte, int, error) {
+	out := make([]byte, c.N)
+	d := c.pool.Get().(*Decoder)
+	nchanged, err := d.DecodeInto(out, received, erasures)
+	c.pool.Put(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, nchanged, nil
+}
+
+// decodeReference is the original allocating decode path, kept verbatim as
+// the differential-testing oracle for Decoder.DecodeInto (same algorithm,
+// fresh allocations instead of workspace buffers).
+func (c *Code) decodeReference(received []byte, erasures []int) ([]byte, int, error) {
 	if len(received) != c.N {
 		return nil, 0, fmt.Errorf("rs: Decode word length %d, want %d", len(received), c.N)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/ecc"
 	"pair/internal/gf256"
@@ -38,18 +39,40 @@ func BenchmarkRSEncode2016(b *testing.B) {
 
 func BenchmarkRSDecodeClean(b *testing.B) {
 	c := rs.MustNew(20, 16)
+	d := c.NewDecoder()
 	msg := make([]byte, 16)
 	rand.New(rand.NewSource(1)).Read(msg)
 	cw := c.Encode(msg)
+	dst := make([]byte, 20)
 	b.SetBytes(16)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := c.Decode(cw, nil); err != nil {
+		if _, err := d.DecodeInto(dst, cw, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkRSDecodeTwoErrors(b *testing.B) {
+	c := rs.MustNew(20, 16)
+	d := c.NewDecoder()
+	msg := make([]byte, 16)
+	rand.New(rand.NewSource(1)).Read(msg)
+	cw := c.Encode(msg)
+	rx := append([]byte(nil), cw...)
+	rx[3] ^= 0x55
+	rx[17] ^= 0xAA
+	dst := make([]byte, 20)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeInto(dst, rx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSDecodePooled measures the compatibility path (Code.Decode)
+// that allocates the returned word but draws its workspace from a pool.
+func BenchmarkRSDecodePooled(b *testing.B) {
 	c := rs.MustNew(20, 16)
 	msg := make([]byte, 16)
 	rand.New(rand.NewSource(1)).Read(msg)
@@ -67,12 +90,14 @@ func BenchmarkRSDecodeTwoErrors(b *testing.B) {
 
 func BenchmarkExpandableDecodeClean(b *testing.B) {
 	e, _ := rs.NewExpandableDefault(20, 16)
+	d := e.NewDecoder()
 	msg := make([]byte, 16)
 	rand.New(rand.NewSource(1)).Read(msg)
 	cw := e.Encode(msg)
+	dst := make([]byte, 20)
 	b.SetBytes(16)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.Decode(cw, nil); err != nil {
+		if _, err := d.DecodeInto(dst, cw, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,15 +105,17 @@ func BenchmarkExpandableDecodeClean(b *testing.B) {
 
 func BenchmarkExpandableDecodeTwoErrors(b *testing.B) {
 	e, _ := rs.NewExpandableDefault(20, 16)
+	d := e.NewDecoder()
 	msg := make([]byte, 16)
 	rand.New(rand.NewSource(1)).Read(msg)
 	cw := e.Encode(msg)
 	rx := append([]byte(nil), cw...)
 	rx[3] ^= 0x55
 	rx[17] ^= 0xAA
+	dst := make([]byte, 20)
 	b.SetBytes(16)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.Decode(rx, nil); err != nil {
+		if _, err := d.DecodeInto(dst, rx, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -113,19 +140,22 @@ func BenchmarkHammingDecode136(b *testing.B) {
 func BenchmarkSchemeEncodeDecode(b *testing.B) {
 	for _, mk := range []struct {
 		name string
-		s    ecc.Scheme
+		s    ecc.BufferedScheme
 	}{
 		{"iecc", ecc.NewIECC(dram.DDR4x16())},
 		{"xed", ecc.NewXED(dram.DDR4x16())},
 		{"duo", ecc.NewDUO(dram.DDR4x16())},
+		{"pair", core.MustNew(dram.DDR4x16(), core.DefaultConfig())},
 	} {
 		b.Run(mk.name, func(b *testing.B) {
 			line := make([]byte, 64)
 			rand.New(rand.NewSource(1)).Read(line)
+			st := mk.s.NewStored()
+			dst := make([]byte, 64)
 			b.SetBytes(64)
 			for i := 0; i < b.N; i++ {
-				st := mk.s.Encode(line)
-				if _, claim := mk.s.Decode(st); claim != ecc.ClaimClean {
+				mk.s.EncodeInto(st, line)
+				if claim := mk.s.DecodeInto(dst, st); claim != ecc.ClaimClean {
 					b.Fatal("clean decode failed")
 				}
 			}
