@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -52,34 +53,52 @@ type File struct {
 // benchLine matches `BenchmarkName-8  1000  123 ns/op [... MB/s] [B/op allocs/op]`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
+// runGoTest invokes `go <args>` and returns its stdout. It is a package
+// variable so tests can substitute canned benchmark output instead of
+// spending minutes in real benchmark runs.
+var runGoTest = func(args []string, stderr io.Writer) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = stderr
+	return cmd.Output()
+}
+
 func main() {
-	bench := flag.String("bench", "^Benchmark(GF256|RS|Expandable|Hamming|SchemeEncodeDecode)", "benchmark regex passed to go test -bench")
-	pkg := flag.String("pkg", ".", "comma-separated packages to benchmark")
-	out := flag.String("out", "", "output path (default: next free BENCH_<n>.json in repo root)")
-	label := flag.String("label", "", "free-form label recorded in the file")
-	benchtime := flag.String("benchtime", "", "value for go test -benchtime")
-	count := flag.Int("count", 1, "value for go test -count")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, runs the benchmarks
+// through runGoTest and writes the BENCH_<n>.json file, returning the
+// exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "^Benchmark(GF256|RS|Expandable|Hamming|SchemeEncodeDecode)", "benchmark regex passed to go test -bench")
+	pkg := fs.String("pkg", ".", "comma-separated packages to benchmark")
+	out := fs.String("out", "", "output path (default: next free BENCH_<n>.json in repo root)")
+	label := fs.String("label", "", "free-form label recorded in the file")
+	benchtime := fs.String("benchtime", "", "value for go test -benchtime")
+	count := fs.Int("count", 1, "value for go test -count")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	pkgs := strings.Split(*pkg, ",")
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
 	if *benchtime != "" {
-		args = append(args, "-benchtime", *benchtime)
+		goArgs = append(goArgs, "-benchtime", *benchtime)
 	}
-	args = append(args, pkgs...)
+	goArgs = append(goArgs, pkgs...)
 
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
+	raw, err := runGoTest(goArgs, stderr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: go %s: %v\n", strings.Join(goArgs, " "), err)
+		return 1
 	}
 
 	results := parse(string(raw))
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines parsed")
+		return 1
 	}
 
 	path := *out
@@ -97,15 +116,16 @@ func main() {
 	}
 	buf, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: marshal: %v\n", err)
+		return 1
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", path, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: write %s: %v\n", path, err)
+		return 1
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(results))
+	return 0
 }
 
 // parse extracts benchmark results from `go test -bench` output. Averages

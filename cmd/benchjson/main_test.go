@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cannedBench = `goos: linux
+goarch: amd64
+pkg: pair/internal/gf256
+BenchmarkGF256Mul-8       	100000000	        10.0 ns/op	 800.00 MB/s	       0 B/op	       0 allocs/op
+BenchmarkRSEncode-8       	  500000	      2000 ns/op	      64 B/op	       2 allocs/op
+PASS
+ok  	pair/internal/gf256	1.234s
+`
+
+// withStubRunner swaps the go-test subprocess for canned output.
+func withStubRunner(t *testing.T, out string, err error) *[]string {
+	t.Helper()
+	var gotArgs []string
+	orig := runGoTest
+	runGoTest = func(args []string, _ io.Writer) ([]byte, error) {
+		gotArgs = args
+		return []byte(out), err
+	}
+	t.Cleanup(func() { runGoTest = orig })
+	return &gotArgs
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestParseBenchLines(t *testing.T) {
+	results := parse(cannedBench)
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	mul := results[0]
+	if mul.Name != "BenchmarkGF256Mul" || mul.Iterations != 100000000 {
+		t.Fatalf("first result %+v", mul)
+	}
+	if mul.NsPerOp != 10.0 || mul.MBPerS != 800.0 || mul.BytesPerOp != 0 || mul.AllocsPerOp != 0 {
+		t.Fatalf("metrics %+v", mul)
+	}
+	enc := results[1]
+	if enc.NsPerOp != 2000 || enc.BytesPerOp != 64 || enc.AllocsPerOp != 2 || enc.MBPerS != 0 {
+		t.Fatalf("metrics %+v", enc)
+	}
+}
+
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	out := `BenchmarkX-8  100  10.0 ns/op  8 B/op  1 allocs/op
+BenchmarkX-8  300  30.0 ns/op  16 B/op  3 allocs/op
+`
+	results := parse(out)
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1 aggregated", len(results))
+	}
+	r := results[0]
+	if r.Iterations != 200 || r.NsPerOp != 20.0 || r.BytesPerOp != 12 || r.AllocsPerOp != 2 {
+		t.Fatalf("average wrong: %+v", r)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	if got := parse("PASS\nok  pair  0.1s\nrandom text\n"); len(got) != 0 {
+		t.Fatalf("parsed noise as results: %+v", got)
+	}
+}
+
+func TestNextSlot(t *testing.T) {
+	dir := t.TempDir()
+	if got, want := nextSlot(dir), filepath.Join(dir, "BENCH_0.json"); got != want {
+		t.Fatalf("empty dir slot %q, want %q", got, want)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_0.json"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nextSlot(dir), filepath.Join(dir, "BENCH_1.json"); got != want {
+		t.Fatalf("slot after BENCH_0 is %q, want %q", got, want)
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	gotArgs := withStubRunner(t, cannedBench, nil)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, out, stderr := runCLI(t, "-out", path, "-label", "unit", "-count", "2", "-benchtime", "10x", "-pkg", "a,b")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "wrote "+path+" (2 benchmarks)") {
+		t.Fatalf("stdout %q", out)
+	}
+	// The go test invocation must carry the flags through.
+	joined := strings.Join(*gotArgs, " ")
+	for _, want := range []string{"-count 2", "-benchtime 10x", "a b", "-benchmem", "-run ^$"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("go args %q missing %q", joined, want)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if f.Label != "unit" || len(f.Benchmarks) != 2 || f.GoVersion == "" {
+		t.Fatalf("payload %+v", f)
+	}
+}
+
+func TestRunDefaultsToNextSlot(t *testing.T) {
+	withStubRunner(t, cannedBench, nil)
+	dir := t.TempDir()
+	wd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	if code, _, stderr := runCLI(t); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_0.json")); err != nil {
+		t.Fatalf("default slot not written: %v", err)
+	}
+}
+
+func TestRunFailsWhenGoTestFails(t *testing.T) {
+	withStubRunner(t, "", errors.New("exit status 1"))
+	code, _, stderr := runCLI(t, "-out", filepath.Join(t.TempDir(), "x.json"))
+	if code != 1 || !strings.Contains(stderr, "benchjson: go test") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestRunFailsOnEmptyOutput(t *testing.T) {
+	withStubRunner(t, "PASS\n", nil)
+	code, _, stderr := runCLI(t, "-out", filepath.Join(t.TempDir(), "x.json"))
+	if code != 1 || !strings.Contains(stderr, "no benchmark lines parsed") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestRunFailsOnUnwritablePath(t *testing.T) {
+	withStubRunner(t, cannedBench, nil)
+	code, _, stderr := runCLI(t, "-out", filepath.Join(t.TempDir(), "missing", "x.json"))
+	if code != 1 || !strings.Contains(stderr, "benchjson: write") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCLI(t, "-nope"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -24,12 +25,22 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args and renders the fault
+// map to stdout, returning the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind = flag.String("fault", "pin", "cell|pin|lane|beat|word|pin-burst|beat-burst")
-		blen = flag.Int("len", 4, "burst length for *-burst faults")
-		seed = flag.Int64("seed", 1, "RNG seed")
+		kind = fs.String("fault", "pin", "cell|pin|lane|beat|word|pin-burst|beat-burst")
+		blen = fs.Int("len", 4, "burst length for *-burst faults")
+		seed = fs.Int64("seed", 1, "RNG seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	org := dram.DDR4x16()
 	mask := dram.NewBurst(org.Pins, org.BurstLen)
@@ -52,12 +63,12 @@ func main() {
 	case "beat-burst":
 		flips = faults.InjectBeatBurst(rng, mask, *blen)
 	default:
-		fmt.Fprintf(os.Stderr, "faultmap: unknown fault %q\n", *kind)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "faultmap: unknown fault %q\n", *kind)
+		return 1
 	}
 
-	fmt.Printf("fault %q on a x%d BL%d chip access (%d bits flipped)\n\n", *kind, org.Pins, org.BurstLen, flips)
-	fmt.Println("        beats 0..7        PAIR symbol (pin-aligned)")
+	fmt.Fprintf(stdout, "fault %q on a x%d BL%d chip access (%d bits flipped)\n\n", *kind, org.Pins, org.BurstLen, flips)
+	fmt.Fprintln(stdout, "        beats 0..7        PAIR symbol (pin-aligned)")
 	for pin := 0; pin < org.Pins; pin++ {
 		var row strings.Builder
 		touched := false
@@ -73,7 +84,7 @@ func main() {
 		if touched {
 			marker = fmt.Sprintf("  <- symbol %d corrupted", pin)
 		}
-		fmt.Printf("DQ%-2d    %s%s\n", pin, row.String(), marker)
+		fmt.Fprintf(stdout, "DQ%-2d    %s%s\n", pin, row.String(), marker)
 	}
 
 	pairSyms := 0
@@ -90,6 +101,7 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("\nsymbols corrupted:  PAIR (pin-aligned) = %d   DUO (beat-aligned) = %d\n", pairSyms, duoSyms)
-	fmt.Printf("correctable:        PAIR t=2: %-5v        DUO t=1: %v\n", pairSyms <= 2, duoSyms <= 1)
+	fmt.Fprintf(stdout, "\nsymbols corrupted:  PAIR (pin-aligned) = %d   DUO (beat-aligned) = %d\n", pairSyms, duoSyms)
+	fmt.Fprintf(stdout, "correctable:        PAIR t=2: %-5v        DUO t=1: %v\n", pairSyms <= 2, duoSyms <= 1)
+	return 0
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pair"
@@ -20,29 +21,40 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, replays the trace and
+// prints the summary table to stdout, returning the exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		schemeName = flag.String("scheme", "pair", "ECC scheme (none|iecc|xed|duo|duo-rank|pair-base|pair|secded)")
-		compare    = flag.String("compare", "", "optional second scheme to compare against")
-		ranks      = flag.Int("ranks", 1, "ranks per channel")
-		window     = flag.Int("window", 0, "override the trace's MLP window")
+		schemeName = fs.String("scheme", "pair", "ECC scheme (none|iecc|xed|duo|duo-rank|pair-base|pair|secded)")
+		compare    = fs.String("compare", "", "optional second scheme to compare against")
+		ranks      = fs.Int("ranks", 1, "ranks per channel")
+		window     = fs.Int("window", 0, "override the trace's MLP window")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: memrun [flags] <trace-file>  (use - for stdin)")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: memrun [flags] <trace-file>  (use - for stdin)")
+		return 2
 	}
 
-	wl, err := loadTrace(flag.Arg(0))
+	wl, err := loadTrace(fs.Arg(0), stdin)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "memrun:", err)
+		return 1
 	}
 	if *window > 0 {
 		wl.Window = *window
 	}
 	s := wl.Stats()
-	fmt.Printf("trace %s: %d reads, %d writes (%d masked), window %d\n\n",
+	fmt.Fprintf(stdout, "trace %s: %d reads, %d writes (%d masked), window %d\n\n",
 		wl.Name, s.Reads, s.Writes+s.MaskedWrites, s.MaskedWrites, wl.Window)
-	fmt.Printf("%-10s %12s %12s %11s %11s %12s\n",
+	fmt.Fprintf(stdout, "%-10s %12s %12s %11s %11s %12s\n",
 		"scheme", "cycles", "exec ms", "extra rds", "extra wrs", "read lat ns")
 
 	names := []string{*schemeName}
@@ -52,22 +64,24 @@ func main() {
 	for _, n := range names {
 		scheme, err := pair.SchemeByName(n)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "memrun:", err)
+			return 1
 		}
 		cfg := memsim.DefaultConfig()
 		cfg.Org = scheme.Org()
 		cfg.Ranks = *ranks
 		cfg.Cost = scheme.Cost()
 		res := memsim.Run(cfg, wl)
-		fmt.Printf("%-10s %12d %12.3f %11d %11d %12.1f\n",
+		fmt.Fprintf(stdout, "%-10s %12d %12.3f %11d %11d %12.1f\n",
 			scheme.Name(), res.Cycles, res.ExecSeconds(cfg.Timing)*1e3,
 			res.ExtraReads, res.ExtraWrites, res.AvgReadLatencyNS(cfg.Timing))
 	}
+	return 0
 }
 
-func loadTrace(path string) (trace.Workload, error) {
+func loadTrace(path string, stdin io.Reader) (trace.Workload, error) {
 	if path == "-" {
-		return trace.Parse(os.Stdin)
+		return trace.Parse(stdin)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -75,9 +89,4 @@ func loadTrace(path string) (trace.Workload, error) {
 	}
 	defer f.Close()
 	return trace.Parse(f)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "memrun:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const smallTrace = `# trace unit window=4 requests=6
+R 1a 0
+W 2b 3
+M 3c 1
+R 1a 0
+R 4d 2
+W 5e 0
+`
+
+func writeTraceFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "unit.trace")
+	if err := os.WriteFile(path, []byte(smallTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestReplaySingleScheme(t *testing.T) {
+	code, out, stderr := runCLI(t, "", "-scheme", "pair", writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "trace unit: 3 reads, 3 writes (1 masked), window 4") {
+		t.Fatalf("trace summary wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "pair") {
+		t.Fatalf("result row missing:\n%s", out)
+	}
+	if len(strings.Fields(last)) != 6 {
+		t.Fatalf("result row has wrong arity: %q", last)
+	}
+}
+
+func TestCompareAddsSecondRow(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-scheme", "pair", "-compare", "none", writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "\npair") || !strings.Contains(out, "\nnone") {
+		t.Fatalf("compare table missing a scheme row:\n%s", out)
+	}
+}
+
+func TestStdinDash(t *testing.T) {
+	code, out, stderr := runCLI(t, smallTrace, "-scheme", "secded", "-")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "secded") {
+		t.Fatalf("stdin replay produced:\n%s", out)
+	}
+}
+
+func TestWindowOverride(t *testing.T) {
+	_, out, _ := runCLI(t, "", "-window", "16", writeTraceFile(t))
+	if !strings.Contains(out, "window 16") {
+		t.Fatalf("window override ignored:\n%s", out)
+	}
+}
+
+func TestUnknownScheme(t *testing.T) {
+	code, _, stderr := runCLI(t, "", "-scheme", "quantum", writeTraceFile(t))
+	if code != 1 || !strings.Contains(stderr, "memrun:") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestMissingTraceFile(t *testing.T) {
+	code, _, stderr := runCLI(t, "", filepath.Join(t.TempDir(), "nope.trace"))
+	if code != 1 || !strings.Contains(stderr, "memrun:") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "")
+	if code != 2 || !strings.Contains(stderr, "usage: memrun") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCLI(t, "", "-nope"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

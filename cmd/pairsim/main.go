@@ -6,34 +6,43 @@
 //	pairsim -exp f1 -quick      # one experiment, CI scale
 //	pairsim -list               # what exists
 //
+// Long campaigns are resumable: with -checkpoint every Monte-Carlo
+// campaign persists completed shards to <dir>, Ctrl-C stops the run after
+// the in-flight shards finish, and a later invocation with -resume skips
+// everything already computed — producing byte-identical results to an
+// uninterrupted run.
+//
+//	pairsim -exp f3 -checkpoint ckpt/            # killable
+//	pairsim -exp f3 -checkpoint ckpt/ -resume    # pick up where it stopped
+//	pairsim -exp all -progress                   # shard counters + ETA on stderr
+//
 // Experiment identifiers match DESIGN.md's per-experiment index (T1, F1,
 // F2, T2, F3, F4, F5, F6, F7, T3); EXPERIMENTS.md records claimed-vs-
 // measured values.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"pair/internal/campaign"
 	"pair/internal/experiments"
 )
 
 func main() {
-	var (
-		exp      = flag.String("exp", "all", "experiment id (t1|f1|f2|t2|f3|f4|f5|f6|f7|t3|f8|f9|f10|t2x|f3x|all)")
-		quick    = flag.Bool("quick", false, "CI-scale trial counts")
-		trials   = flag.Int("trials", 0, "override Monte-Carlo trials per point")
-		devices  = flag.Int("devices", 0, "override lifetime population size")
-		requests = flag.Int("requests", 0, "override trace length")
-		list     = flag.Bool("list", false, "list experiments and exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		fmt.Print(`T1  scheme configuration table
+// listText is the -list output, one experiment per line.
+const listText = `T1  scheme configuration table
 F1  reliability (DUE+SDC) vs inherent BER
 F2  SDC vs inherent BER
 T2  outcome by fault pattern
@@ -52,8 +61,46 @@ F12 lifetime with post-package repair (DUE-only repairability)
 T5  PAIR design space across device widths (x4/x8/x16/DDR5)
 T2X coverage incl. rank-level schemes (secded, duo-rank)
 F3X lifetime incl. rank-level schemes
-`)
-		return
+`
+
+// run is the testable entry point: it parses args, executes the selected
+// experiments and writes results to stdout and diagnostics to stderr,
+// returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pairsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp        = fs.String("exp", "all", "experiment id (t1|f1|f2|t2|f3|f4|f5|f6|f7|t3|f8|f9|f10|t2x|f3x|all)")
+		quick      = fs.Bool("quick", false, "CI-scale trial counts")
+		trials     = fs.Int("trials", 0, "override Monte-Carlo trials per point")
+		devices    = fs.Int("devices", 0, "override lifetime population size")
+		requests   = fs.Int("requests", 0, "override trace length")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		checkpoint = fs.String("checkpoint", "", "directory for campaign shard checkpoints (enables kill-and-resume)")
+		resume     = fs.Bool("resume", false, "skip shards already recorded in -checkpoint")
+		progress   = fs.Bool("progress", false, "report campaign progress (shards, trials/s, ETA) on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		fmt.Fprint(stdout, listText)
+		return 0
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(stderr, "pairsim: -resume requires -checkpoint")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := campaign.Options{CheckpointDir: *checkpoint, Resume: *resume}
+	if *progress {
+		prog := campaign.NewProgress()
+		opts.Progress = prog
+		stopReport := prog.Report(ctx, stderr, 2*time.Second)
+		defer stopReport()
 	}
 
 	scale := scaleFor(*quick, *trials, *devices, *requests)
@@ -63,15 +110,28 @@ F3X lifetime incl. rank-level schemes
 		ids = []string{"t1", "f1f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12"}
 	}
 	for _, id := range ids {
+		id = strings.TrimSpace(id)
 		start := time.Now()
-		out, err := run(strings.TrimSpace(id), scale)
+		// Experiments sharing one checkpoint directory are namespaced by
+		// their id, so e.g. t2 and t2x campaigns never collide.
+		opts.Namespace = id
+		out, err := runExperiment(ctx, id, scale, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pairsim:", err)
-			os.Exit(1)
+			if errors.Is(err, context.Canceled) {
+				msg := "pairsim: interrupted"
+				if *checkpoint != "" {
+					msg += "; completed shards are checkpointed — rerun with -resume to continue"
+				}
+				fmt.Fprintln(stderr, msg)
+				return 130
+			}
+			fmt.Fprintln(stderr, "pairsim:", err)
+			return 1
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s done in %v]\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, out)
+		fmt.Fprintf(stdout, "[%s done in %v]\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 type scale struct {
@@ -107,50 +167,109 @@ func scaleFor(quick bool, trials, devices, requests int) scale {
 	return s
 }
 
-func run(id string, sc scale) (string, error) {
+// runExperiment executes one experiment id. Monte-Carlo experiments run
+// as sharded campaigns honoring ctx cancellation and the campaign
+// options; the closed-form tables (t1, t3, t4) and the trace-driven
+// performance experiments compute inline.
+func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Options) (string, error) {
 	switch id {
 	case "t1":
 		return experiments.T1Config().Render(), nil
 	case "f1":
-		return experiments.F1F2(experiments.CommoditySchemes(), sc.sweep).RenderF1(), nil
+		r, err := experiments.F1F2Ctx(ctx, experiments.CommoditySchemes(), sc.sweep, opts)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderF1(), nil
 	case "f2":
-		return experiments.F1F2(experiments.CommoditySchemes(), sc.sweep).RenderF2(), nil
+		r, err := experiments.F1F2Ctx(ctx, experiments.CommoditySchemes(), sc.sweep, opts)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderF2(), nil
 	case "f1f2":
-		r := experiments.F1F2(experiments.CommoditySchemes(), sc.sweep)
+		r, err := experiments.F1F2Ctx(ctx, experiments.CommoditySchemes(), sc.sweep, opts)
+		if err != nil {
+			return "", err
+		}
 		return r.RenderF1() + "\n" + r.RenderF2(), nil
 	case "t2":
-		return experiments.T2Coverage(experiments.CommoditySchemes(), sc.coverage, 1).Render(), nil
+		t, err := experiments.T2CoverageCtx(ctx, experiments.CommoditySchemes(), sc.coverage, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f3":
-		return experiments.F3Lifetime(experiments.CommoditySchemes(), sc.devices, 1).Render(), nil
+		t, err := experiments.F3LifetimeCtx(ctx, experiments.CommoditySchemes(), sc.devices, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f4":
 		return experiments.F4Performance(experiments.PerfSchemes(), sc.requests).Render() +
 			"\n" + experiments.F4Latency(sc.requests).Render(), nil
 	case "f5":
 		return experiments.F5WriteSweep(experiments.PerfSchemes(), sc.requests).Render(), nil
 	case "f6":
-		return experiments.F6Expandability(sc.sweep.Trials, 1).Render(), nil
+		t, err := experiments.F6ExpandabilityCtx(ctx, sc.sweep.Trials, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f7":
-		return experiments.F7Burst(experiments.CommoditySchemes(), sc.coverage, 1).Render(), nil
+		t, err := experiments.F7BurstCtx(ctx, experiments.CommoditySchemes(), sc.coverage, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "t3":
 		return experiments.T3Complexity().Render(), nil
 	case "f8":
-		return experiments.F8ScrubSweep(experiments.CommoditySchemes(), sc.devices/4, 1).Render(), nil
+		t, err := experiments.F8ScrubSweepCtx(ctx, experiments.CommoditySchemes(), sc.devices/4, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f9":
-		return experiments.F9DDR5(sc.coverage, 1).Render(), nil
+		t, err := experiments.F9DDR5Ctx(ctx, sc.coverage, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f10":
-		return experiments.F10Sparing(sc.coverage, 1).Render(), nil
+		t, err := experiments.F10SparingCtx(ctx, sc.coverage, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "t2x":
-		return experiments.T2Coverage(experiments.ExtendedSchemes(), sc.coverage, 1).Render(), nil
+		t, err := experiments.T2CoverageCtx(ctx, experiments.ExtendedSchemes(), sc.coverage, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f3x":
-		return experiments.F3Lifetime(experiments.ExtendedSchemes(), sc.devices, 1).Render(), nil
+		t, err := experiments.F3LifetimeCtx(ctx, experiments.ExtendedSchemes(), sc.devices, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "t4":
 		return experiments.T4BusEnergy().Render(), nil
 	case "f11":
 		return experiments.F11ScrubTraffic(sc.requests).Render(), nil
 	case "t5":
-		return experiments.T5Widths(sc.coverage, 1).Render(), nil
+		t, err := experiments.T5WidthsCtx(ctx, sc.coverage, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f12":
-		return experiments.F12Repair(experiments.CommoditySchemes(), sc.devices, 1).Render(), nil
+		t, err := experiments.F12RepairCtx(ctx, experiments.CommoditySchemes(), sc.devices, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q (use -list)", id)
 	}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with captured stdout/stderr.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListOutput(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"T1 ", "F1 ", "T2 ", "F3 ", "F12", "T2X", "F3X"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 15 {
+		t.Fatalf("-list output suspiciously short:\n%s", out)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "t1,t3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "T1: evaluated ECC configurations") {
+		t.Fatalf("t1 table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[T1 done in") || !strings.Contains(out, "[T3 done in") {
+		t.Fatalf("per-experiment timing lines missing:\n%s", out)
+	}
+}
+
+func TestMonteCarloExperimentSmallScale(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "t2", "-trials", "60")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "T2: outcome by injected fault pattern (60 trials each") {
+		t.Fatalf("t2 table missing or trials override ignored:\n%s", out)
+	}
+	if !strings.Contains(out, "pair") || !strings.Contains(out, "1-cell") {
+		t.Fatalf("t2 rows missing:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "zz")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, stderr := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	code, _, stderr := runCLI(t, "-resume", "-exp", "t1")
+	if code != 2 || !strings.Contains(stderr, "-resume requires -checkpoint") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestCheckpointAndResumeCLI runs a Monte-Carlo experiment with
+// checkpointing, then re-runs it with -resume: the resumed run must load
+// every shard (writing no new results) and render identical output.
+func TestCheckpointAndResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	code, first, stderr := runCLI(t, "-exp", "f9", "-trials", "80", "-checkpoint", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoint files written: %v %v", files, err)
+	}
+	stamps := map[string]int64{}
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamps[f] = fi.ModTime().UnixNano()
+	}
+
+	code, second, stderr := runCLI(t, "-exp", "f9", "-trials", "80", "-checkpoint", dir, "-resume")
+	if code != 0 {
+		t.Fatalf("resume exit %d, stderr %q", code, stderr)
+	}
+	stripTimings := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "[") && strings.Contains(line, "done in") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if stripTimings(first) != stripTimings(second) {
+		t.Fatalf("resumed output differs:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.ModTime().UnixNano() != stamps[f] {
+			t.Fatalf("resume rewrote checkpoint %s — shards were recomputed", f)
+		}
+	}
+}
+
+func TestProgressFlagReports(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "f9", "-trials", "40", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "progress: shards") {
+		t.Fatalf("no progress lines on stderr: %q", stderr)
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	def := scaleFor(false, 0, 0, 0)
+	if def.coverage != 20000 || def.devices != 40000 {
+		t.Fatalf("default scale %+v", def)
+	}
+	q := scaleFor(true, 0, 0, 0)
+	if q.coverage != 2000 || q.devices != 2000 || q.requests != 4000 {
+		t.Fatalf("quick scale %+v", q)
+	}
+	o := scaleFor(true, 123, 456, 789)
+	if o.sweep.Trials != 123 || o.coverage != 123 || o.devices != 456 || o.requests != 789 {
+		t.Fatalf("override scale %+v", o)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -23,38 +24,51 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args and writes traces to
+// stdout (or files under -out in suite mode), returning the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		suite    = flag.Bool("suite", false, "emit the ten SPEC-like traces to -out")
-		out      = flag.String("out", ".", "output directory for -suite")
-		requests = flag.Int("requests", 20000, "requests per trace")
-		name     = flag.String("name", "custom", "trace name (single-trace mode)")
-		pattern  = flag.String("pattern", "random", "sequential|random|strided|hotspot|pointer-chase")
-		reads    = flag.Float64("reads", 0.7, "read fraction")
-		masked   = flag.Float64("masked", 0.2, "masked fraction of writes")
-		window   = flag.Int("window", 8, "MLP window hint (emitted as a header comment)")
-		seed     = flag.Int64("seed", 1, "generator seed")
+		suite    = fs.Bool("suite", false, "emit the ten SPEC-like traces to -out")
+		out      = fs.String("out", ".", "output directory for -suite")
+		requests = fs.Int("requests", 20000, "requests per trace")
+		name     = fs.String("name", "custom", "trace name (single-trace mode)")
+		pattern  = fs.String("pattern", "random", "sequential|random|strided|hotspot|pointer-chase")
+		reads    = fs.Float64("reads", 0.7, "read fraction")
+		masked   = fs.Float64("masked", 0.2, "masked fraction of writes")
+		window   = fs.Int("window", 8, "MLP window hint (emitted as a header comment)")
+		seed     = fs.Int64("seed", 1, "generator seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *suite {
 		for _, wl := range trace.SPECLike(*requests) {
 			path := filepath.Join(*out, wl.Name+".trace")
 			f, err := os.Create(path)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "tracegen:", err)
+				return 1
 			}
 			writeTrace(f, wl)
 			if err := f.Close(); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "tracegen:", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s (%d requests)\n", path, len(wl.Reqs))
+			fmt.Fprintf(stderr, "wrote %s (%d requests)\n", path, len(wl.Reqs))
 		}
-		return
+		return 0
 	}
 
 	pat, err := parsePattern(*pattern)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 	wl := trace.Generate(trace.Params{
 		Name:        *name,
@@ -67,7 +81,8 @@ func main() {
 		HotFraction: 0.6,
 		Seed:        *seed,
 	})
-	writeTrace(os.Stdout, wl)
+	writeTrace(stdout, wl)
+	return 0
 }
 
 func parsePattern(s string) (trace.Pattern, error) {
@@ -87,7 +102,7 @@ func parsePattern(s string) (trace.Pattern, error) {
 	}
 }
 
-func writeTrace(f *os.File, wl trace.Workload) {
+func writeTrace(f io.Writer, wl trace.Workload) {
 	w := bufio.NewWriter(f)
 	defer w.Flush()
 	fmt.Fprintf(w, "# trace %s window=%d requests=%d\n", wl.Name, wl.Window, len(wl.Reqs))
@@ -101,9 +116,4 @@ func writeTrace(f *os.File, wl trace.Workload) {
 		}
 		fmt.Fprintf(w, "%s %x %d\n", op, r.Line, r.Gap)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
 }

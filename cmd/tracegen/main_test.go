@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pair/internal/trace"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSingleTraceOutput(t *testing.T) {
+	code, out, stderr := runCLI(t, "-name", "mix", "-requests", "100", "-reads", "0.5", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 101 {
+		t.Fatalf("%d lines, want header + 100 requests", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# trace mix window=8 requests=100") {
+		t.Fatalf("header %q", lines[0])
+	}
+	ops := map[string]int{}
+	for _, l := range lines[1:] {
+		f := strings.Fields(l)
+		if len(f) != 3 {
+			t.Fatalf("malformed request line %q", l)
+		}
+		if f[0] != "R" && f[0] != "W" && f[0] != "M" {
+			t.Fatalf("bad op in %q", l)
+		}
+		ops[f[0]]++
+	}
+	if ops["R"] == 0 || ops["W"]+ops["M"] == 0 {
+		t.Fatalf("op mix %v lacks reads or writes", ops)
+	}
+}
+
+func TestOutputDeterministicForSeed(t *testing.T) {
+	_, a, _ := runCLI(t, "-requests", "200", "-seed", "9")
+	_, b, _ := runCLI(t, "-requests", "200", "-seed", "9")
+	if a != b {
+		t.Fatal("same seed produced different traces")
+	}
+	_, c, _ := runCLI(t, "-requests", "200", "-seed", "10")
+	if a == c {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestOutputRoundTripsThroughParser guards the CLI's wire format against
+// the parser the simulator actually uses.
+func TestOutputRoundTripsThroughParser(t *testing.T) {
+	_, out, _ := runCLI(t, "-name", "rt", "-requests", "50", "-masked", "0.5")
+	wl, err := trace.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("emitted trace does not parse: %v", err)
+	}
+	if len(wl.Reqs) != 50 || wl.Name != "rt" {
+		t.Fatalf("round-trip lost data: %d reqs, name %q", len(wl.Reqs), wl.Name)
+	}
+}
+
+func TestSuiteWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t, "-suite", "-requests", "40", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil || len(files) < 5 {
+		t.Fatalf("suite wrote %d traces (%v)", len(files), err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Parse(strings.NewReader(string(raw))); err != nil {
+		t.Fatalf("suite trace %s does not parse: %v", files[0], err)
+	}
+	if !strings.Contains(stderr, "wrote ") {
+		t.Fatalf("suite progress missing from stderr: %q", stderr)
+	}
+}
+
+func TestSuiteBadDirFails(t *testing.T) {
+	code, _, stderr := runCLI(t, "-suite", "-requests", "10", "-out", filepath.Join(t.TempDir(), "missing", "nested"))
+	if code != 1 || !strings.Contains(stderr, "tracegen:") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestUnknownPattern(t *testing.T) {
+	code, _, stderr := runCLI(t, "-pattern", "zigzag")
+	if code != 1 || !strings.Contains(stderr, "unknown pattern") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := runCLI(t, "-nope")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

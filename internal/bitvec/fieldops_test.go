@@ -1,0 +1,192 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mustPanic asserts fn panics, for the bounds-check contract.
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+// naiveGetBits is the bit-at-a-time reference for the word-level fast path.
+func naiveGetBits(v *Vec, off, w int) uint64 {
+	var val uint64
+	for i := 0; i < w; i++ {
+		if v.Get(off + i) {
+			val |= 1 << uint(i)
+		}
+	}
+	return val
+}
+
+func TestGetBitsDifferentialAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 63, 64, 65, 130, 200} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		for trial := 0; trial < 500; trial++ {
+			w := rng.Intn(min(n, 64) + 1)
+			off := rng.Intn(n - w + 1)
+			if got, want := v.GetBits(off, w), naiveGetBits(v, off, w); got != want {
+				t.Fatalf("n=%d GetBits(%d,%d) = %#x, want %#x", n, off, w, got, want)
+			}
+		}
+	}
+}
+
+func TestGetBitsCrossWordAndEdges(t *testing.T) {
+	v := New(128)
+	// A field straddling the word boundary: bits 60..67 set alternately.
+	for i := 60; i < 68; i += 2 {
+		v.Set(i, true)
+	}
+	if got := v.GetBits(60, 8); got != 0b01010101 {
+		t.Fatalf("cross-word field %#b", got)
+	}
+	if got := v.GetBits(60, 0); got != 0 {
+		t.Fatalf("zero-width field %#x", got)
+	}
+	// Full-word read at a non-zero unaligned offset.
+	v.Clear()
+	v.Set(3, true)
+	v.Set(66, true)
+	if got := v.GetBits(3, 64); got != 1|1<<63 {
+		t.Fatalf("64-bit unaligned read %#x", got)
+	}
+	// Aligned full-word read must round-trip Word().
+	v.Clear()
+	v.OrBits(64, 0xdeadbeefcafef00d, 64)
+	if v.GetBits(64, 64) != v.Word(1) || v.Word(1) != 0xdeadbeefcafef00d {
+		t.Fatalf("aligned word read %#x vs %#x", v.GetBits(64, 64), v.Word(1))
+	}
+}
+
+func TestGetBitsBounds(t *testing.T) {
+	v := New(100)
+	mustPanic(t, "negative off", func() { v.GetBits(-1, 4) })
+	mustPanic(t, "negative width", func() { v.GetBits(0, -1) })
+	mustPanic(t, "width > 64", func() { v.GetBits(0, 65) })
+	mustPanic(t, "field past end", func() { v.GetBits(98, 3) })
+}
+
+func TestOrBitsDifferentialAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 63, 64, 65, 130, 200} {
+		fast, slow := New(n), New(n)
+		for trial := 0; trial < 500; trial++ {
+			w := rng.Intn(min(n, 64) + 1)
+			off := rng.Intn(n - w + 1)
+			val := rng.Uint64()
+			fast.OrBits(off, val, w)
+			for i := 0; i < w; i++ {
+				if val&(1<<uint(i)) != 0 {
+					slow.Set(off+i, true)
+				}
+			}
+			if !fast.Equal(slow) {
+				t.Fatalf("n=%d OrBits(%d,%#x,%d) diverged:\n%s\n%s", n, off, val, w, fast, slow)
+			}
+		}
+	}
+}
+
+func TestOrBitsMasksHighBits(t *testing.T) {
+	v := New(64)
+	// Bits of val above width w must not leak into the vector.
+	v.OrBits(0, ^uint64(0), 4)
+	if v.PopCount() != 4 || v.GetBits(0, 64) != 0xf {
+		t.Fatalf("high bits leaked: %s", v)
+	}
+	// Zero width is a no-op.
+	v.OrBits(10, ^uint64(0), 0)
+	if v.PopCount() != 4 {
+		t.Fatalf("zero-width OrBits wrote bits: %s", v)
+	}
+}
+
+func TestOrBitsBounds(t *testing.T) {
+	v := New(100)
+	mustPanic(t, "negative off", func() { v.OrBits(-1, 1, 4) })
+	mustPanic(t, "negative width", func() { v.OrBits(0, 1, -1) })
+	mustPanic(t, "width > 64", func() { v.OrBits(0, 1, 65) })
+	mustPanic(t, "field past end", func() { v.OrBits(98, 1, 3) })
+}
+
+func TestGetBitsOrBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	v := New(544) // one PAIR stored-image worth of bits
+	// Pack 8-bit symbols, then read them back.
+	want := make([]uint64, 68)
+	for i := range want {
+		want[i] = uint64(rng.Intn(256))
+		v.OrBits(i*8, want[i], 8)
+	}
+	for i := range want {
+		if got := v.GetBits(i*8, 8); got != want[i] {
+			t.Fatalf("symbol %d: %#x != %#x", i, got, want[i])
+		}
+	}
+}
+
+func TestLenWordAccessors(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 || v.NumWords() != 3 {
+		t.Fatalf("Len=%d NumWords=%d", v.Len(), v.NumWords())
+	}
+	v.Set(129, true)
+	if v.Word(2) != 2 {
+		t.Fatalf("Word(2) = %#x", v.Word(2))
+	}
+	if New(0).NumWords() != 0 {
+		t.Fatal("empty vector has backing words")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := New(70)
+	src.Set(0, true)
+	src.Set(69, true)
+	dst := New(70)
+	dst.Set(35, true)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom left %s", dst)
+	}
+	// Deep copy: mutating dst must not touch src.
+	dst.Flip(1)
+	if src.Get(1) {
+		t.Fatal("CopyFrom aliased the backing words")
+	}
+	mustPanic(t, "length mismatch", func() { dst.CopyFrom(New(71)) })
+}
+
+func TestConstructorAndEqualEdges(t *testing.T) {
+	mustPanic(t, "negative length", func() { New(-1) })
+	mustPanic(t, "short buffer", func() { FromBytes([]byte{1}, 9) })
+	if !New(5).Equal(New(5)) {
+		t.Fatal("fresh vectors unequal")
+	}
+	if New(5).Equal(New(6)) {
+		t.Fatal("length mismatch compared equal")
+	}
+	if New(64).Any() {
+		t.Fatal("zero vector Any() = true")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

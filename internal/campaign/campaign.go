@@ -1,0 +1,148 @@
+// Package campaign implements the resumable sharded Monte-Carlo engine
+// behind the reliability study's heavy campaigns.
+//
+// A campaign is split into fixed-size trial shards. Each shard draws its
+// randomness from a seed derived by FNV-1a over (campaign label, campaign
+// seed, shard index) — never from a worker index or from scheduling order —
+// so the aggregated result is bit-identical no matter the worker count,
+// the execution order, or where a previous run was interrupted. Completed
+// shards can be persisted to a JSON checkpoint (written with an atomic
+// rename) and skipped on resume, which is what makes a killed multi-hour
+// campaign recoverable instead of lost.
+package campaign
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// DefaultShardSize is the trials-per-shard used when Spec.ShardSize is
+// zero. It is small enough that quick-mode campaigns still split into
+// several shards (so cancellation loses little work) and large enough
+// that per-shard overhead (one RNG, one checkpoint write) is noise.
+const DefaultShardSize = 1000
+
+// Spec identifies one deterministic campaign: how many trials to run,
+// how they are sliced into shards, and the seed material every shard
+// stream is derived from. Label must be unique among campaigns sharing a
+// checkpoint directory; it both names the checkpoint file and salts the
+// shard seeds (the per-label streams of the Coverage engine, extended to
+// per-shard).
+type Spec struct {
+	Label     string
+	Trials    int
+	ShardSize int // trials per shard; 0 means DefaultShardSize
+	Seed      int64
+}
+
+// shardSize returns the effective shard size.
+func (s Spec) shardSize() int {
+	if s.ShardSize > 0 {
+		return s.ShardSize
+	}
+	return DefaultShardSize
+}
+
+// NumShards returns how many shards the campaign splits into. The last
+// shard absorbs the remainder and may be short.
+func (s Spec) NumShards() int {
+	if s.Trials <= 0 {
+		return 0
+	}
+	sz := s.shardSize()
+	return (s.Trials + sz - 1) / sz
+}
+
+// Shard is one independently seeded unit of campaign work.
+type Shard struct {
+	Index  int
+	Trials int
+	Seed   int64
+}
+
+// Shard returns shard i of the campaign.
+func (s Spec) Shard(i int) Shard {
+	n := s.NumShards()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("campaign: shard %d out of range [0,%d)", i, n))
+	}
+	sz := s.shardSize()
+	trials := sz
+	if i == n-1 {
+		trials = s.Trials - sz*(n-1)
+	}
+	return Shard{Index: i, Trials: trials, Seed: ShardSeed(s.Seed, s.Label, i)}
+}
+
+// ShardSeed derives the RNG seed of one shard: FNV-1a over the campaign
+// label followed by the little-endian campaign seed and shard index. The
+// label salt keeps campaigns that share a numeric seed on independent
+// streams; the index salt keeps shards independent of each other and of
+// any notion of "worker".
+func ShardSeed(seed int64, label string, shard int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(b[8:], uint64(shard))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// Options configures how a campaign executes. The zero value runs with
+// GOMAXPROCS workers, no checkpointing and no progress reporting — the
+// fire-and-forget behavior the blocking wrappers use.
+type Options struct {
+	// Workers caps the number of concurrent shard workers. 0 means
+	// GOMAXPROCS. The result does not depend on this value.
+	Workers int
+
+	// Namespace prefixes campaign labels built by higher layers (the
+	// reliability engine joins it with its own scheme/kind labels), so
+	// one checkpoint directory can serve many experiments without label
+	// collisions. It participates in seed derivation through the label.
+	Namespace string
+
+	// CheckpointDir, when non-empty, enables checkpointing: each
+	// campaign persists completed-shard results to
+	// <dir>/<sanitized-label>.json after every shard.
+	CheckpointDir string
+
+	// Resume loads an existing checkpoint (if any) before running and
+	// skips its completed shards. Without Resume a fresh run overwrites
+	// any stale checkpoint for the same label.
+	Resume bool
+
+	// Progress, when non-nil, receives shard/trial completion counts.
+	Progress *Progress
+
+	// OnShardDone, when non-nil, is called after each shard completes
+	// (serialized; completed counts both fresh and resumed shards). It
+	// exists for tests and custom reporters that need a hook at shard
+	// granularity, e.g. to cancel a run at a known point.
+	OnShardDone func(completed, total int)
+}
+
+// Sublabel returns a copy of o with extra joined onto the namespace,
+// keeping checkpoint labels unique when one experiment runs several
+// otherwise-identical campaigns (expansion levels, scrub intervals, ...).
+func (o Options) Sublabel(extra string) Options {
+	o.Namespace = JoinLabel(o.Namespace, extra)
+	return o
+}
+
+// JoinLabel joins label parts with '/', skipping empty parts.
+func JoinLabel(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if out != "" {
+			out += "/"
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointFile is the persisted form of a campaign's completed shards.
+// Shard results are stored as raw JSON so the file format is independent
+// of the concrete result type a campaign aggregates.
+type checkpointFile struct {
+	Version   int                     `json:"version"`
+	Label     string                  `json:"label"`
+	Seed      int64                   `json:"seed"`
+	Trials    int                     `json:"trials"`
+	ShardSize int                     `json:"shard_size"`
+	Shards    map[int]json.RawMessage `json:"shards"`
+}
+
+// Checkpoint tracks the completed shards of one campaign and mirrors
+// them to a JSON file. Every update rewrites the file via a temp file and
+// an atomic rename, so a kill at any instant leaves either the previous
+// or the new complete checkpoint — never a torn one.
+type Checkpoint struct {
+	path string
+
+	mu   sync.Mutex
+	file checkpointFile
+}
+
+// CheckpointPath returns the checkpoint file path a campaign label maps
+// to inside dir.
+func CheckpointPath(dir, label string) string {
+	return filepath.Join(dir, sanitizeLabel(label)+".json")
+}
+
+// sanitizeLabel maps a campaign label to a safe file stem.
+func sanitizeLabel(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_', r == '=':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "campaign"
+	}
+	return string(out)
+}
+
+// openCheckpoint binds a checkpoint to dir for the given spec. With
+// resume it loads any existing file and validates that it belongs to the
+// same campaign shape; without resume it starts empty (a stale file is
+// overwritten on the first save).
+func openCheckpoint(dir string, spec Spec, resume bool) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	c := &Checkpoint{
+		path: CheckpointPath(dir, spec.Label),
+		file: checkpointFile{
+			Version:   checkpointVersion,
+			Label:     spec.Label,
+			Seed:      spec.Seed,
+			Trials:    spec.Trials,
+			ShardSize: spec.shardSize(),
+			Shards:    map[int]json.RawMessage{},
+		},
+	}
+	if !resume {
+		return c, nil
+	}
+	raw, err := os.ReadFile(c.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil // nothing to resume yet
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var loaded checkpointFile
+	if err := json.Unmarshal(raw, &loaded); err != nil {
+		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", c.path, err)
+	}
+	if loaded.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", c.path, loaded.Version, checkpointVersion)
+	}
+	if loaded.Label != spec.Label || loaded.Seed != spec.Seed ||
+		loaded.Trials != spec.Trials || loaded.ShardSize != spec.shardSize() {
+		return nil, fmt.Errorf("campaign: checkpoint %s was written by a different campaign (label %q seed %d trials %d shard %d; want %q %d %d %d)",
+			c.path, loaded.Label, loaded.Seed, loaded.Trials, loaded.ShardSize,
+			spec.Label, spec.Seed, spec.Trials, spec.shardSize())
+	}
+	if loaded.Shards != nil {
+		c.file.Shards = loaded.Shards
+	}
+	return c, nil
+}
+
+// shard returns the stored raw result of shard i, if present.
+func (c *Checkpoint) shard(i int) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.file.Shards[i]
+	return raw, ok
+}
+
+// numDone returns how many shard results the checkpoint holds.
+func (c *Checkpoint) numDone() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.file.Shards)
+}
+
+// record stores shard i's result and rewrites the checkpoint file
+// atomically.
+func (c *Checkpoint) record(i int, raw json.RawMessage) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.file.Shards[i] = raw
+	return c.save()
+}
+
+// save writes the checkpoint under c.mu: marshal, write to a sibling
+// temp file, fsync-free atomic rename into place.
+func (c *Checkpoint) save() error {
+	buf, err := json.MarshalIndent(&c.file, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("campaign: commit checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress accumulates shard/trial completion counters across every
+// campaign that shares it. It is safe for concurrent use; campaigns feed
+// it from their workers and reporters sample it with Snapshot. The
+// counters are deliberately plain monotonic totals so they can double as
+// an export surface for later metrics plumbing.
+type Progress struct {
+	start time.Time
+
+	totalShards   atomic.Int64
+	totalTrials   atomic.Int64
+	doneShards    atomic.Int64
+	doneTrials    atomic.Int64
+	resumedShards atomic.Int64
+	resumedTrials atomic.Int64
+}
+
+// NewProgress returns a Progress anchored at the current time.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now()}
+}
+
+// addCampaign registers a campaign's shard/trial totals.
+func (p *Progress) addCampaign(shards, trials int) {
+	if p == nil {
+		return
+	}
+	p.totalShards.Add(int64(shards))
+	p.totalTrials.Add(int64(trials))
+}
+
+// shardDone records one freshly computed shard.
+func (p *Progress) shardDone(trials int) {
+	if p == nil {
+		return
+	}
+	p.doneShards.Add(1)
+	p.doneTrials.Add(int64(trials))
+}
+
+// shardResumed records one shard skipped because its result was loaded
+// from a checkpoint.
+func (p *Progress) shardResumed(trials int) {
+	if p == nil {
+		return
+	}
+	p.resumedShards.Add(1)
+	p.resumedTrials.Add(int64(trials))
+}
+
+// Snapshot is a point-in-time view of campaign progress.
+type Snapshot struct {
+	ShardsDone    int64 // freshly computed this run
+	ShardsResumed int64 // loaded from checkpoints
+	ShardsTotal   int64
+	TrialsDone    int64
+	TrialsResumed int64
+	TrialsTotal   int64
+	Elapsed       time.Duration
+	TrialsPerSec  float64       // fresh trials per wall second
+	ETA           time.Duration // remaining trials at the current rate; 0 if unknown
+}
+
+// Snapshot samples the counters.
+func (p *Progress) Snapshot() Snapshot {
+	s := Snapshot{
+		ShardsDone:    p.doneShards.Load(),
+		ShardsResumed: p.resumedShards.Load(),
+		ShardsTotal:   p.totalShards.Load(),
+		TrialsDone:    p.doneTrials.Load(),
+		TrialsResumed: p.resumedTrials.Load(),
+		TrialsTotal:   p.totalTrials.Load(),
+		Elapsed:       time.Since(p.start),
+	}
+	if sec := s.Elapsed.Seconds(); sec > 0 {
+		s.TrialsPerSec = float64(s.TrialsDone) / sec
+	}
+	if remaining := s.TrialsTotal - s.TrialsDone - s.TrialsResumed; remaining > 0 && s.TrialsPerSec > 0 {
+		s.ETA = time.Duration(float64(remaining) / s.TrialsPerSec * float64(time.Second)).Round(time.Second)
+	}
+	return s
+}
+
+// String renders the snapshot as a one-line status.
+func (s Snapshot) String() string {
+	out := fmt.Sprintf("shards %d/%d  trials %d/%d", s.ShardsDone+s.ShardsResumed, s.ShardsTotal, s.TrialsDone+s.TrialsResumed, s.TrialsTotal)
+	if s.ShardsResumed > 0 {
+		out += fmt.Sprintf(" (%d shards resumed)", s.ShardsResumed)
+	}
+	if s.TrialsPerSec > 0 {
+		out += fmt.Sprintf("  %.0f trials/s", s.TrialsPerSec)
+	}
+	if s.ETA > 0 {
+		out += fmt.Sprintf("  ETA %s", s.ETA)
+	}
+	return out
+}
+
+// Report starts a goroutine that writes a snapshot line to w every
+// interval until ctx is done or the returned stop function is called.
+// Stop is idempotent and also emits one final snapshot, so short runs
+// still produce at least one line.
+func (p *Progress) Report(ctx context.Context, w io.Writer, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "progress: %s\n", p.Snapshot())
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			fmt.Fprintf(w, "progress: %s\n", p.Snapshot())
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Run executes a campaign: every shard runs fn with the shard's derived
+// RNG and trial count, and the per-shard results are folded with merge in
+// ascending shard order, so the aggregate is bit-identical regardless of
+// worker count or completion order. The result type must round-trip
+// through encoding/json when checkpointing is enabled.
+//
+// On context cancellation Run stops dispatching new shards, lets
+// in-flight shards finish (recording them in the checkpoint, so no work
+// is lost), and returns the context's error. A later Run with
+// Options.Resume picks up exactly where the campaign stopped.
+func Run[T any](ctx context.Context, spec Spec, opts Options, fn func(rng *rand.Rand, trials int) T, merge func(agg *T, shard T)) (T, error) {
+	var zero T
+	if spec.Trials < 0 {
+		return zero, fmt.Errorf("campaign %q: negative trial count %d", spec.Label, spec.Trials)
+	}
+	spec.Label = JoinLabel(opts.Namespace, spec.Label)
+	n := spec.NumShards()
+	results := make([]T, n)
+	pending := make([]int, 0, n)
+
+	var ckpt *Checkpoint
+	if opts.CheckpointDir != "" {
+		var err error
+		ckpt, err = openCheckpoint(opts.CheckpointDir, spec, opts.Resume)
+		if err != nil {
+			return zero, err
+		}
+	}
+	opts.Progress.addCampaign(n, spec.Trials)
+	completed := 0
+	for i := 0; i < n; i++ {
+		if ckpt != nil {
+			if raw, ok := ckpt.shard(i); ok {
+				if err := json.Unmarshal(raw, &results[i]); err != nil {
+					return zero, fmt.Errorf("campaign %q: corrupt shard %d in checkpoint: %w", spec.Label, i, err)
+				}
+				opts.Progress.shardResumed(spec.Shard(i).Trials)
+				completed++
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	if len(pending) > 0 {
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+
+		idxCh := make(chan int)
+		go func() {
+			defer close(idxCh)
+			for _, i := range pending {
+				select {
+				case idxCh <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		var mu sync.Mutex // serializes checkpoint writes, callbacks, firstErr
+		var firstErr error
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					sh := spec.Shard(i)
+					res := fn(rand.New(rand.NewSource(sh.Seed)), sh.Trials)
+					results[i] = res
+					opts.Progress.shardDone(sh.Trials)
+					mu.Lock()
+					completed++
+					if ckpt != nil && firstErr == nil {
+						raw, err := json.Marshal(res)
+						if err == nil {
+							err = ckpt.record(i, raw)
+						}
+						if err != nil {
+							firstErr = fmt.Errorf("campaign %q: shard %d: %w", spec.Label, i, err)
+						}
+					}
+					if opts.OnShardDone != nil {
+						opts.OnShardDone(completed, n)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return zero, firstErr
+		}
+		if err := ctx.Err(); err != nil && completed < n {
+			return zero, err
+		}
+	}
+
+	var agg T
+	for i := 0; i < n; i++ {
+		merge(&agg, results[i])
+	}
+	return agg, nil
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"pair/internal/campaign"
 	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/ecc"
@@ -23,8 +25,15 @@ func ExtendedSchemes() []ecc.Scheme {
 
 // F8ScrubSweep varies the scrub interval in the lifetime model — the
 // knob that controls how long transient faults linger and can pair with
-// permanent ones.
+// permanent ones. It is the blocking wrapper around F8ScrubSweepCtx.
 func F8ScrubSweep(schemes []ecc.Scheme, devices int, seed int64) *Table {
+	return must(F8ScrubSweepCtx(context.Background(), schemes, devices, seed, campaign.Options{}))
+}
+
+// F8ScrubSweepCtx varies the scrub interval as cancellable,
+// checkpointable campaigns; each interval runs under an h=<n> campaign
+// sublabel since the scheme set repeats across intervals.
+func F8ScrubSweepCtx(ctx context.Context, schemes []ecc.Scheme, devices int, seed int64, opts campaign.Options) (*Table, error) {
 	intervals := []float64{1, 6, 24, 168} // hours
 	t := &Table{
 		Title:  fmt.Sprintf("F8: 7-year failure probability vs scrub interval (%d ranks; transient FIT x20 to expose the knob)", devices),
@@ -45,13 +54,16 @@ func F8ScrubSweep(schemes []ecc.Scheme, devices int, seed int64) *Table {
 	for _, s := range schemes {
 		row := []string{s.Name()}
 		for _, h := range intervals {
-			r := reliability.RunLifetime(reliability.LifetimeConfig{
+			r, err := reliability.RunLifetimeCtx(ctx, reliability.LifetimeConfig{
 				Scheme:     s,
 				Devices:    devices,
 				ScrubHours: h,
 				Seed:       seed,
 				FITs:       fits,
-			})
+			}, opts.Sublabel(fmt.Sprintf("h=%g", h)))
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, sci(r.FailProb()))
 		}
 		t.AddRow(row...)
@@ -59,13 +71,21 @@ func F8ScrubSweep(schemes []ecc.Scheme, devices int, seed int64) *Table {
 	t.Notes = append(t.Notes,
 		"longer scrub intervals let transient bits linger and pair with permanent faults",
 		"at field-realistic rates the curves are flat: transient pairing is negligible against permanent-fault hazards — itself a finding (scrubbing buys little for per-access in-DRAM codes)")
-	return t
+	return t, nil
 }
 
 // F9DDR5 compares PAIR across DRAM generations: DDR4 x16 BL8 (one symbol
 // per pin) against DDR5 x16 BL16 (two symbols per pin), at both
-// expansion levels, under the pin-fault and inherent-cell hazards.
+// expansion levels, under the pin-fault and inherent-cell hazards. It is
+// the blocking wrapper around F9DDR5Ctx.
 func F9DDR5(trials int, seed int64) *Table {
+	return must(F9DDR5Ctx(context.Background(), trials, seed, campaign.Options{}))
+}
+
+// F9DDR5Ctx compares PAIR across DRAM generations as cancellable,
+// checkpointable campaigns. The scheme/organization campaign labels
+// already distinguish the four cases (name and burst length differ).
+func F9DDR5Ctx(ctx context.Context, trials int, seed int64, opts campaign.Options) (*Table, error) {
 	t := &Table{
 		Title:  "F9: PAIR across DRAM generations (pin-fault fail rate / inherent 2-cell fail rate)",
 		Header: []string{"device", "code", "t", "pin fault", "2-cell"},
@@ -83,14 +103,20 @@ func F9DDR5(trials int, seed int64) *Table {
 	}
 	for _, c := range cases {
 		s := core.MustNew(c.org, c.c)
-		pin := reliability.Coverage(s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+		pin, err := reliability.CoverageCtx(ctx, s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 			ecc.InjectAccessFault(rng, st, faults.PermanentPin, -1)
-		})
-		cells := reliability.Coverage(s, "2cell", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		cells, err := reliability.CoverageCtx(ctx, s, "2cell", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 			chip := rng.Intn(st.Org.ChipsPerRank)
 			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
 			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
-		})
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(c.label,
 			fmt.Sprintf("RS(%d,%d)", s.CodewordLength(), s.CodewordLength()-s.Config().BaseParity-s.Config().Expansion),
 			fmt.Sprintf("%d", s.T()),
@@ -100,14 +126,21 @@ func F9DDR5(trials int, seed int64) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"a BL16 pin carries two symbols, so DDR5 pin faults need the expanded t=2 code — the expandability story across generations")
-	return t
+	return t, nil
 }
 
 // T5Widths shows the PAIR design space across device widths: the
 // codeword shrinks with the pin count, so the fixed two-symbol parity
 // floor costs proportionally more on narrow devices — the economics
 // behind PAIR's focus on x16 (and the abstract's "latest DRAM model").
+// It is the blocking wrapper around T5WidthsCtx.
 func T5Widths(trials int, seed int64) *Table {
+	return must(T5WidthsCtx(context.Background(), trials, seed, campaign.Options{}))
+}
+
+// T5WidthsCtx runs the device-width design-space table as cancellable,
+// checkpointable campaigns (pin counts distinguish the campaign labels).
+func T5WidthsCtx(ctx context.Context, trials int, seed int64, opts campaign.Options) (*Table, error) {
 	t := &Table{
 		Title:  "T5: PAIR across device widths (expanded config, t=2)",
 		Header: []string{"device", "chips/rank", "code", "storage ovh", "pin-fault fail", "2-cell fail"},
@@ -123,14 +156,20 @@ func T5Widths(trials int, seed int64) *Table {
 	}
 	for _, c := range cases {
 		s := core.MustNew(c.org, core.DefaultConfig())
-		pin := reliability.Coverage(s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+		pin, err := reliability.CoverageCtx(ctx, s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 			ecc.InjectAccessFault(rng, st, faults.PermanentPin, -1)
-		})
-		cells := reliability.Coverage(s, "2cell", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		cells, err := reliability.CoverageCtx(ctx, s, "2cell", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 			chip := rng.Intn(st.Org.ChipsPerRank)
 			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
 			ecc.InjectAccessFault(rng, st, faults.PermanentCell, chip)
-		})
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(c.label,
 			fmt.Sprintf("%d", c.org.ChipsPerRank),
 			fmt.Sprintf("RS(%d,%d)", s.CodewordLength(), s.CodewordLength()-4),
@@ -141,26 +180,40 @@ func T5Widths(trials int, seed int64) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"the 4-symbol parity floor is 100% overhead on x4 but 25% on x16: pin-aligned RS wants wide devices")
-	return t
+	return t, nil
 }
 
 // F12Repair compares 7-year failure probability without and with a
 // post-package-repair budget. Only *detected* failures can trigger
 // repair, so schemes that convert failures into DUEs (PAIR) benefit
 // fully while miscorrecting schemes (IECC) and alias-prone ones (XED)
-// keep dying silently — the operational argument for low SDC.
+// keep dying silently — the operational argument for low SDC. It is the
+// blocking wrapper around F12RepairCtx.
 func F12Repair(schemes []ecc.Scheme, devices int, seed int64) *Table {
+	return must(F12RepairCtx(context.Background(), schemes, devices, seed, campaign.Options{}))
+}
+
+// F12RepairCtx runs the post-package-repair comparison as cancellable,
+// checkpointable campaigns; the base and PPR populations run under
+// distinct campaign sublabels since they share scheme, devices and seed.
+func F12RepairCtx(ctx context.Context, schemes []ecc.Scheme, devices int, seed int64, opts campaign.Options) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("F12: 7-year failure probability without / with post-package repair (budget 4; %d ranks)", devices),
 		Header: []string{"scheme", "no repair", "with PPR", "improvement", "repairs used", "residual SDC"},
 	}
 	for _, s := range schemes {
-		base := reliability.RunLifetime(reliability.LifetimeConfig{
+		base, err := reliability.RunLifetimeCtx(ctx, reliability.LifetimeConfig{
 			Scheme: s, Devices: devices, Seed: seed,
-		})
-		ppr := reliability.RunLifetime(reliability.LifetimeConfig{
+		}, opts.Sublabel("base"))
+		if err != nil {
+			return nil, err
+		}
+		ppr, err := reliability.RunLifetimeCtx(ctx, reliability.LifetimeConfig{
 			Scheme: s, Devices: devices, Seed: seed, RepairBudget: 4,
-		})
+		}, opts.Sublabel("ppr"))
+		if err != nil {
+			return nil, err
+		}
 		imp := "-"
 		if ppr.FailProb() > 0 {
 			imp = fmt.Sprintf("%.1fx", base.FailProb()/ppr.FailProb())
@@ -172,13 +225,21 @@ func F12Repair(schemes []ecc.Scheme, devices int, seed int64) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"PPR can only act on detected (DUE) failures; silent corruption is unrepairable by construction")
-	return t
+	return t, nil
 }
 
 // F10Sparing quantifies the pin-sparing (erasure) extension: a device
 // with d dead pins on one chip, with and without the repair map, under
-// an additional fresh cell error per access.
+// an additional fresh cell error per access. It is the blocking wrapper
+// around F10SparingCtx.
 func F10Sparing(trials int, seed int64) *Table {
+	return must(F10SparingCtx(context.Background(), trials, seed, campaign.Options{}))
+}
+
+// F10SparingCtx runs the pin-sparing comparison as cancellable,
+// checkpointable campaigns; each dead-pin count runs under a dead=<n>
+// campaign sublabel since the schemes and labels repeat across counts.
+func F10SparingCtx(ctx context.Context, trials int, seed int64, opts campaign.Options) (*Table, error) {
 	t := &Table{
 		Title:  "F10: decode outcome with dead pins, plain vs spared (erasure) decoding, +1 fresh cell",
 		Header: []string{"dead pins", "plain fail", "spared fail"},
@@ -201,11 +262,18 @@ func F10Sparing(trials int, seed int64) *Table {
 			}
 			ecc.InjectAccessFault(rng, st, faults.PermanentCell, 0)
 		}
-		p := reliability.Coverage(plain, "plain", trials, seed, inject)
-		sp := reliability.Coverage(sparedScheme, "spared", trials, seed, inject)
+		dOpts := opts.Sublabel(fmt.Sprintf("dead=%d", dead))
+		p, err := reliability.CoverageCtx(ctx, plain, "plain", trials, seed, inject, dOpts)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := reliability.CoverageCtx(ctx, sparedScheme, "spared", trials, seed, inject, dOpts)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%d", dead), sci(p.Rates.Fail()), sci(sp.Rates.Fail()))
 	}
 	t.Notes = append(t.Notes,
 		"sparing turns known-bad pins into erasures: budget 2*errors + erasures <= 4, so two dead pins + one fresh error still decode")
-	return t
+	return t, nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"pair/internal/campaign"
 	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/ecc"
@@ -11,6 +13,16 @@ import (
 	"pair/internal/reliability"
 	"pair/internal/stats"
 )
+
+// must unwraps a (result, error) pair for the blocking experiment
+// wrappers, whose campaigns run without a cancellable context or
+// checkpointing and therefore cannot fail.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return v
+}
 
 // CommoditySchemes returns the x16 evaluation set in presentation order.
 func CommoditySchemes() []ecc.Scheme {
@@ -80,11 +92,21 @@ type SweepResult struct {
 }
 
 // F1F2 runs the inherent-fault reliability sweep over the given schemes.
+// It is the blocking wrapper around F1F2Ctx.
 func F1F2(schemes []ecc.Scheme, st SweepSettings) *SweepResult {
+	return must(F1F2Ctx(context.Background(), schemes, st, campaign.Options{}))
+}
+
+// F1F2Ctx runs the inherent-fault reliability sweep as cancellable,
+// checkpointable campaigns (one per scheme per conditioned flip count).
+func F1F2Ctx(ctx context.Context, schemes []ecc.Scheme, st SweepSettings, opts campaign.Options) (*SweepResult, error) {
 	bers := reliability.LogspaceBERs(st.BERLo, st.BERHi, st.Points)
 	res := &SweepResult{BERs: bers}
 	for _, s := range schemes {
-		prof := reliability.BuildProfile(s, reliability.SweepConfig{MaxK: st.MaxK, Trials: st.Trials, Seed: st.Seed})
+		prof, err := reliability.BuildProfileCtx(ctx, s, reliability.SweepConfig{MaxK: st.MaxK, Trials: st.Trials, Seed: st.Seed}, opts)
+		if err != nil {
+			return nil, err
+		}
 		res.Profiles = append(res.Profiles, prof)
 		res.Schemes = append(res.Schemes, s.Name())
 		fail := make([]float64, len(bers))
@@ -97,7 +119,7 @@ func F1F2(schemes []ecc.Scheme, st SweepSettings) *SweepResult {
 		res.Fail = append(res.Fail, fail)
 		res.SDC = append(res.SDC, sdc)
 	}
-	return res
+	return res, nil
 }
 
 // RenderF1 renders the uncorrectable/failure probability series.
@@ -163,8 +185,15 @@ func (r *SweepResult) headline() []string {
 	return notes
 }
 
-// T2Coverage runs the fault-type coverage table over the scheme set.
+// T2Coverage runs the fault-type coverage table over the scheme set. It
+// is the blocking wrapper around T2CoverageCtx.
 func T2Coverage(schemes []ecc.Scheme, trials int, seed int64) *Table {
+	return must(T2CoverageCtx(context.Background(), schemes, trials, seed, campaign.Options{}))
+}
+
+// T2CoverageCtx runs the fault-type coverage table as cancellable,
+// checkpointable campaigns (one per scheme per fault pattern).
+func T2CoverageCtx(ctx context.Context, schemes []ecc.Scheme, trials int, seed int64, opts campaign.Options) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("T2: outcome by injected fault pattern (%d trials each; CE/DUE/SDC shares)", trials),
 		Header: []string{"pattern"},
@@ -175,28 +204,41 @@ func T2Coverage(schemes []ecc.Scheme, trials int, seed int64) *Table {
 	for _, l := range reliability.StandardCoverageLabels() {
 		row := []string{l.Label}
 		for _, s := range schemes {
-			r := reliability.Coverage(s, l.Label, trials, seed, l.Inject)
+			r, err := reliability.CoverageCtx(ctx, s, l.Label, trials, seed, l.Inject, opts)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprintf("%.0f/%.0f/%.0f", r.Rates.CE*100, r.Rates.DUE*100, r.Rates.SDC*100))
 		}
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "cells are CE/DUE/SDC percentages; 100/0/0 = always corrected")
-	return t
+	return t, nil
 }
 
 // F3Lifetime runs the lifetime Monte-Carlo for each scheme and renders
-// the 7-year failure and SDC probabilities plus the yearly CDF.
+// the 7-year failure and SDC probabilities plus the yearly CDF. It is
+// the blocking wrapper around F3LifetimeCtx.
 func F3Lifetime(schemes []ecc.Scheme, devices int, seed int64) *Table {
+	return must(F3LifetimeCtx(context.Background(), schemes, devices, seed, campaign.Options{}))
+}
+
+// F3LifetimeCtx runs the lifetime Monte-Carlo as cancellable,
+// checkpointable campaigns (one per scheme).
+func F3LifetimeCtx(ctx context.Context, schemes []ecc.Scheme, devices int, seed int64, opts campaign.Options) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("F3: 7-year mission failure probability, field FIT rates, %d ranks, 24h scrub", devices),
 		Header: []string{"scheme", "P(fail)", "P(SDC)", "P(DUE)", "yearly CDF"},
 	}
 	for _, s := range schemes {
-		r := reliability.RunLifetime(reliability.LifetimeConfig{
+		r, err := reliability.RunLifetimeCtx(ctx, reliability.LifetimeConfig{
 			Scheme:  s,
 			Devices: devices,
 			Seed:    seed,
-		})
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
 		cdf := ""
 		for i, c := range r.FailYearCDF {
 			if i > 0 {
@@ -210,11 +252,19 @@ func F3Lifetime(schemes []ecc.Scheme, devices int, seed int64) *Table {
 	t.Notes = append(t.Notes,
 		"operational (field-FIT) faults; inherent weak-cell hazards are the F1/F2 sweeps",
 		"XED's rank-XOR reconstructs whole-chip faults, so its DUE column benefits here; its SDC column shows the aliasing hazard")
-	return t
+	return t, nil
 }
 
-// F6Expandability sweeps the PAIR expansion level at a fixed adverse BER.
+// F6Expandability sweeps the PAIR expansion level at a fixed adverse
+// BER. It is the blocking wrapper around F6ExpandabilityCtx.
 func F6Expandability(trials int, seed int64) *Table {
+	return must(F6ExpandabilityCtx(context.Background(), trials, seed, campaign.Options{}))
+}
+
+// F6ExpandabilityCtx sweeps the PAIR expansion level as cancellable,
+// checkpointable campaigns. Expansion levels 1..4 all report the scheme
+// name "pair", so each level runs under an exp=<n> campaign sublabel.
+func F6ExpandabilityCtx(ctx context.Context, trials int, seed int64, opts campaign.Options) (*Table, error) {
 	const ber = 1e-5
 	t := &Table{
 		Title:  fmt.Sprintf("F6: PAIR reliability vs expansion level (inherent BER %.0e)", ber),
@@ -222,7 +272,11 @@ func F6Expandability(trials int, seed int64) *Table {
 	}
 	for exp := 0; exp <= 4; exp++ {
 		s := core.MustNew(dram.DDR4x16(), core.Config{BaseParity: 2, Expansion: exp, DecodeLatencyNS: 2})
-		prof := reliability.BuildProfile(s, reliability.SweepConfig{MaxK: 8, Trials: trials, Seed: seed})
+		prof, err := reliability.BuildProfileCtx(ctx, s, reliability.SweepConfig{MaxK: 8, Trials: trials, Seed: seed},
+			opts.Sublabel(fmt.Sprintf("exp=%d", exp)))
+		if err != nil {
+			return nil, err
+		}
 		r := prof.AtBER(ber)
 		t.AddRow(
 			fmt.Sprintf("base+%d", exp),
@@ -234,12 +288,20 @@ func F6Expandability(trials int, seed int64) *Table {
 		)
 	}
 	t.Notes = append(t.Notes, "each +1 expansion symbol is appended to spare columns without rewriting stored data")
-	return t
+	return t, nil
 }
 
 // F7Burst measures burst-error correction vs burst length, along pins
-// (PAIR's aligned axis) and across pins (the crosstalk axis).
+// (PAIR's aligned axis) and across pins (the crosstalk axis). It is the
+// blocking wrapper around F7BurstCtx.
 func F7Burst(schemes []ecc.Scheme, trials int, seed int64) *Table {
+	return must(F7BurstCtx(context.Background(), schemes, trials, seed, campaign.Options{}))
+}
+
+// F7BurstCtx measures burst-error correction as cancellable,
+// checkpointable campaigns; each burst length runs under a b=<n>
+// campaign sublabel since the coverage labels repeat across lengths.
+func F7BurstCtx(ctx context.Context, schemes []ecc.Scheme, trials int, seed int64, opts campaign.Options) (*Table, error) {
 	t := &Table{
 		Title:  "F7: failure rate under burst errors (along-pin b@1pin / across-pin b@1beat)",
 		Header: []string{"burst len"},
@@ -249,18 +311,25 @@ func F7Burst(schemes []ecc.Scheme, trials int, seed int64) *Table {
 	}
 	for _, b := range []int{2, 4, 8} {
 		row := []string{fmt.Sprintf("%d", b)}
+		bOpts := opts.Sublabel(fmt.Sprintf("b=%d", b))
 		for _, s := range schemes {
 			blen := b
-			along := reliability.Coverage(s, "pin-burst", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+			along, err := reliability.CoverageCtx(ctx, s, "pin-burst", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 				faults.InjectPinBurst(rng, st.Chips[rng.Intn(st.Org.ChipsPerRank)].Data, blen)
-			})
-			across := reliability.Coverage(s, "beat-burst", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
+			}, bOpts)
+			if err != nil {
+				return nil, err
+			}
+			across, err := reliability.CoverageCtx(ctx, s, "beat-burst", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 				faults.InjectBeatBurst(rng, st.Chips[rng.Intn(st.Org.ChipsPerRank)].Data, blen)
-			})
+			}, bOpts)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprintf("%s / %s", sci(along.Rates.Fail()), sci(across.Rates.Fail())))
 		}
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "PAIR corrects every along-pin burst by construction; across-pin bursts are its documented trade-off")
-	return t
+	return t, nil
 }

@@ -13,32 +13,54 @@
 // BER-independent, so one set of conditional estimates serves the whole
 // sweep — and the tail terms are exact binomial weights, letting the
 // curves extend to arbitrarily low BER.
+//
+// # Campaign execution
+//
+// Every Monte-Carlo loop here runs through internal/campaign: trials are
+// sliced into shards with seeds derived from (label, seed, shard index),
+// never from a worker index, so results are bit-identical for any worker
+// count and survive kill-and-resume through campaign checkpoints. The
+// *Ctx variants accept a context for cancellation plus campaign.Options
+// for checkpointing/progress; the plain-named functions are blocking
+// wrappers that keep the original fire-and-forget signatures.
 package reliability
 
 import (
+	"context"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"pair/internal/campaign"
 	"pair/internal/ecc"
 	"pair/internal/faults"
 )
 
-// numWorkers picks the worker count for a campaign: all CPUs, but never
-// more workers than trials (and at least one, so an empty campaign still
-// terminates cleanly).
-func numWorkers(trials int) int {
-	nw := runtime.GOMAXPROCS(0)
-	if nw > trials {
-		nw = trials
+// schemeLabel names a scheme *and* its organization for campaign labels:
+// scheme names alone are not unique (e.g. "pair" across device widths or
+// DRAM generations), and campaign labels both salt the seed streams and
+// name checkpoint files, so they must identify the exact configuration.
+func schemeLabel(s ecc.Scheme) string {
+	org := s.Org()
+	return fmt.Sprintf("%s-x%d-bl%d-c%d", s.Name(), org.Pins, org.BurstLen, org.ChipsPerRank)
+}
+
+// mergeCounts folds one shard's outcome counts into the aggregate.
+func mergeCounts(agg *[4]int64, s [4]int64) {
+	for i := range agg {
+		agg[i] += s[i]
 	}
-	if nw < 1 {
-		nw = 1
+}
+
+// ratesFromCounts normalizes outcome counts by the campaign trial count.
+func ratesFromCounts(counts [4]int64, trials int) OutcomeRates {
+	n := float64(trials)
+	return OutcomeRates{
+		OK:  float64(counts[ecc.OutcomeOK]) / n,
+		CE:  float64(counts[ecc.OutcomeCE]) / n,
+		DUE: float64(counts[ecc.OutcomeDUE]) / n,
+		SDC: float64(counts[ecc.OutcomeSDC]) / n,
 	}
-	return nw
 }
 
 // runTrials executes n encode/inject/decode trials with the given RNG and
@@ -114,11 +136,22 @@ func (c *SweepConfig) setDefaults() {
 	}
 }
 
-// BuildProfile estimates the conditional outcome rates for a scheme.
-// Trials are split across CPU workers; results are deterministic for a
-// given (scheme, config) because each worker derives its RNG from the
-// seed and worker index.
+// BuildProfile estimates the conditional outcome rates for a scheme. It
+// is the blocking wrapper around BuildProfileCtx.
 func BuildProfile(scheme ecc.Scheme, cfg SweepConfig) *ConditionalProfile {
+	prof, err := BuildProfileCtx(context.Background(), scheme, cfg, campaign.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("reliability: BuildProfile: %v", err)) // unreachable without ctx/checkpoint
+	}
+	return prof
+}
+
+// BuildProfileCtx estimates the conditional outcome rates for a scheme,
+// running one sharded campaign per conditioned flip count k. Results are
+// bit-identical for a given (scheme, config) regardless of worker count
+// or interruption/resume, because every shard derives its RNG stream
+// from the campaign label, seed and shard index alone.
+func BuildProfileCtx(ctx context.Context, scheme ecc.Scheme, cfg SweepConfig, opts campaign.Options) (*ConditionalProfile, error) {
 	cfg.setDefaults()
 	totalBits := scheme.Encode(make([]byte, scheme.Org().LineBytes())).TotalBits()
 	prof := &ConditionalProfile{
@@ -129,40 +162,24 @@ func BuildProfile(scheme ecc.Scheme, cfg SweepConfig) *ConditionalProfile {
 	}
 	prof.PerK[0] = OutcomeRates{OK: 1}
 
-	nw := numWorkers(cfg.Trials)
 	for k := 1; k <= cfg.MaxK; k++ {
-		counts := make([][4]int64, nw)
-		var wg sync.WaitGroup
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*1000003 + int64(w)*7919))
-				trials := cfg.Trials / nw
-				if w == 0 {
-					trials += cfg.Trials % nw
-				}
-				counts[w] = runTrials(scheme, rng, trials, func(r *rand.Rand, st *ecc.Stored) {
-					ecc.FlipRandomStoredBits(r, st, k)
-				})
-			}(w)
+		k := k
+		spec := campaign.Spec{
+			Label:  campaign.JoinLabel("profile", schemeLabel(scheme), fmt.Sprintf("k=%d", k)),
+			Trials: cfg.Trials,
+			Seed:   cfg.Seed,
 		}
-		wg.Wait()
-		var agg [4]int64
-		for _, c := range counts {
-			for i := range agg {
-				agg[i] += c[i]
-			}
+		counts, err := campaign.Run(ctx, spec, opts, func(rng *rand.Rand, n int) [4]int64 {
+			return runTrials(scheme, rng, n, func(r *rand.Rand, st *ecc.Stored) {
+				ecc.FlipRandomStoredBits(r, st, k)
+			})
+		}, mergeCounts)
+		if err != nil {
+			return nil, err
 		}
-		n := float64(cfg.Trials)
-		prof.PerK[k] = OutcomeRates{
-			OK:  float64(agg[ecc.OutcomeOK]) / n,
-			CE:  float64(agg[ecc.OutcomeCE]) / n,
-			DUE: float64(agg[ecc.OutcomeDUE]) / n,
-			SDC: float64(agg[ecc.OutcomeSDC]) / n,
-		}
+		prof.PerK[k] = ratesFromCounts(counts, cfg.Trials)
 	}
-	return prof
+	return prof, nil
 }
 
 // AtBER folds the conditional profile with the binomial flip-count
@@ -250,48 +267,41 @@ type CoverageResult struct {
 }
 
 // Coverage measures outcome rates when the given injection function is
-// applied to every trial's image. Injectors receive the per-trial RNG and
-// the cloned image. Worker RNG streams are derived from both the seed and
-// a hash of the label, so campaigns over several labels sharing one seed
-// draw independent randomness per label.
+// applied to every trial's image. It is the blocking wrapper around
+// CoverageCtx.
 func Coverage(scheme ecc.Scheme, label string, trials int, seed int64, inject func(*rand.Rand, *ecc.Stored)) CoverageResult {
-	h := fnv.New64a()
-	h.Write([]byte(label))
-	streamSeed := seed ^ int64(h.Sum64())
-	nw := numWorkers(trials)
-	counts := make([][4]int64, nw)
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(streamSeed + int64(w)*104729))
-			n := trials / nw
-			if w == 0 {
-				n += trials % nw
-			}
-			counts[w] = runTrials(scheme, rng, n, inject)
-		}(w)
+	r, err := CoverageCtx(context.Background(), scheme, label, trials, seed, inject, campaign.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("reliability: Coverage: %v", err)) // unreachable without ctx/checkpoint
 	}
-	wg.Wait()
-	var agg [4]int64
-	for _, c := range counts {
-		for i := range agg {
-			agg[i] += c[i]
-		}
+	return r
+}
+
+// CoverageCtx measures outcome rates when the given injection function
+// is applied to every trial's image, as one sharded campaign. Injectors
+// receive the per-trial RNG and the cloned image. Shard RNG streams are
+// derived from the seed, the (scheme, label) campaign identity and the
+// shard index, so campaigns over several labels sharing one seed draw
+// independent randomness per label and results do not depend on worker
+// scheduling.
+func CoverageCtx(ctx context.Context, scheme ecc.Scheme, label string, trials int, seed int64, inject func(*rand.Rand, *ecc.Stored), opts campaign.Options) (CoverageResult, error) {
+	spec := campaign.Spec{
+		Label:  campaign.JoinLabel("coverage", schemeLabel(scheme), label),
+		Trials: trials,
+		Seed:   seed,
 	}
-	n := float64(trials)
+	counts, err := campaign.Run(ctx, spec, opts, func(rng *rand.Rand, n int) [4]int64 {
+		return runTrials(scheme, rng, n, inject)
+	}, mergeCounts)
+	if err != nil {
+		return CoverageResult{}, err
+	}
 	return CoverageResult{
 		Scheme: scheme.Name(),
 		Label:  label,
 		Trials: trials,
-		Rates: OutcomeRates{
-			OK:  float64(agg[ecc.OutcomeOK]) / n,
-			CE:  float64(agg[ecc.OutcomeCE]) / n,
-			DUE: float64(agg[ecc.OutcomeDUE]) / n,
-			SDC: float64(agg[ecc.OutcomeSDC]) / n,
-		},
-	}
+		Rates:  ratesFromCounts(counts, trials),
+	}, nil
 }
 
 // StandardCoverageLabels returns the fault-pattern injectors of table T2,

@@ -1,12 +1,14 @@
 package reliability
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 
+	"pair/internal/campaign"
 	"pair/internal/ecc"
 	"pair/internal/faults"
 )
@@ -119,7 +121,47 @@ func schemeCouplesChips(s ecc.Scheme) bool {
 }
 
 // RunLifetime executes the lifetime Monte-Carlo and aggregates results.
+// It is the blocking wrapper around RunLifetimeCtx.
 func RunLifetime(cfg LifetimeConfig) LifetimeResult {
+	res, err := RunLifetimeCtx(context.Background(), cfg, campaign.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("reliability: RunLifetime: %v", err)) // unreachable without ctx/checkpoint
+	}
+	return res
+}
+
+// lifetimeShard is one shard's population outcome. It is the unit the
+// campaign checkpoints, so it carries everything the final aggregation
+// needs and nothing per-device.
+type lifetimeShard struct {
+	Failed  int   `json:"failed"`
+	SDC     int   `json:"sdc"`
+	DUE     int   `json:"due"`
+	Repairs int   `json:"repairs"`
+	PerYear []int `json:"per_year"` // failures whose first failure fell in year i
+}
+
+// mergeLifetimeShards folds one shard into the aggregate.
+func mergeLifetimeShards(agg *lifetimeShard, s lifetimeShard) {
+	agg.Failed += s.Failed
+	agg.SDC += s.SDC
+	agg.DUE += s.DUE
+	agg.Repairs += s.Repairs
+	if agg.PerYear == nil {
+		agg.PerYear = make([]int, len(s.PerYear))
+	}
+	for i, v := range s.PerYear {
+		agg.PerYear[i] += v
+	}
+}
+
+// RunLifetimeCtx executes the lifetime Monte-Carlo as one sharded
+// campaign over the device population. Each shard simulates its slice of
+// devices with a shard-derived RNG stream, so the population outcome is
+// bit-identical regardless of worker count or interruption point; the
+// pattern-failure cache is shared across shards and is itself seeded per
+// pattern, so cache warm-up order cannot change results.
+func RunLifetimeCtx(ctx context.Context, cfg LifetimeConfig, opts campaign.Options) (LifetimeResult, error) {
 	cfg.setDefaults()
 	eng := &lifetimeEngine{
 		cfg:     cfg,
@@ -127,61 +169,55 @@ func RunLifetime(cfg LifetimeConfig) LifetimeResult {
 		cache:   make(map[patternKey]patternStats),
 	}
 	nYears := int(math.Ceil(cfg.Years))
-	nw := runtime.GOMAXPROCS(0)
-	if nw > cfg.Devices {
-		nw = 1
+	spec := campaign.Spec{
+		Label:  campaign.JoinLabel("lifetime", schemeLabel(cfg.Scheme)),
+		Trials: cfg.Devices,
+		Seed:   cfg.Seed,
 	}
-	type devResult struct {
-		failed  bool
-		sdc     bool
-		failYr  int
-		repairs int
-	}
-	results := make([]devResult, cfg.Devices)
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*611953))
-			for d := w; d < cfg.Devices; d += nw {
-				failed, sdc, when, repairs := eng.simulateDevice(rng)
-				results[d] = devResult{failed: failed, sdc: sdc, failYr: int(when / HoursPerYear), repairs: repairs}
+	agg, err := campaign.Run(ctx, spec, opts, func(rng *rand.Rand, devices int) lifetimeShard {
+		sh := lifetimeShard{PerYear: make([]int, nYears)}
+		for d := 0; d < devices; d++ {
+			failed, sdc, when, repairs := eng.simulateDevice(rng)
+			sh.Repairs += repairs
+			if !failed {
+				continue
 			}
-		}(w)
+			sh.Failed++
+			if sdc {
+				sh.SDC++
+			} else {
+				sh.DUE++
+			}
+			yr := int(when / HoursPerYear)
+			if yr >= nYears {
+				yr = nYears - 1
+			}
+			sh.PerYear[yr]++
+		}
+		return sh
+	}, mergeLifetimeShards)
+	if err != nil {
+		return LifetimeResult{}, err
 	}
-	wg.Wait()
 
 	res := LifetimeResult{
 		Scheme:       cfg.Scheme.Name(),
 		Devices:      cfg.Devices,
+		Failed:       agg.Failed,
+		SDCFailures:  agg.SDC,
+		DUEFailures:  agg.DUE,
+		Repairs:      agg.Repairs,
 		FailYearCDF:  make([]float64, nYears),
 		MissionYears: cfg.Years,
 	}
-	perYear := make([]int, nYears)
-	for _, r := range results {
-		res.Repairs += r.repairs
-		if !r.failed {
-			continue
-		}
-		res.Failed++
-		if r.sdc {
-			res.SDCFailures++
-		} else {
-			res.DUEFailures++
-		}
-		yr := r.failYr
-		if yr >= nYears {
-			yr = nYears - 1
-		}
-		perYear[yr]++
-	}
 	cum := 0
-	for i := range perYear {
-		cum += perYear[i]
+	for i := 0; i < nYears; i++ {
+		if agg.PerYear != nil {
+			cum += agg.PerYear[i]
+		}
 		res.FailYearCDF[i] = float64(cum) / float64(cfg.Devices)
 	}
-	return res
+	return res, nil
 }
 
 // simulateDevice runs one rank through the mission; it returns whether it
