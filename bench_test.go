@@ -99,7 +99,10 @@ func BenchmarkF3_Lifetime(b *testing.B) {
 func BenchmarkF4_Performance(b *testing.B) {
 	var overXED, overDUO float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.F4Performance(experiments.PerfSchemes(), 6000)
+		r, err := experiments.F4Performance(experiments.PerfSchemes(), 6000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		idx := map[string]int{}
 		for j, n := range r.Schemes {
 			idx[n] = j
@@ -114,7 +117,10 @@ func BenchmarkF4_Performance(b *testing.B) {
 // BenchmarkF5_WriteSweep regenerates the write-ratio ablation.
 func BenchmarkF5_WriteSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.F5WriteSweep(experiments.PerfSchemes(), 5000)
+		t, err := experiments.F5WriteSweep(experiments.PerfSchemes(), 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 6 {
 			b.Fatal("F5 incomplete")
 		}
@@ -194,7 +200,10 @@ func BenchmarkT4_BusEnergy(b *testing.B) {
 // BenchmarkF11_ScrubTraffic regenerates the scrub-bandwidth figure.
 func BenchmarkF11_ScrubTraffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.F11ScrubTraffic(3000)
+		t, err := experiments.F11ScrubTraffic(3000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 4 {
 			b.Fatal("F11 incomplete")
 		}

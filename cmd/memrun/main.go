@@ -7,6 +7,8 @@
 //	tracegen -name mix -reads 0.6 > mix.trace
 //	memrun -scheme pair mix.trace
 //	memrun -scheme xed -compare none mix.trace     # with a baseline column
+//	memrun -scheme pair -check mix.trace           # JEDEC protocol audit
+//	memrun -scheme pair -cmdtrace - mix.trace      # DRAM command stream
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"pair"
 	"pair/internal/memsim"
+	"pair/internal/memsim/check"
 	"pair/internal/trace"
 )
 
@@ -34,6 +37,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		compare    = fs.String("compare", "", "optional second scheme to compare against")
 		ranks      = fs.Int("ranks", 1, "ranks per channel")
 		window     = fs.Int("window", 0, "override the trace's MLP window")
+		checkFlag  = fs.Bool("check", false, "audit the run against the JEDEC timing constraints; violations exit nonzero")
+		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace to this file (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,16 +56,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *window > 0 {
 		wl.Window = *window
 	}
+	var traceW io.Writer
+	if *cmdtrace != "" {
+		if *cmdtrace == "-" {
+			traceW = stdout
+		} else {
+			f, err := os.Create(*cmdtrace)
+			if err != nil {
+				fmt.Fprintln(stderr, "memrun:", err)
+				return 1
+			}
+			defer f.Close()
+			traceW = f
+		}
+	}
 	s := wl.Stats()
 	fmt.Fprintf(stdout, "trace %s: %d reads, %d writes (%d masked), window %d\n\n",
 		wl.Name, s.Reads, s.Writes+s.MaskedWrites, s.MaskedWrites, wl.Window)
-	fmt.Fprintf(stdout, "%-10s %12s %12s %11s %11s %12s\n",
-		"scheme", "cycles", "exec ms", "extra rds", "extra wrs", "read lat ns")
+	fmt.Fprintf(stdout, "%-10s %12s %12s %11s %11s %12s %9s %7s\n",
+		"scheme", "cycles", "exec ms", "extra rds", "extra wrs", "read lat ns", "row hit%", "bus%")
 
 	names := []string{*schemeName}
 	if *compare != "" {
 		names = append(names, *compare)
 	}
+	exit := 0
 	for _, n := range names {
 		scheme, err := pair.SchemeByName(n)
 		if err != nil {
@@ -71,12 +91,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		cfg.Org = scheme.Org()
 		cfg.Ranks = *ranks
 		cfg.Cost = scheme.Cost()
-		res := memsim.Run(cfg, wl)
-		fmt.Fprintf(stdout, "%-10s %12d %12.3f %11d %11d %12.1f\n",
+		var chk *check.Checker
+		var obs []memsim.Observer
+		if *checkFlag {
+			chk = check.New(cfg.Timing)
+			obs = append(obs, chk)
+		}
+		if traceW != nil {
+			fmt.Fprintf(traceW, "# scheme %s\n", scheme.Name())
+			obs = append(obs, &check.Tracer{W: traceW})
+		}
+		cfg.Observer = memsim.MultiObserver(obs...)
+		res, err := memsim.Run(cfg, wl)
+		if err != nil {
+			fmt.Fprintln(stderr, "memrun:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-10s %12d %12.3f %11d %11d %12.1f %9.1f %7.1f\n",
 			scheme.Name(), res.Cycles, res.ExecSeconds(cfg.Timing)*1e3,
-			res.ExtraReads, res.ExtraWrites, res.AvgReadLatencyNS(cfg.Timing))
+			res.ExtraReads, res.ExtraWrites, res.AvgReadLatencyNS(cfg.Timing),
+			res.RowHitRate()*100, res.BusUtilization()*100)
+		if chk != nil {
+			if err := chk.Err(); err != nil {
+				fmt.Fprintf(stderr, "memrun: %s: %v\n", scheme.Name(), err)
+				for _, v := range chk.Violations() {
+					fmt.Fprintln(stderr, "  ", v)
+				}
+				exit = 1
+			} else {
+				fmt.Fprintf(stdout, "check: %s clean (%d commands, 0 violations)\n",
+					scheme.Name(), chk.Commands())
+			}
+		}
 	}
-	return 0
+	return exit
 }
 
 func loadTrace(path string, stdin io.Reader) (trace.Workload, error) {

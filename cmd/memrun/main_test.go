@@ -45,8 +45,53 @@ func TestReplaySingleScheme(t *testing.T) {
 	if !strings.HasPrefix(last, "pair") {
 		t.Fatalf("result row missing:\n%s", out)
 	}
-	if len(strings.Fields(last)) != 6 {
+	if len(strings.Fields(last)) != 8 {
 		t.Fatalf("result row has wrong arity: %q", last)
+	}
+}
+
+func TestCheckCleanRun(t *testing.T) {
+	code, out, stderr := runCLI(t, "", "-scheme", "pair", "-check", writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "check: pair clean") || !strings.Contains(out, "0 violations") {
+		t.Fatalf("checker summary missing:\n%s", out)
+	}
+}
+
+func TestCmdTraceToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cmds.trace")
+	code, _, stderr := runCLI(t, "", "-scheme", "none", "-cmdtrace", path, writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{"# scheme none", " ACT ", " RD ", " WR "} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("command trace missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCmdTraceToStdout(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-scheme", "none", "-cmdtrace", "-", writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, " ACT ") || !strings.Contains(out, "# scheme none") {
+		t.Fatalf("stdout command trace missing:\n%s", out)
+	}
+}
+
+func TestBadRanksExitNonzero(t *testing.T) {
+	code, _, stderr := runCLI(t, "", "-scheme", "pair", "-ranks", "-3", writeTraceFile(t))
+	if code != 1 || !strings.Contains(stderr, "memrun:") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
 	}
 }
 

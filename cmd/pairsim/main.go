@@ -79,10 +79,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkpoint = fs.String("checkpoint", "", "directory for campaign shard checkpoints (enables kill-and-resume)")
 		resume     = fs.Bool("resume", false, "skip shards already recorded in -checkpoint")
 		progress   = fs.Bool("progress", false, "report campaign progress (shards, trials/s, ETA) on stderr")
+		checkFlag  = fs.Bool("check", false, "attach the JEDEC protocol checker to every timing simulation; any violation fails the run")
+		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace of every timing simulation to this file (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	inst := experiments.SimInstrumentation{Check: *checkFlag}
+	if *cmdtrace != "" {
+		if *cmdtrace == "-" {
+			inst.CmdTrace = stdout
+		} else {
+			f, err := os.Create(*cmdtrace)
+			if err != nil {
+				fmt.Fprintln(stderr, "pairsim:", err)
+				return 1
+			}
+			defer f.Close()
+			inst.CmdTrace = f
+		}
+	}
+	// Always (re)install: a zero value resets any instrumentation left by a
+	// previous in-process invocation (the tests call run() repeatedly).
+	experiments.SetSimInstrumentation(inst)
+	defer experiments.SetSimInstrumentation(experiments.SimInstrumentation{})
 	if *list {
 		fmt.Fprint(stdout, listText)
 		return 0
@@ -206,10 +226,25 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		}
 		return t.Render(), nil
 	case "f4":
-		return experiments.F4Performance(experiments.PerfSchemes(), sc.requests).Render() +
-			"\n" + experiments.F4Latency(sc.requests).Render(), nil
+		perf, err := experiments.F4Performance(experiments.PerfSchemes(), sc.requests)
+		if err != nil {
+			return "", err
+		}
+		lat, err := experiments.F4Latency(sc.requests)
+		if err != nil {
+			return "", err
+		}
+		mix, err := experiments.F4CommandMix(sc.requests)
+		if err != nil {
+			return "", err
+		}
+		return perf.Render() + "\n" + lat.Render() + "\n" + mix.Render(), nil
 	case "f5":
-		return experiments.F5WriteSweep(experiments.PerfSchemes(), sc.requests).Render(), nil
+		t, err := experiments.F5WriteSweep(experiments.PerfSchemes(), sc.requests)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f6":
 		t, err := experiments.F6ExpandabilityCtx(ctx, sc.sweep.Trials, 1, opts)
 		if err != nil {
@@ -257,7 +292,11 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 	case "t4":
 		return experiments.T4BusEnergy().Render(), nil
 	case "f11":
-		return experiments.F11ScrubTraffic(sc.requests).Render(), nil
+		t, err := experiments.F11ScrubTraffic(sc.requests)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "t5":
 		t, err := experiments.T5WidthsCtx(ctx, sc.coverage, 1, opts)
 		if err != nil {

@@ -56,6 +56,44 @@ func TestMonteCarloExperimentSmallScale(t *testing.T) {
 	}
 }
 
+func TestPerfExperimentWithChecker(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "f5", "-requests", "400", "-check")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "F5: normalized performance") {
+		t.Fatalf("f5 table missing:\n%s", out)
+	}
+}
+
+func TestF4IncludesCommandMix(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "f4", "-requests", "400")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"F4: performance", "F4b: read latency", "F4c: command mix", "row hit%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("f4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdTraceFlagWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cmds.trace")
+	code, _, stderr := runCLI(t, "-exp", "f11", "-requests", "200", "-cmdtrace", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "# sim scrub-off") || !strings.Contains(got, " ACT ") {
+		t.Fatalf("command trace incomplete:\n%.300s", got)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	code, _, stderr := runCLI(t, "-exp", "zz")
 	if code != 1 {

@@ -41,7 +41,7 @@ func main() {
 	} {
 		cfg := memsim.DefaultConfig()
 		cfg.Cost = scheme.Cost()
-		res := memsim.Run(cfg, wl)
+		res := memsim.MustRun(cfg, wl)
 		if scheme.Name() == "none" {
 			baseline = res.Cycles
 		}

@@ -34,9 +34,17 @@ func RunExperiment(id string, quick bool) (string, error) {
 	case "f3":
 		return experiments.F3Lifetime(experiments.CommoditySchemes(), devices, 1).Render(), nil
 	case "f4":
-		return experiments.F4Performance(experiments.PerfSchemes(), requests).Render(), nil
+		r, err := experiments.F4Performance(experiments.PerfSchemes(), requests)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
 	case "f5":
-		return experiments.F5WriteSweep(experiments.PerfSchemes(), requests).Render(), nil
+		t, err := experiments.F5WriteSweep(experiments.PerfSchemes(), requests)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f6":
 		return experiments.F6Expandability(sweep.Trials, 1).Render(), nil
 	case "f7":
@@ -54,7 +62,11 @@ func RunExperiment(id string, quick bool) (string, error) {
 	case "f10":
 		return experiments.F10Sparing(coverage, 1).Render(), nil
 	case "f11":
-		return experiments.F11ScrubTraffic(requests).Render(), nil
+		t, err := experiments.F11ScrubTraffic(requests)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f12":
 		return experiments.F12Repair(experiments.CommoditySchemes(), devices, 1).Render(), nil
 	default:

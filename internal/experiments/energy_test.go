@@ -28,7 +28,10 @@ func TestT4BusEnergyOrdering(t *testing.T) {
 }
 
 func TestF11ScrubTraffic(t *testing.T) {
-	tb := F11ScrubTraffic(3000)
+	tb, err := F11ScrubTraffic(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 4 {
 		t.Fatalf("F11 rows %d", len(tb.Rows))
 	}
@@ -47,7 +50,10 @@ func TestF11ScrubTraffic(t *testing.T) {
 }
 
 func TestF4LatencyTable(t *testing.T) {
-	tb := F4Latency(2500)
+	tb, err := F4Latency(2500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 2 {
 		t.Fatalf("F4b rows %d", len(tb.Rows))
 	}

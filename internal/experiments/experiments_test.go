@@ -112,7 +112,10 @@ func TestF3LifetimeSmoke(t *testing.T) {
 }
 
 func TestF4PerformanceHeadlines(t *testing.T) {
-	r := F4Performance(PerfSchemes(), 2500)
+	r, err := F4Performance(PerfSchemes(), 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Workloads) != 10 {
 		t.Fatalf("%d workloads", len(r.Workloads))
 	}
@@ -147,7 +150,10 @@ func TestF4PerformanceHeadlines(t *testing.T) {
 }
 
 func TestF5WriteSweepMonotone(t *testing.T) {
-	tb := F5WriteSweep(PerfSchemes(), 2500)
+	tb, err := F5WriteSweep(PerfSchemes(), 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 6 {
 		t.Fatalf("F5 rows %d", len(tb.Rows))
 	}

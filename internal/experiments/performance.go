@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/ecc"
 	"pair/internal/hamming"
 	"pair/internal/memsim"
+	"pair/internal/memsim/check"
 	"pair/internal/stats"
 	"pair/internal/trace"
 )
@@ -24,6 +26,55 @@ func PerfSchemes() []ecc.Scheme {
 	}
 }
 
+// SimInstrumentation configures observers attached to every timing-
+// simulator run the performance experiments execute (the -check and
+// -cmdtrace modes of cmd/pairsim).
+type SimInstrumentation struct {
+	// Check attaches an independent JEDEC protocol checker to each run;
+	// any violation fails the experiment with command context.
+	Check bool
+	// CmdTrace, when non-nil, streams every run's DRAM command trace to
+	// the writer, each run prefixed by a "# sim <label>" header.
+	CmdTrace io.Writer
+}
+
+var simInst SimInstrumentation
+
+// SetSimInstrumentation installs the instrumentation for subsequent
+// experiment runs (pass the zero value to disable).
+func SetSimInstrumentation(si SimInstrumentation) { simInst = si }
+
+// simRuns counts timing-simulator invocations (regression hook: the
+// baseline-reuse path must not re-simulate identical zero-cost runs).
+var simRuns int
+
+// runSim executes one timing simulation under the installed
+// instrumentation.
+func runSim(label string, cfg memsim.Config, wl trace.Workload) (memsim.Result, error) {
+	simRuns++
+	var chk *check.Checker
+	var obs []memsim.Observer
+	if simInst.Check {
+		chk = check.New(cfg.Timing)
+		obs = append(obs, chk)
+	}
+	if simInst.CmdTrace != nil {
+		fmt.Fprintf(simInst.CmdTrace, "# sim %s\n", label)
+		obs = append(obs, &check.Tracer{W: simInst.CmdTrace})
+	}
+	cfg.Observer = memsim.MultiObserver(obs...)
+	res, err := memsim.Run(cfg, wl)
+	if err != nil {
+		return res, fmt.Errorf("%s: %w", label, err)
+	}
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			return res, fmt.Errorf("%s: %w", label, err)
+		}
+	}
+	return res, nil
+}
+
 // PerfResult holds normalized performance per workload per scheme.
 type PerfResult struct {
 	Workloads []string
@@ -36,12 +87,12 @@ type PerfResult struct {
 
 // F4Performance runs the SPEC-like suite through the timing simulator
 // under every scheme's cost model.
-func F4Performance(schemes []ecc.Scheme, requests int) *PerfResult {
+func F4Performance(schemes []ecc.Scheme, requests int) (*PerfResult, error) {
 	suite := trace.SPECLike(requests)
 	return perfOn(schemes, suite)
 }
 
-func perfOn(schemes []ecc.Scheme, suite []trace.Workload) *PerfResult {
+func perfOn(schemes []ecc.Scheme, suite []trace.Workload) (*PerfResult, error) {
 	res := &PerfResult{}
 	for _, s := range schemes {
 		res.Schemes = append(res.Schemes, s.Name())
@@ -49,16 +100,29 @@ func perfOn(schemes []ecc.Scheme, suite []trace.Workload) *PerfResult {
 	baseline := make([]uint64, len(suite))
 	for wi, wl := range suite {
 		res.Workloads = append(res.Workloads, wl.Name)
-		cfg := memsim.DefaultConfig()
-		baseline[wi] = memsim.Run(cfg, wl).Cycles
+		r, err := runSim("baseline/"+wl.Name, memsim.DefaultConfig(), wl)
+		if err != nil {
+			return nil, err
+		}
+		baseline[wi] = r.Cycles
 	}
 	res.Normalized = make([][]float64, len(suite))
 	for wi, wl := range suite {
 		res.Normalized[wi] = make([]float64, len(schemes))
 		for si, s := range schemes {
-			cfg := memsim.DefaultConfig()
-			cfg.Cost = s.Cost()
-			cycles := memsim.Run(cfg, wl).Cycles
+			cost := s.Cost()
+			cycles := baseline[wi]
+			// A zero cost model is bit-identical to the baseline run —
+			// reuse it instead of simulating the workload a second time.
+			if cost != (ecc.AccessCost{}) {
+				cfg := memsim.DefaultConfig()
+				cfg.Cost = cost
+				r, err := runSim(s.Name()+"/"+wl.Name, cfg, wl)
+				if err != nil {
+					return nil, err
+				}
+				cycles = r.Cycles
+			}
 			res.Normalized[wi][si] = float64(baseline[wi]) / float64(cycles)
 		}
 	}
@@ -70,7 +134,7 @@ func perfOn(schemes []ecc.Scheme, suite []trace.Workload) *PerfResult {
 		}
 		res.GeoMean[si] = stats.GeoMean(col)
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the F4 table.
@@ -116,10 +180,13 @@ func (r *PerfResult) headline() []string {
 // F5WriteSweep sweeps the write ratio on a random-access stream — the
 // ablation isolating where XED's parity-write traffic and the RMW costs
 // bite (figure F5).
-func F5WriteSweep(schemes []ecc.Scheme, requests int) *Table {
+func F5WriteSweep(schemes []ecc.Scheme, requests int) (*Table, error) {
 	fracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	suite := trace.WriteSweep(requests, fracs, 0.3)
-	res := perfOn(schemes, suite)
+	res, err := perfOn(schemes, suite)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  "F5: normalized performance vs write ratio (30% of writes masked)",
 		Header: append([]string{"write ratio"}, res.Schemes...),
@@ -131,7 +198,7 @@ func F5WriteSweep(schemes []ecc.Scheme, requests int) *Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // F4Latency renders the p99 read-latency companion to F4: average and
@@ -139,7 +206,7 @@ func F5WriteSweep(schemes []ecc.Scheme, requests int) *Table {
 // workloads (a pointer-chaser and a masked-write-heavy mix). Companion
 // writes and RMW reads interfere with demand reads, which shows in the
 // tail long before it moves the mean.
-func F4Latency(requests int) *Table {
+func F4Latency(requests int) (*Table, error) {
 	t := &Table{
 		Title:  "F4b: read latency (mean / p99, ns) per scheme",
 		Header: []string{"workload"},
@@ -157,20 +224,59 @@ func F4Latency(requests int) *Table {
 		for _, s := range schemes {
 			cfg := memsim.DefaultConfig()
 			cfg.Cost = s.Cost()
-			res := memsim.Run(cfg, wl)
+			res, err := runSim(s.Name()+"/lat/"+wl.Name, cfg, wl)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprintf("%.0f/%.0f",
 				res.AvgReadLatencyNS(cfg.Timing), res.P99ReadLatencyNS(cfg.Timing)))
 		}
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "XED's parity writes queue ahead of demand reads: the p99 inflates far more than the mean")
-	return t
+	return t, nil
+}
+
+// F4CommandMix renders the command-stream observability companion to F4:
+// the DRAM command histogram, row-buffer behavior and data-bus occupancy
+// per scheme on the masked-write-heavy x264 mix — the mechanism-level
+// view behind the normalized-cycles rows.
+func F4CommandMix(requests int) (*Table, error) {
+	t := &Table{
+		Title:  "F4c: command mix and bus occupancy (x264 mix)",
+		Header: []string{"scheme", "ACT", "PRE", "RD", "WR", "REF", "row hit%", "bus util%"},
+	}
+	var wl trace.Workload
+	for _, w := range trace.SPECLike(requests) {
+		if w.Name == "x264" {
+			wl = w
+		}
+	}
+	for _, s := range PerfSchemes() {
+		cfg := memsim.DefaultConfig()
+		cfg.Cost = s.Cost()
+		res, err := runSim(s.Name()+"/mix/"+wl.Name, cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.Name(),
+			fmt.Sprintf("%d", res.Cmds.ACT),
+			fmt.Sprintf("%d", res.Cmds.PRE),
+			fmt.Sprintf("%d", res.Cmds.RD),
+			fmt.Sprintf("%d", res.Cmds.WR),
+			fmt.Sprintf("%d", res.Cmds.REF),
+			fmt.Sprintf("%.1f", res.RowHitRate()*100),
+			fmt.Sprintf("%.1f", res.BusUtilization()*100))
+	}
+	t.Notes = append(t.Notes,
+		"XED's extra WR column is the companion parity-write traffic; DUO's bus util is the +1 extension beat")
+	return t, nil
 }
 
 // F11ScrubTraffic measures the performance cost of patrol scrubbing at
 // several rates on a moderately loaded workload — the bandwidth side of
 // the reliability/scrub-interval trade-off (F8 is the reliability side).
-func F11ScrubTraffic(requests int) *Table {
+func F11ScrubTraffic(requests int) (*Table, error) {
 	wl := trace.Generate(trace.Params{
 		Name: "mixed", Requests: requests, Lines: 1 << 20, Pattern: trace.Random,
 		ReadFrac: 0.7, MaskedFrac: 0.2, MeanGap: 4, Window: 8, Seed: 42,
@@ -180,24 +286,28 @@ func F11ScrubTraffic(requests int) *Table {
 		Header: []string{"scrub period (cycles)", "scrub reads", "cycles", "normalized"},
 	}
 	pairCost := core.MustNew(dram.DDR4x16(), core.DefaultConfig()).Cost()
-	base := func() memsim.Result {
-		cfg := memsim.DefaultConfig()
-		cfg.Cost = pairCost
-		return memsim.Run(cfg, wl)
-	}()
+	baseCfg := memsim.DefaultConfig()
+	baseCfg.Cost = pairCost
+	base, err := runSim("scrub-off", baseCfg, wl)
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("off", "0", fmt.Sprintf("%d", base.Cycles), "1.000")
 	for _, period := range []uint64{10000, 1000, 100} {
 		cfg := memsim.DefaultConfig()
 		cfg.Cost = pairCost
 		cfg.ScrubPeriod = period
-		r := memsim.Run(cfg, wl)
+		r, err := runSim(fmt.Sprintf("scrub-%d", period), cfg, wl)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%d", period),
 			fmt.Sprintf("%d", r.ScrubReads),
 			fmt.Sprintf("%d", r.Cycles),
 			fmt.Sprintf("%.3f", float64(base.Cycles)/float64(r.Cycles)))
 	}
 	t.Notes = append(t.Notes, "pairs with F8: tighter scrubbing buys transient-fault pairing protection at this bandwidth price")
-	return t
+	return t, nil
 }
 
 // T3Complexity renders the decoder-complexity and latency comparison.

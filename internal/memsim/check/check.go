@@ -1,0 +1,315 @@
+// Package check is an independent JEDEC protocol checker and
+// observability layer over the memsim command stream.
+//
+// The timing simulator asserts its constraints implicitly, by
+// construction of the scheduler's arithmetic; nothing there can tell you
+// when a constraint is silently missing (the class of bug where a timing
+// field is defined but never wired into schedule()). The Checker closes
+// that loop: it observes the typed ACT/PRE/RD/WR/REF command stream a
+// run emits through memsim.Config.Observer and re-derives every claimed
+// constraint from first principles — per-bank (tRC, tRCD, tRP, tRAS,
+// tWR, tRTP), per-rank (tRRD_S, tRRD_L, tFAW), channel-wide (tCCD_S,
+// tCCD_L, tWTR, tRTW, data-bus overlap) and refresh (tREFI cadence, the
+// tRFC blackout window) — reporting each violation with full command
+// context. Because the checker shares no code with the scheduler, a bug
+// must be made twice, independently, to go unseen.
+package check
+
+import (
+	"fmt"
+
+	"pair/internal/memsim"
+)
+
+// Violation is one observed protocol breach.
+type Violation struct {
+	Rule string         // constraint name, e.g. "tRRD_L"
+	Cmd  memsim.Command // the offending command
+	Prev memsim.Command // the earlier command establishing the constraint
+	Need uint64         // minimum spacing in cycles (0 for state-machine rules)
+	Got  int64          // observed spacing (may be negative on ordering bugs)
+}
+
+// String renders the violation with command context.
+func (v Violation) String() string {
+	if v.Need == 0 && v.Got == 0 {
+		return fmt.Sprintf("%s: %s (after %s)", v.Rule, v.Cmd, v.Prev)
+	}
+	return fmt.Sprintf("%s: %s only %d cycles after %s, need %d", v.Rule, v.Cmd, v.Got, v.Prev, v.Need)
+}
+
+// seen is a command slot that may not have been observed yet.
+type seen struct {
+	cmd memsim.Command
+	ok  bool
+}
+
+func (s *seen) set(c memsim.Command) {
+	s.cmd, s.ok = c, true
+}
+
+// bankHist is the checker's per-bank state.
+type bankHist struct {
+	lastACT seen
+	lastPRE seen
+	lastRD  seen // CAS of the last read (tRTP)
+	lastWR  seen // last write; its DataEnd anchors tWR
+	open    bool
+	everACT bool
+}
+
+type rankGroup struct{ rank, group int }
+
+// Checker verifies the JEDEC timing constraints of an observed command
+// stream. Attach it via memsim.Config.Observer, run, then consult
+// Violations or Err. The zero limit keeps the first 32 violations with
+// full context; Total always counts all of them.
+type Checker struct {
+	t   memsim.Timing
+	max int
+
+	banks    map[int]*bankHist
+	rankACT  map[int]seen             // last ACT per rank (tRRD_S)
+	groupACT map[rankGroup]seen       // last ACT per rank+group (tRRD_L)
+	faw      map[int]*[4]seen         // last 4 ACTs per rank, oldest first
+	groupCAS map[rankGroup]seen       // last CAS per rank+group (tCCD_L)
+	lastCAS  seen                     // any CAS (tCCD_S)
+	lastWR   seen                     // last write anywhere (tWTR anchor)
+	lastRD   seen                     // last read anywhere (tRTW anchor)
+	lastData seen                     // last data burst (bus overlap)
+	lastREF  seen
+	lastAt   uint64
+	started  bool
+
+	commands uint64
+	total    int
+	viol     []Violation
+}
+
+// New builds a checker asserting the given timing table. Pass the same
+// Timing the simulated controller runs with to audit the model against
+// its own claims, or a reference table to audit one model against
+// another.
+func New(t memsim.Timing) *Checker {
+	return &Checker{
+		t:        t,
+		max:      32,
+		banks:    map[int]*bankHist{},
+		rankACT:  map[int]seen{},
+		groupACT: map[rankGroup]seen{},
+		faw:      map[int]*[4]seen{},
+		groupCAS: map[rankGroup]seen{},
+	}
+}
+
+// Commands returns the number of commands observed.
+func (c *Checker) Commands() uint64 { return c.commands }
+
+// Total returns the total number of violations, including any beyond the
+// recorded cap.
+func (c *Checker) Total() int { return c.total }
+
+// Violations returns the recorded violations (capped at 32).
+func (c *Checker) Violations() []Violation { return c.viol }
+
+// Err summarizes the run: nil when the stream was clean, otherwise an
+// error naming the count and the first violation.
+func (c *Checker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d protocol violations in %d commands; first: %s",
+		c.total, c.commands, c.viol[0])
+}
+
+func (c *Checker) add(rule string, prev, cmd memsim.Command, need uint64, got int64) {
+	c.total++
+	if len(c.viol) < c.max {
+		c.viol = append(c.viol, Violation{Rule: rule, Cmd: cmd, Prev: prev, Need: need, Got: got})
+	}
+}
+
+// require asserts cmd.At >= from+need, where from is a reference point on
+// the earlier command prev (its issue time or data end).
+func (c *Checker) require(rule string, prev memsim.Command, from uint64, cmd memsim.Command, need int) {
+	if cmd.At < from+uint64(need) {
+		c.add(rule, prev, cmd, uint64(need), int64(cmd.At)-int64(from))
+	}
+}
+
+func (c *Checker) bank(fb int) *bankHist {
+	b := c.banks[fb]
+	if b == nil {
+		b = &bankHist{}
+		c.banks[fb] = b
+	}
+	return b
+}
+
+// Observe implements memsim.Observer.
+func (c *Checker) Observe(cmd memsim.Command) {
+	c.commands++
+
+	// The stream contract: events arrive in non-decreasing time order.
+	if c.started && cmd.At < c.lastAt {
+		c.add("event-order", memsim.Command{At: c.lastAt}, cmd, 0, int64(cmd.At)-int64(c.lastAt))
+	}
+	c.started = true
+	if cmd.At > c.lastAt {
+		c.lastAt = cmd.At
+	}
+
+	// Refresh blackout: no command may issue inside [k*tREFI, k*tREFI+tRFC).
+	if cmd.Kind != memsim.CmdREF {
+		if idx := cmd.At / uint64(c.t.TREFI); idx > 0 {
+			start := idx * uint64(c.t.TREFI)
+			if cmd.At < start+uint64(c.t.TRFC) {
+				ref := memsim.Command{Kind: memsim.CmdREF, At: start, FlatBank: -1}
+				c.require("tRFC", ref, start, cmd, c.t.TRFC)
+			}
+		}
+	}
+
+	switch cmd.Kind {
+	case memsim.CmdACT:
+		c.observeACT(cmd)
+	case memsim.CmdPRE:
+		c.observePRE(cmd)
+	case memsim.CmdRD, memsim.CmdWR:
+		c.observeCAS(cmd)
+	case memsim.CmdREF:
+		c.observeREF(cmd)
+	}
+}
+
+func (c *Checker) observeACT(cmd memsim.Command) {
+	b := c.bank(cmd.FlatBank)
+	if b.open {
+		c.add("ACT-on-open-row", b.lastACT.cmd, cmd, 0, 0)
+	}
+	if b.lastACT.ok {
+		c.require("tRC", b.lastACT.cmd, b.lastACT.cmd.At, cmd, c.t.TRC)
+	}
+	if b.lastPRE.ok {
+		c.require("tRP", b.lastPRE.cmd, b.lastPRE.cmd.At, cmd, c.t.TRP)
+	}
+	rank := cmd.Addr.Rank
+	if p := c.rankACT[rank]; p.ok {
+		// Any two ACTs in a rank are at least tRRD_S apart; same bank
+		// group tightens that to tRRD_L below.
+		c.require("tRRD_S", p.cmd, p.cmd.At, cmd, c.t.TRRDS)
+	}
+	rg := rankGroup{rank, cmd.Addr.Group}
+	if p := c.groupACT[rg]; p.ok {
+		c.require("tRRD_L", p.cmd, p.cmd.At, cmd, c.t.TRRDL)
+	}
+	ring := c.faw[rank]
+	if ring == nil {
+		ring = &[4]seen{}
+		c.faw[rank] = ring
+	}
+	if ring[0].ok {
+		// This is the 5th ACT counted from ring[0]: at most 4 ACTs may
+		// land in any tFAW window.
+		c.require("tFAW", ring[0].cmd, ring[0].cmd.At, cmd, c.t.TFAW)
+	}
+	copy(ring[:], ring[1:])
+	ring[3] = seen{}
+	ring[3].set(cmd)
+
+	b.lastACT.set(cmd)
+	b.open = true
+	b.everACT = true
+	p := c.rankACT[rank]
+	p.set(cmd)
+	c.rankACT[rank] = p
+	g := c.groupACT[rg]
+	g.set(cmd)
+	c.groupACT[rg] = g
+}
+
+func (c *Checker) observePRE(cmd memsim.Command) {
+	b := c.bank(cmd.FlatBank)
+	if !b.open {
+		c.add("PRE-on-closed-bank", b.lastPRE.cmd, cmd, 0, 0)
+	}
+	if b.lastACT.ok {
+		c.require("tRAS", b.lastACT.cmd, b.lastACT.cmd.At, cmd, c.t.TRAS)
+	}
+	if b.lastWR.ok {
+		c.require("tWR", b.lastWR.cmd, b.lastWR.cmd.DataEnd, cmd, c.t.TWR)
+	}
+	if b.lastRD.ok {
+		c.require("tRTP", b.lastRD.cmd, b.lastRD.cmd.At, cmd, c.t.TRTP)
+	}
+	b.lastPRE.set(cmd)
+	b.open = false
+}
+
+func (c *Checker) observeCAS(cmd memsim.Command) {
+	b := c.bank(cmd.FlatBank)
+	if !b.open {
+		c.add("CAS-on-closed-bank", b.lastACT.cmd, cmd, 0, 0)
+	}
+	if b.lastACT.ok {
+		c.require("tRCD", b.lastACT.cmd, b.lastACT.cmd.At, cmd, c.t.TRCD)
+	}
+	if c.lastCAS.ok {
+		c.require("tCCD_S", c.lastCAS.cmd, c.lastCAS.cmd.At, cmd, c.t.TCCDS)
+	}
+	rg := rankGroup{cmd.Addr.Rank, cmd.Addr.Group}
+	if p := c.groupCAS[rg]; p.ok {
+		c.require("tCCD_L", p.cmd, p.cmd.At, cmd, c.t.TCCDL)
+	}
+	isWrite := cmd.Kind == memsim.CmdWR
+	if isWrite {
+		if c.lastRD.ok {
+			c.require("tRTW", c.lastRD.cmd, c.lastRD.cmd.DataEnd, cmd, c.t.TRTW)
+		}
+	} else {
+		if c.lastWR.ok {
+			c.require("tWTR", c.lastWR.cmd, c.lastWR.cmd.DataEnd, cmd, c.t.TWTR)
+		}
+	}
+
+	// Data burst well-formedness and bus occupancy.
+	casToData := c.t.CL
+	rule := "CL"
+	if isWrite {
+		casToData = c.t.CWL
+		rule = "CWL"
+	}
+	if cmd.DataStart != cmd.At+uint64(casToData) {
+		c.add(rule, cmd, cmd, uint64(casToData), int64(cmd.DataStart)-int64(cmd.At))
+	}
+	if cmd.DataEnd <= cmd.DataStart {
+		c.add("empty-burst", cmd, cmd, 0, 0)
+	}
+	if c.lastData.ok && cmd.DataStart < c.lastData.cmd.DataEnd {
+		c.add("bus-overlap", c.lastData.cmd, cmd, 0,
+			int64(cmd.DataStart)-int64(c.lastData.cmd.DataEnd))
+	}
+
+	if isWrite {
+		b.lastWR.set(cmd)
+		c.lastWR.set(cmd)
+	} else {
+		b.lastRD.set(cmd)
+		c.lastRD.set(cmd)
+	}
+	c.lastCAS.set(cmd)
+	p := c.groupCAS[rg]
+	p.set(cmd)
+	c.groupCAS[rg] = p
+	c.lastData.set(cmd)
+}
+
+func (c *Checker) observeREF(cmd memsim.Command) {
+	if cmd.At%uint64(c.t.TREFI) != 0 {
+		c.add("tREFI-align", memsim.Command{}, cmd, 0, int64(cmd.At%uint64(c.t.TREFI)))
+	}
+	if c.lastREF.ok && cmd.At <= c.lastREF.cmd.At {
+		c.add("tREFI-order", c.lastREF.cmd, cmd, 0, int64(cmd.At)-int64(c.lastREF.cmd.At))
+	}
+	c.lastREF.set(cmd)
+}

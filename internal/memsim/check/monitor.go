@@ -1,0 +1,154 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pair/internal/memsim"
+)
+
+// Monitor is a lightweight observability sink over the command stream:
+// per-kind command histograms, row-buffer hit breakdown, data-bus
+// occupancy and the per-bank activate distribution. It performs no
+// checking; pair it with a Checker through memsim.MultiObserver.
+type Monitor struct {
+	Counts   memsim.CmdCounts
+	RowHits  uint64
+	RowMiss  uint64
+	BusBusy  uint64 // cycles of data-bus occupancy
+	FirstAt  uint64
+	LastAt   uint64 // includes data tail of the last burst
+	started  bool
+	bankACTs map[int]uint64
+	bankAddr map[int]memsim.Command // a representative command per bank
+	fresh    map[int]bool           // bank was activated since its last CAS
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		bankACTs: map[int]uint64{},
+		bankAddr: map[int]memsim.Command{},
+		fresh:    map[int]bool{},
+	}
+}
+
+// Observe implements memsim.Observer.
+func (m *Monitor) Observe(c memsim.Command) {
+	if !m.started {
+		m.FirstAt = c.At
+		m.started = true
+	}
+	if c.At > m.LastAt {
+		m.LastAt = c.At
+	}
+	switch c.Kind {
+	case memsim.CmdACT:
+		m.Counts.ACT++
+		m.bankACTs[c.FlatBank]++
+		m.bankAddr[c.FlatBank] = c
+		m.fresh[c.FlatBank] = true
+	case memsim.CmdPRE:
+		m.Counts.PRE++
+	case memsim.CmdRD, memsim.CmdWR:
+		if c.Kind == memsim.CmdRD {
+			m.Counts.RD++
+		} else {
+			m.Counts.WR++
+		}
+		// The first CAS after an ACT is the miss that opened the row;
+		// every further CAS to the open row is a hit.
+		if m.fresh[c.FlatBank] {
+			m.RowMiss++
+			m.fresh[c.FlatBank] = false
+		} else {
+			m.RowHits++
+		}
+		m.BusBusy += c.DataEnd - c.DataStart
+		if c.DataEnd > m.LastAt {
+			m.LastAt = c.DataEnd
+		}
+	case memsim.CmdREF:
+		m.Counts.REF++
+	}
+}
+
+// RowHitRate returns the fraction of CAS commands that hit an open row.
+func (m *Monitor) RowHitRate() float64 {
+	if n := m.RowHits + m.RowMiss; n > 0 {
+		return float64(m.RowHits) / float64(n)
+	}
+	return 0
+}
+
+// BusUtilization returns data-bus occupancy over the observed span.
+func (m *Monitor) BusUtilization() float64 {
+	if span := m.LastAt - m.FirstAt; span > 0 {
+		return float64(m.BusBusy) / float64(span)
+	}
+	return 0
+}
+
+// Render formats the run summary.
+func (m *Monitor) Render() string {
+	var sb strings.Builder
+	c := m.Counts
+	fmt.Fprintf(&sb, "commands: ACT %d  PRE %d  RD %d  WR %d  REF %d\n",
+		c.ACT, c.PRE, c.RD, c.WR, c.REF)
+	fmt.Fprintf(&sb, "row buffer: %.1f%% hits (%d hits / %d misses)\n",
+		m.RowHitRate()*100, m.RowHits, m.RowMiss)
+	fmt.Fprintf(&sb, "data bus: %.1f%% utilized (%d busy / %d observed cycles)\n",
+		m.BusUtilization()*100, m.BusBusy, m.LastAt-m.FirstAt)
+	if len(m.bankACTs) > 0 {
+		type ba struct {
+			fb int
+			n  uint64
+		}
+		all := make([]ba, 0, len(m.bankACTs))
+		for fb, n := range m.bankACTs {
+			all = append(all, ba{fb, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].fb < all[j].fb
+		})
+		top := all[0]
+		a := m.bankAddr[top.fb].Addr
+		fmt.Fprintf(&sb, "banks: %d touched; busiest rk%d bg%d ba%d with %d ACTs (%.1f%%)\n",
+			len(all), a.Rank, a.Group, a.Bank, top.n, float64(top.n)/float64(c.ACT)*100)
+	}
+	return sb.String()
+}
+
+// Tracer streams every command as one line of text — the -cmdtrace mode
+// of the CLIs. Lines look like:
+//
+//	@1184 ACT rk0 bg1 ba2 r0x1a c0x0
+//	@1200 RD rk0 bg1 ba2 r0x1a c0x7 data 1216..1220
+type Tracer struct {
+	W io.Writer
+	// Limit, when positive, caps the number of lines written (the stream
+	// can be long); a final ellipsis line marks truncation.
+	Limit   int
+	written int
+}
+
+// Observe implements memsim.Observer.
+func (t *Tracer) Observe(c memsim.Command) {
+	if t.Limit > 0 {
+		if t.written == t.Limit {
+			fmt.Fprintln(t.W, "... (command trace truncated)")
+			t.written++
+			return
+		}
+		if t.written > t.Limit {
+			return
+		}
+	}
+	fmt.Fprintln(t.W, c)
+	t.written++
+}

@@ -1,0 +1,92 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"pair/internal/memsim"
+	"pair/internal/memsim/check"
+	"pair/internal/trace"
+)
+
+func mixWorkload(requests int) trace.Workload {
+	return trace.Generate(trace.Params{
+		Name: "mon", Requests: requests, Lines: 1 << 14, Pattern: trace.Random,
+		ReadFrac: 0.7, MaskedFrac: 0.1, MeanGap: 2, Window: 8, Seed: 9,
+	})
+}
+
+func TestMonitorAgreesWithResult(t *testing.T) {
+	mon := check.NewMonitor()
+	cfg := memsim.DefaultConfig()
+	cfg.Observer = mon
+	res := memsim.MustRun(cfg, mixWorkload(2000))
+
+	if mon.Counts != res.Cmds {
+		t.Fatalf("monitor counts %+v != Result.Cmds %+v", mon.Counts, res.Cmds)
+	}
+	// The monitor infers row hits from the stream alone (first CAS after
+	// an ACT is the miss); it must reproduce the simulator's accounting.
+	if mon.RowHits != res.RowHits || mon.RowMiss != res.RowMisses {
+		t.Fatalf("monitor hits/misses %d/%d != result %d/%d",
+			mon.RowHits, mon.RowMiss, res.RowHits, res.RowMisses)
+	}
+	if mon.BusBusy != res.BusBusyCycles {
+		t.Fatalf("monitor bus busy %d != result %d", mon.BusBusy, res.BusBusyCycles)
+	}
+	if u := mon.BusUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("bus utilization %v", u)
+	}
+
+	out := mon.Render()
+	for _, want := range []string{"commands:", "row buffer:", "data bus:", "banks:", "busiest"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMonitorEmpty(t *testing.T) {
+	mon := check.NewMonitor()
+	if mon.RowHitRate() != 0 || mon.BusUtilization() != 0 {
+		t.Fatal("empty monitor reported nonzero rates")
+	}
+	if out := mon.Render(); !strings.Contains(out, "commands:") {
+		t.Fatalf("empty render:\n%s", out)
+	}
+}
+
+func TestTracerLimitTruncates(t *testing.T) {
+	var sb strings.Builder
+	tr := &check.Tracer{W: &sb, Limit: 5}
+	cfg := memsim.DefaultConfig()
+	cfg.Observer = tr
+	memsim.MustRun(cfg, mixWorkload(200))
+
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d lines, want 5 + ellipsis", len(lines))
+	}
+	if !strings.Contains(lines[5], "truncated") {
+		t.Fatalf("no truncation marker: %q", lines[5])
+	}
+	for _, ln := range lines[:5] {
+		if !strings.HasPrefix(ln, "@") {
+			t.Fatalf("malformed trace line %q", ln)
+		}
+	}
+}
+
+func TestTracerUnlimited(t *testing.T) {
+	var sb strings.Builder
+	tr := &check.Tracer{W: &sb}
+	cfg := memsim.DefaultConfig()
+	cfg.Observer = tr
+	res := memsim.MustRun(cfg, mixWorkload(200))
+
+	n := strings.Count(sb.String(), "\n")
+	want := res.Cmds.ACT + res.Cmds.PRE + res.Cmds.RD + res.Cmds.WR + res.Cmds.REF
+	if uint64(n) != want {
+		t.Fatalf("%d trace lines, want %d commands", n, want)
+	}
+}

@@ -1,0 +1,105 @@
+package memsim
+
+import (
+	"fmt"
+
+	"pair/internal/dram"
+)
+
+// CmdKind identifies a DRAM command in the observed event stream.
+type CmdKind int
+
+const (
+	CmdACT CmdKind = iota // row activate
+	CmdPRE                // precharge (row close)
+	CmdRD                 // read CAS
+	CmdWR                 // write CAS
+	CmdREF                // all-bank refresh
+)
+
+// String returns the JEDEC mnemonic.
+func (k CmdKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	}
+	return fmt.Sprintf("CmdKind(%d)", int(k))
+}
+
+// Command is one command-bus event emitted by the scheduler. Events are
+// delivered in non-decreasing At order across the whole run.
+type Command struct {
+	Kind CmdKind
+	At   uint64 // issue cycle on the command bus
+
+	// Addr and FlatBank locate the target bank (zero / -1 for REF).
+	// For PRE, Addr.Row is the row being closed.
+	Addr     dram.Address
+	FlatBank int
+
+	// Line is the cache-line index of the access (RD/WR only).
+	Line uint64
+	// DataStart/DataEnd bound the data-bus occupancy [start, end) of the
+	// burst following a RD/WR command; zero for ACT/PRE/REF.
+	DataStart, DataEnd uint64
+}
+
+// String renders the command for traces and violation reports.
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdREF:
+		return fmt.Sprintf("@%d REF", c.At)
+	case CmdRD, CmdWR:
+		return fmt.Sprintf("@%d %s %s data %d..%d", c.At, c.Kind, c.Addr, c.DataStart, c.DataEnd)
+	default:
+		return fmt.Sprintf("@%d %s %s", c.At, c.Kind, c.Addr)
+	}
+}
+
+// Observer receives every DRAM command the scheduler issues, in
+// non-decreasing time order. Implementations must not retain the Command
+// beyond the call. A nil Config.Observer costs nothing on the hot path.
+type Observer interface {
+	Observe(Command)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Command)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(c Command) { f(c) }
+
+type multiObserver []Observer
+
+func (m multiObserver) Observe(c Command) {
+	for _, o := range m {
+		o.Observe(c)
+	}
+}
+
+// MultiObserver fans one command stream out to several observers. Nil
+// entries are dropped; with zero or one live observer it returns nil or
+// the observer itself.
+func MultiObserver(obs ...Observer) Observer {
+	var live multiObserver
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,8 +1,9 @@
-package memsim
+package memsim_test
 
 import (
 	"testing"
 
+	"pair/internal/memsim"
 	"pair/internal/trace"
 )
 
@@ -16,12 +17,12 @@ func isolatedTrace(reqs []trace.Request) trace.Workload {
 func TestIsolatedRowMissLatency(t *testing.T) {
 	// Random far-apart rows: every read is ACT + CAS: latency ~=
 	// tRCD + CL + burst cycles.
-	tm := DDR4_2400()
+	tm := memsim.DDR4_2400()
 	reqs := make([]trace.Request, 200)
 	for i := range reqs {
 		reqs[i] = trace.Request{Op: trace.Read, Line: uint64(i) * 1_000_003, Gap: 2000}
 	}
-	res := Run(DefaultConfig(), isolatedTrace(reqs))
+	res := Run(memsim.DefaultConfig(), isolatedTrace(reqs))
 	wantCycles := float64(tm.TRCD + tm.CL + tm.BurstCycles(0))
 	got := float64(res.ReadLatencySum) / float64(res.Reads)
 	// Allow refresh interference and the occasional precharge.
@@ -33,12 +34,12 @@ func TestIsolatedRowMissLatency(t *testing.T) {
 func TestIsolatedRowHitLatency(t *testing.T) {
 	// Same row repeatedly: after the first access everything is a row
 	// hit: latency ~= CL + burst.
-	tm := DDR4_2400()
+	tm := memsim.DDR4_2400()
 	reqs := make([]trace.Request, 200)
 	for i := range reqs {
 		reqs[i] = trace.Request{Op: trace.Read, Line: 5, Gap: 2000}
 	}
-	res := Run(DefaultConfig(), isolatedTrace(reqs))
+	res := Run(memsim.DefaultConfig(), isolatedTrace(reqs))
 	if res.RowHits < 190 {
 		t.Fatalf("row hits %d of 200", res.RowHits)
 	}
@@ -53,7 +54,7 @@ func TestIsolatedRowHitLatency(t *testing.T) {
 func TestSameBankConflictSlowerThanDifferentBanks(t *testing.T) {
 	// Back-to-back accesses to two rows of the SAME bank must pay tRC
 	// per swap; the same pattern spread over different banks must not.
-	cfg := DefaultConfig()
+	cfg := memsim.DefaultConfig()
 	mk := func(stride uint64) trace.Workload {
 		reqs := make([]trace.Request, 2000)
 		for i := range reqs {
@@ -80,7 +81,7 @@ func TestSameBankConflictSlowerThanDifferentBanks(t *testing.T) {
 func TestWriteThenReadTurnaround(t *testing.T) {
 	// A read right after a write to the same open row pays tWTR: its
 	// latency must exceed the pure row-hit read latency.
-	tm := DDR4_2400()
+	tm := memsim.DDR4_2400()
 	var reqs []trace.Request
 	for i := 0; i < 100; i++ {
 		reqs = append(reqs,
@@ -88,7 +89,7 @@ func TestWriteThenReadTurnaround(t *testing.T) {
 			trace.Request{Op: trace.Read, Line: 7, Gap: 0},
 		)
 	}
-	res := Run(DefaultConfig(), trace.Workload{Name: "wtr", Window: 2, Reqs: reqs})
+	res := Run(memsim.DefaultConfig(), trace.Workload{Name: "wtr", Window: 2, Reqs: reqs})
 	hitLat := float64(tm.CL + tm.BurstCycles(0))
 	got := float64(res.ReadLatencySum) / float64(res.Reads)
 	if got <= hitLat {
@@ -99,12 +100,12 @@ func TestWriteThenReadTurnaround(t *testing.T) {
 func TestThroughputBoundedByBus(t *testing.T) {
 	// A fully saturated row-hit stream cannot beat one burst per
 	// tBL(+CCD) window: cycles >= reads * tCCD_S at the very least.
-	tm := DDR4_2400()
+	tm := memsim.DDR4_2400()
 	reqs := make([]trace.Request, 5000)
 	for i := range reqs {
 		reqs[i] = trace.Request{Op: trace.Read, Line: uint64(i), Gap: 0}
 	}
-	res := Run(DefaultConfig(), trace.Workload{Name: "sat", Window: 32, Reqs: reqs})
+	res := Run(memsim.DefaultConfig(), trace.Workload{Name: "sat", Window: 32, Reqs: reqs})
 	if res.Cycles < uint64(len(reqs)*tm.TBL) {
 		t.Fatalf("throughput exceeds bus capacity: %d cycles for %d bursts", res.Cycles, len(reqs))
 	}

@@ -1,15 +1,16 @@
-package memsim
+package memsim_test
 
 import (
 	"testing"
 
 	"pair/internal/ecc"
+	"pair/internal/memsim"
 	"pair/internal/trace"
 )
 
 func TestScrubTrafficInjected(t *testing.T) {
 	wl := seqReads(3000)
-	cfg := DefaultConfig()
+	cfg := memsim.DefaultConfig()
 	cfg.ScrubPeriod = 500
 	res := Run(cfg, wl)
 	if res.ScrubReads == 0 {
@@ -21,7 +22,7 @@ func TestScrubTrafficInjected(t *testing.T) {
 		t.Fatalf("scrub reads %d, expected ~%d", res.ScrubReads, want)
 	}
 	// Scrubbing must cost cycles.
-	base := Run(DefaultConfig(), wl)
+	base := Run(memsim.DefaultConfig(), wl)
 	if res.Cycles <= base.Cycles {
 		t.Fatal("scrub traffic free")
 	}
@@ -32,24 +33,24 @@ func TestScrubTrafficInjected(t *testing.T) {
 }
 
 func TestScrubOffByDefault(t *testing.T) {
-	res := Run(DefaultConfig(), trace.SPECLike(500)[0])
+	res := Run(memsim.DefaultConfig(), trace.SPECLike(500)[0])
 	if res.ScrubReads != 0 {
 		t.Fatal("scrubbing on by default")
 	}
 }
 
 func TestReadLatencyHistogram(t *testing.T) {
-	res := Run(DefaultConfig(), seqReads(2000))
+	res := Run(memsim.DefaultConfig(), seqReads(2000))
 	if res.ReadLatency == nil || res.ReadLatency.Count() != 2000 {
 		t.Fatalf("histogram missing or wrong count")
 	}
-	tm := DDR4_2400()
+	tm := memsim.DDR4_2400()
 	p99 := res.P99ReadLatencyNS(tm)
 	avg := res.AvgReadLatencyNS(tm)
 	if p99 < avg {
 		t.Fatalf("p99 %.1f < mean %.1f", p99, avg)
 	}
-	if (Result{}).P99ReadLatencyNS(tm) != 0 {
+	if (memsim.Result{}).P99ReadLatencyNS(tm) != 0 {
 		t.Fatal("empty result must report 0 p99")
 	}
 }
@@ -61,9 +62,9 @@ func TestTailLatencyGrowsUnderRMWCosts(t *testing.T) {
 		Name: "wh", Requests: 6000, Lines: 1 << 18, Pattern: trace.Random,
 		ReadFrac: 0.6, MaskedFrac: 0.4, MeanGap: 3, Window: 8, Seed: 9,
 	})
-	tm := DDR4_2400()
-	base := Run(DefaultConfig(), wl)
-	cfg := DefaultConfig()
+	tm := memsim.DDR4_2400()
+	base := Run(memsim.DefaultConfig(), wl)
+	cfg := memsim.DefaultConfig()
 	cfg.Cost = ecc.AccessCost{ExtraWritesPerWrite: 1, ExtraReadsPerMaskedWrite: 1}
 	xed := Run(cfg, wl)
 	if xed.P99ReadLatencyNS(tm) <= base.P99ReadLatencyNS(tm) {

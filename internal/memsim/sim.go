@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"pair/internal/dram"
 	"pair/internal/ecc"
@@ -23,12 +24,21 @@ type Config struct {
 	// ScrubPeriod cycles (walking the address space sequentially) — the
 	// background traffic a memory-scrubbing reliability policy costs.
 	ScrubPeriod uint64
+	// Observer, when non-nil, receives every DRAM command the scheduler
+	// issues (ACT/PRE/RD/WR/REF) in non-decreasing time order. It feeds
+	// the protocol checker and observability layers in memsim/check.
+	Observer Observer
 }
 
 // DefaultConfig returns a single-rank DDR4-2400 x16 channel with no ECC
 // cost model.
 func DefaultConfig() Config {
 	return Config{Org: dram.DDR4x16(), Ranks: 1, Timing: DDR4_2400(), Seed: 1}
+}
+
+// CmdCounts tallies the DRAM commands issued during a run.
+type CmdCounts struct {
+	ACT, PRE, RD, WR, REF uint64
 }
 
 // Result aggregates one run.
@@ -44,6 +54,11 @@ type Result struct {
 	Refreshes      uint64
 	ScrubReads     uint64 // injected patrol-scrub reads
 	ReadLatencySum uint64 // sum over trace reads, in cycles
+	// Cmds is the command-bus histogram (RD/WR include scrub and
+	// ECC-cost extras; REF mirrors Refreshes).
+	Cmds CmdCounts
+	// BusBusyCycles is the total data-bus occupancy, for utilization.
+	BusBusyCycles uint64
 	// ReadLatency holds the per-read latency distribution in cycles
 	// (tail latency is where RMW and companion-write interference show).
 	ReadLatency *stats.Histogram
@@ -69,6 +84,23 @@ func (r Result) AvgReadLatencyNS(t Timing) float64 {
 // ExecSeconds returns wall-clock execution time.
 func (r Result) ExecSeconds(t Timing) float64 {
 	return float64(r.Cycles) * t.NSPerCycle * 1e-9
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (r Result) RowHitRate() float64 {
+	if n := r.RowHits + r.RowMisses; n > 0 {
+		return float64(r.RowHits) / float64(n)
+	}
+	return 0
+}
+
+// BusUtilization returns the fraction of run cycles the data bus was
+// transferring.
+func (r Result) BusUtilization() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.BusBusyCycles) / float64(r.Cycles)
 }
 
 type opKind int
@@ -132,23 +164,32 @@ type simulator struct {
 	lastWasWr   bool
 	lastDataEnd uint64
 	fawRing     [][]uint64 // per rank, last 4 ACT times
+	lastACTRank []uint64   // per rank, last ACT time (tRRD_S)
+	lastACTGrp  [][]uint64 // per rank per bank group, last ACT time (tRRD_L)
 	lastRefresh uint64
+
+	evbuf []Command // per-schedule event batch, sorted before delivery
 
 	res Result
 }
 
 // Run simulates the workload under the configuration and returns the
 // aggregate result. Runs are deterministic for a fixed (Config, Workload).
-func Run(cfg Config, wl trace.Workload) Result {
-	if cfg.Ranks <= 0 {
+// An invalid Organization/Ranks combination is reported as an error
+// (the zero Ranks defaults to 1).
+func Run(cfg Config, wl trace.Workload) (Result, error) {
+	if cfg.Ranks == 0 {
 		cfg.Ranks = 1
+	}
+	if cfg.Ranks < 0 {
+		return Result{}, fmt.Errorf("memsim: invalid rank count %d", cfg.Ranks)
 	}
 	if cfg.Timing.NSPerCycle == 0 {
 		cfg.Timing = DDR4_2400()
 	}
 	mapper, err := dram.NewAddressMapper(cfg.Org, cfg.Ranks)
 	if err != nil {
-		panic(fmt.Sprintf("memsim: %v", err))
+		return Result{}, fmt.Errorf("memsim: %w", err)
 	}
 	s := &simulator{
 		cfg:        cfg,
@@ -162,11 +203,24 @@ func Run(cfg Config, wl trace.Workload) Result {
 		s.banks[i].openRow = -1
 	}
 	s.fawRing = make([][]uint64, cfg.Ranks)
+	s.lastACTRank = make([]uint64, cfg.Ranks)
+	s.lastACTGrp = make([][]uint64, cfg.Ranks)
 	for i := range s.fawRing {
 		s.fawRing[i] = make([]uint64, 4)
+		s.lastACTGrp[i] = make([]uint64, cfg.Org.BankGroups)
 	}
 	s.run(wl)
-	return s.res
+	return s.res, nil
+}
+
+// MustRun is Run for configurations known to be valid; it panics on a
+// configuration error. Intended for tests and examples.
+func MustRun(cfg Config, wl trace.Workload) Result {
+	res, err := Run(cfg, wl)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
 }
 
 func (s *simulator) run(wl trace.Workload) {
@@ -220,8 +274,11 @@ func (s *simulator) run(wl trace.Workload) {
 			}
 		}
 		admit()
-		if s.cfg.ScrubPeriod > 0 && s.now >= nextScrub {
-			pending = append(pending, &op{kind: opRead, line: scrubLine % cap64, readyAt: s.now, enq: s.now, reqIdx: -1})
+		// Patrol scrub: one read per elapsed period, each stamped at its
+		// scheduled time so a multi-period jump of the clock catches up
+		// without compressing the ScrubReads accounting.
+		for s.cfg.ScrubPeriod > 0 && s.now >= nextScrub {
+			pending = append(pending, &op{kind: opRead, line: scrubLine % cap64, readyAt: nextScrub, enq: nextScrub, reqIdx: -1})
 			s.res.ScrubReads++
 			scrubLine += 64 // stride across rows over time
 			nextScrub += s.cfg.ScrubPeriod
@@ -242,6 +299,12 @@ func (s *simulator) run(wl trace.Workload) {
 				if o.readyAt > s.now && o.readyAt < next {
 					next = o.readyAt
 				}
+			}
+			// Patrol scrubs fire on time during request gaps — but only
+			// while work remains, so a drained run still terminates.
+			if s.cfg.ScrubPeriod > 0 && nextScrub < next &&
+				(len(pending) > 0 || outstanding > 0 || traceIdx < len(wl.Reqs)) {
+				next = nextScrub
 			}
 			if next == uint64(math.MaxUint64) {
 				break // drained
@@ -352,49 +415,79 @@ func (s *simulator) pick(pending []*op) int {
 	return best
 }
 
+// refreshDefer pushes a command time out of the refresh blackout window:
+// an all-bank refresh starts at every multiple of tREFI (absolute time)
+// and blocks command issue for tRFC; the window itself elapses in the
+// background, so only commands landing inside it stall.
+func refreshDefer(t Timing, x uint64) uint64 {
+	idx := x / uint64(t.TREFI)
+	if idx == 0 {
+		return x
+	}
+	if start := idx * uint64(t.TREFI); x < start+uint64(t.TRFC) {
+		return start + uint64(t.TRFC)
+	}
+	return x
+}
+
+// emit queues a command event for this scheduling step (no-op without an
+// observer).
+func (s *simulator) emit(c Command) {
+	if s.cfg.Observer != nil {
+		s.evbuf = append(s.evbuf, c)
+	}
+}
+
+// flushEvents delivers the step's events in time order.
+func (s *simulator) flushEvents() {
+	if len(s.evbuf) == 0 {
+		return
+	}
+	sort.SliceStable(s.evbuf, func(i, j int) bool { return s.evbuf[i].At < s.evbuf[j].At })
+	for _, c := range s.evbuf {
+		s.cfg.Observer.Observe(c)
+	}
+	s.evbuf = s.evbuf[:0]
+}
+
 // schedule issues the operation, advancing bank/bus state, and returns its
-// completion cycle.
+// completion cycle. Command times are planned first (every JEDEC floor is
+// a lower bound, so each constraint only moves commands later), then
+// committed and emitted to the observer in time order.
 func (s *simulator) schedule(o *op) uint64 {
 	t := s.cfg.Timing
 	a := s.mapper.Map(o.line)
 	fb := s.mapper.FlatBank(a)
 	b := &s.banks[fb]
+	isWrite := o.kind == opWrite
+	miss := b.openRow != a.Row
 
-	casEarliest := maxU(s.now, o.readyAt)
+	earliest := refreshDefer(t, maxU(s.now, o.readyAt))
 
-	// Refresh: an all-bank refresh starts at every multiple of tREFI
-	// (absolute time) and blocks commands for tRFC; the window itself
-	// elapses in the background, so only operations landing inside it
-	// stall.
-	if refIdx := casEarliest / uint64(t.TREFI); refIdx > 0 {
-		refStart := refIdx * uint64(t.TREFI)
-		if casEarliest < refStart+uint64(t.TRFC) {
-			casEarliest = refStart + uint64(t.TRFC)
+	// Row management plan.
+	var preAt, actAt, casAt uint64
+	needPRE := false
+	if miss {
+		actFloor := earliest
+		if b.openRow >= 0 {
+			// A row is open: precharge it first (tRAS/tWR/tRTP hold PRE
+			// back via preOK; tRP separates PRE from the next ACT).
+			needPRE = true
+			preAt = refreshDefer(t, maxU(earliest, b.preOK))
+			actFloor = preAt + uint64(t.TRP)
 		}
-		if refIdx > s.lastRefresh {
-			s.res.Refreshes += refIdx - s.lastRefresh
-			s.lastRefresh = refIdx
-		}
-	}
-
-	// Row management.
-	if b.openRow != a.Row {
-		s.res.RowMisses++
-		preAt := maxU(casEarliest, b.preOK)
-		actAt := maxU(preAt+uint64(t.TRP), b.actOK)
-		// Inter-ACT constraints: tRRD within the rank and the tFAW window.
+		// Inter-ACT constraints within the rank: tRC on the bank, tRRD_S
+		// against the last ACT anywhere in the rank, tRRD_L against the
+		// last ACT in the same bank group, and the tFAW window.
 		ring := s.fawRing[a.Rank]
-		actAt = maxU(actAt, ring[0]+uint64(t.TFAW))
-		copy(ring, ring[1:])
-		ring[3] = actAt
-		b.actOK = actAt + uint64(t.TRC)
-		b.casOK = actAt + uint64(t.TRCD)
-		b.preOK = actAt + uint64(t.TRAS)
-		b.openRow = a.Row
-		casEarliest = maxU(casEarliest, b.casOK)
+		actAt = maxU(actFloor, b.actOK,
+			ring[0]+uint64(t.TFAW),
+			s.lastACTRank[a.Rank]+uint64(t.TRRDS),
+			s.lastACTGrp[a.Rank][a.Group]+uint64(t.TRRDL))
+		actAt = refreshDefer(t, actAt)
+		casAt = maxU(earliest, actAt+uint64(t.TRCD))
 	} else {
-		s.res.RowHits++
-		casEarliest = maxU(casEarliest, b.casOK)
+		casAt = maxU(earliest, b.casOK)
 	}
 
 	// CAS-to-CAS spacing by bank group, and bus turnaround.
@@ -403,14 +496,13 @@ func (s *simulator) schedule(o *op) uint64 {
 		if s.lastCASGrp == a.Group {
 			ccd = uint64(t.TCCDL)
 		}
-		casEarliest = maxU(casEarliest, s.lastCASAt+ccd)
+		casAt = maxU(casAt, s.lastCASAt+ccd)
 	}
-	isWrite := o.kind == opWrite
 	if s.lastDataEnd > 0 {
 		if isWrite && !s.lastWasWr {
-			casEarliest = maxU(casEarliest, s.lastDataEnd+uint64(t.TRTW))
+			casAt = maxU(casAt, s.lastDataEnd+uint64(t.TRTW))
 		} else if !isWrite && s.lastWasWr {
-			casEarliest = maxU(casEarliest, s.lastDataEnd+uint64(t.TWTR))
+			casAt = maxU(casAt, s.lastDataEnd+uint64(t.TWTR))
 		}
 	}
 
@@ -422,15 +514,52 @@ func (s *simulator) schedule(o *op) uint64 {
 		casToData = uint64(t.CWL)
 	}
 	burst := uint64(t.BurstCycles(extra))
-	if s.busFreeAt > casEarliest+casToData {
-		casEarliest = s.busFreeAt - casToData
+	if s.busFreeAt > casAt+casToData {
+		casAt = s.busFreeAt - casToData
 	}
+	casAt = refreshDefer(t, casAt)
 
-	casAt := casEarliest
 	dataStart := casAt + casToData
 	dataEnd := dataStart + burst
 
+	// Refresh accounting: count every tREFI boundary the command clock
+	// crossed since the last one observed.
+	if refIdx := casAt / uint64(t.TREFI); refIdx > s.lastRefresh {
+		for k := s.lastRefresh + 1; k <= refIdx; k++ {
+			s.emit(Command{Kind: CmdREF, At: k * uint64(t.TREFI), FlatBank: -1})
+		}
+		s.res.Refreshes += refIdx - s.lastRefresh
+		s.res.Cmds.REF += refIdx - s.lastRefresh
+		s.lastRefresh = refIdx
+	}
+
 	// Commit state.
+	if miss {
+		s.res.RowMisses++
+		if needPRE {
+			closed := a
+			closed.Row = b.openRow
+			closed.Col = 0
+			s.emit(Command{Kind: CmdPRE, At: preAt, Addr: closed, FlatBank: fb})
+			s.res.Cmds.PRE++
+		}
+		ring := s.fawRing[a.Rank]
+		copy(ring, ring[1:])
+		ring[3] = actAt
+		s.lastACTRank[a.Rank] = actAt
+		s.lastACTGrp[a.Rank][a.Group] = actAt
+		b.actOK = actAt + uint64(t.TRC)
+		b.casOK = actAt + uint64(t.TRCD)
+		b.preOK = actAt + uint64(t.TRAS)
+		b.openRow = a.Row
+		opened := a
+		opened.Col = 0
+		s.emit(Command{Kind: CmdACT, At: actAt, Addr: opened, FlatBank: fb})
+		s.res.Cmds.ACT++
+	} else {
+		s.res.RowHits++
+	}
+
 	s.now = casAt
 	s.lastCASGrp = a.Group
 	s.lastCASAt = casAt
@@ -438,12 +567,19 @@ func (s *simulator) schedule(o *op) uint64 {
 	s.lastDataEnd = dataEnd
 	s.busFreeAt = dataEnd
 	b.casOK = maxU(b.casOK, casAt+uint64(t.TCCDL))
+	kind := CmdRD
 	if isWrite {
+		kind = CmdWR
 		b.preOK = maxU(b.preOK, dataEnd+uint64(t.TWR))
+		s.res.Cmds.WR++
 	} else {
 		b.preOK = maxU(b.preOK, casAt+uint64(t.TRTP))
+		s.res.Cmds.RD++
 	}
 	b.lastBeat = dataEnd
+	s.res.BusBusyCycles += burst
+	s.emit(Command{Kind: kind, At: casAt, Addr: a, FlatBank: fb, Line: o.line, DataStart: dataStart, DataEnd: dataEnd})
+	s.flushEvents()
 
 	finish := dataEnd
 	if !isWrite {

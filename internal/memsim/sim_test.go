@@ -1,10 +1,11 @@
-package memsim
+package memsim_test
 
 import (
 	"testing"
 
 	"pair/internal/dram"
 	"pair/internal/ecc"
+	"pair/internal/memsim"
 	"pair/internal/trace"
 )
 
@@ -16,7 +17,7 @@ func seqReads(n int) trace.Workload {
 }
 
 func TestTimingHelpers(t *testing.T) {
-	tm := DDR4_2400()
+	tm := memsim.DDR4_2400()
 	if tm.BurstCycles(0) != 4 {
 		t.Fatalf("BL8 = %d cycles", tm.BurstCycles(0))
 	}
@@ -32,7 +33,7 @@ func TestTimingHelpers(t *testing.T) {
 }
 
 func TestRunBasicInvariants(t *testing.T) {
-	res := Run(DefaultConfig(), seqReads(2000))
+	res := Run(memsim.DefaultConfig(), seqReads(2000))
 	if res.Cycles == 0 {
 		t.Fatal("zero cycles")
 	}
@@ -46,18 +47,18 @@ func TestRunBasicInvariants(t *testing.T) {
 	if float64(res.RowHits)/2000 < 0.8 {
 		t.Fatalf("sequential row hit rate %v too low", float64(res.RowHits)/2000)
 	}
-	if res.AvgReadLatencyNS(DDR4_2400()) < 10 {
-		t.Fatalf("read latency %vns implausibly low", res.AvgReadLatencyNS(DDR4_2400()))
+	if res.AvgReadLatencyNS(memsim.DDR4_2400()) < 10 {
+		t.Fatalf("read latency %vns implausibly low", res.AvgReadLatencyNS(memsim.DDR4_2400()))
 	}
-	if res.ExecSeconds(DDR4_2400()) <= 0 {
+	if res.ExecSeconds(memsim.DDR4_2400()) <= 0 {
 		t.Fatal("non-positive execution time")
 	}
 }
 
 func TestRunDeterministic(t *testing.T) {
 	wl := trace.SPECLike(3000)[3] // gcc-like with writes
-	a := Run(DefaultConfig(), wl)
-	b := Run(DefaultConfig(), wl)
+	a := Run(memsim.DefaultConfig(), wl)
+	b := Run(memsim.DefaultConfig(), wl)
 	// Compare everything except the histogram pointer; its percentiles
 	// must also agree.
 	ah, bh := a.ReadLatency, b.ReadLatency
@@ -71,11 +72,11 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestRandomSlowerThanSequential(t *testing.T) {
-	seq := Run(DefaultConfig(), trace.Generate(trace.Params{
+	seq := Run(memsim.DefaultConfig(), trace.Generate(trace.Params{
 		Name: "s", Requests: 4000, Lines: 1 << 18, Pattern: trace.Sequential,
 		ReadFrac: 1, MeanGap: 2, Window: 16, Seed: 2,
 	}))
-	rnd := Run(DefaultConfig(), trace.Generate(trace.Params{
+	rnd := Run(memsim.DefaultConfig(), trace.Generate(trace.Params{
 		Name: "r", Requests: 4000, Lines: 1 << 18, Pattern: trace.Random,
 		ReadFrac: 1, MeanGap: 2, Window: 16, Seed: 2,
 	}))
@@ -91,8 +92,8 @@ func TestBurstExtensionCostsBandwidth(t *testing.T) {
 	// DUO-style +1 beat must slow a bandwidth-bound stream measurably but
 	// mildly (~10% upper bound at 12.5% more bus occupancy).
 	wl := seqReads(6000)
-	base := Run(DefaultConfig(), wl)
-	cfg := DefaultConfig()
+	base := Run(memsim.DefaultConfig(), wl)
+	cfg := memsim.DefaultConfig()
 	cfg.Cost = ecc.AccessCost{ExtraReadBeats: 1, ExtraWriteBeats: 1}
 	ext := Run(cfg, wl)
 	slowdown := float64(ext.Cycles) / float64(base.Cycles)
@@ -110,8 +111,8 @@ func TestExtraWritesCostThroughput(t *testing.T) {
 		Name: "w", Requests: 6000, Lines: 1 << 18, Pattern: trace.Random,
 		ReadFrac: 0.5, MaskedFrac: 0, MeanGap: 2, Window: 16, Seed: 3,
 	})
-	base := Run(DefaultConfig(), wl)
-	cfg := DefaultConfig()
+	base := Run(memsim.DefaultConfig(), wl)
+	cfg := memsim.DefaultConfig()
 	cfg.Cost = ecc.AccessCost{ExtraWritesPerWrite: 1.0}
 	xed := Run(cfg, wl)
 	if xed.ExtraWrites == 0 {
@@ -128,8 +129,8 @@ func TestMaskedWriteRMW(t *testing.T) {
 		Name: "m", Requests: 4000, Lines: 1 << 18, Pattern: trace.Random,
 		ReadFrac: 0.4, MaskedFrac: 1.0, MeanGap: 2, Window: 8, Seed: 4,
 	})
-	base := Run(DefaultConfig(), wl)
-	cfg := DefaultConfig()
+	base := Run(memsim.DefaultConfig(), wl)
+	cfg := memsim.DefaultConfig()
 	cfg.Cost = ecc.AccessCost{ExtraReadsPerMaskedWrite: 1.0}
 	rmw := Run(cfg, wl)
 	if rmw.ExtraReads == 0 {
@@ -153,8 +154,8 @@ func TestDecodeLatencyAddsToReads(t *testing.T) {
 		Name: "idle", Requests: 1500, Lines: 1 << 18, Pattern: trace.Random,
 		ReadFrac: 1, MeanGap: 200, Window: 1, Seed: 8,
 	})
-	base := Run(DefaultConfig(), wl)
-	cfg := DefaultConfig()
+	base := Run(memsim.DefaultConfig(), wl)
+	cfg := memsim.DefaultConfig()
 	cfg.Cost = ecc.AccessCost{DecodeLatencyNS: 10}
 	dec := Run(cfg, wl)
 	diff := dec.AvgReadLatencyNS(cfg.Timing) - base.AvgReadLatencyNS(cfg.Timing)
@@ -168,7 +169,7 @@ func TestDecodeLatencyAddsToReads(t *testing.T) {
 
 func TestDetectionRereads(t *testing.T) {
 	wl := seqReads(4000)
-	cfg := DefaultConfig()
+	cfg := memsim.DefaultConfig()
 	cfg.Cost = ecc.AccessCost{DetectionRereadRate: 0.5}
 	res := Run(cfg, wl)
 	frac := float64(res.ExtraReads) / 4000
@@ -183,14 +184,14 @@ func TestRefreshHappens(t *testing.T) {
 		Name: "slow", Requests: 3000, Lines: 1 << 18, Pattern: trace.Random,
 		ReadFrac: 1, MeanGap: 40, Window: 2, Seed: 5,
 	})
-	res := Run(DefaultConfig(), wl)
+	res := Run(memsim.DefaultConfig(), wl)
 	if res.Refreshes == 0 {
 		t.Fatal("no refreshes over a long run")
 	}
 }
 
 func TestMultiRank(t *testing.T) {
-	cfg := DefaultConfig()
+	cfg := memsim.DefaultConfig()
 	cfg.Ranks = 2
 	res := Run(cfg, seqReads(2000))
 	if res.Reads != 2000 {
@@ -209,8 +210,8 @@ func TestWindowLimitsMLP(t *testing.T) {
 	p1.Window = 1
 	p16 := base
 	p16.Window = 16
-	r1 := Run(DefaultConfig(), trace.Generate(p1))
-	r16 := Run(DefaultConfig(), trace.Generate(p16))
+	r1 := Run(memsim.DefaultConfig(), trace.Generate(p1))
+	r16 := Run(memsim.DefaultConfig(), trace.Generate(p16))
 	if float64(r1.Cycles)/float64(r16.Cycles) < 1.5 {
 		t.Fatalf("window-1 (%d) not much slower than window-16 (%d)", r1.Cycles, r16.Cycles)
 	}
@@ -224,7 +225,7 @@ func TestSchemeCostsOrdering(t *testing.T) {
 		ReadFrac: 0.55, MaskedFrac: 0.3, MeanGap: 2, Window: 12, Seed: 7,
 	})
 	run := func(c ecc.AccessCost) uint64 {
-		cfg := DefaultConfig()
+		cfg := memsim.DefaultConfig()
 		cfg.Cost = c
 		return Run(cfg, wl).Cycles
 	}

@@ -168,7 +168,7 @@ func BenchmarkMemsim(b *testing.B) {
 	cfg := memsim.DefaultConfig()
 	b.SetBytes(int64(len(wl.Reqs)))
 	for i := 0; i < b.N; i++ {
-		res := memsim.Run(cfg, wl)
+		res := memsim.MustRun(cfg, wl)
 		if res.Cycles == 0 {
 			b.Fatal("empty run")
 		}
