@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"pair/internal/schemes"
 )
 
 // Result is one parsed benchmark line.
@@ -78,8 +80,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	label := fs.String("label", "", "free-form label recorded in the file")
 	benchtime := fs.String("benchtime", "", "value for go test -benchtime")
 	count := fs.Int("count", 1, "value for go test -count")
+	listSchs := fs.Bool("list-schemes", false, "list the scheme registry behind the Scheme* benchmarks, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listSchs {
+		fmt.Fprint(stdout, schemes.ListText())
+		return 0
 	}
 
 	pkgs := strings.Split(*pkg, ",")

@@ -10,6 +10,11 @@
 //	faultmap -fault pin
 //	faultmap -fault pin-burst -len 4
 //	faultmap -fault cell -seed 3
+//	faultmap -scheme pair@ddr5x16 -fault pin    # BL16 grid, expanded code
+//
+// The -scheme spec (name[@org][:key=val,...], see -list-schemes) selects
+// the organization whose chip-access geometry the grid shows and, for
+// PAIR schemes, the correction budget t quoted in the verdict line.
 package main
 
 import (
@@ -20,8 +25,10 @@ import (
 	"os"
 	"strings"
 
+	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/faults"
+	"pair/internal/schemes"
 )
 
 func main() {
@@ -34,15 +41,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("faultmap", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		kind = fs.String("fault", "pin", "cell|pin|lane|beat|word|pin-burst|beat-burst")
-		blen = fs.Int("len", 4, "burst length for *-burst faults")
-		seed = fs.Int64("seed", 1, "RNG seed")
+		kind     = fs.String("fault", "pin", "cell|pin|lane|beat|word|pin-burst|beat-burst")
+		blen     = fs.Int("len", 4, "burst length for *-burst faults")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		spec     = fs.String("scheme", "pair", "scheme spec, name[@org][:key=val,...], selecting the organization shown")
+		listSchs = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *listSchs {
+		fmt.Fprint(stdout, schemes.ListText())
+		return 0
+	}
 
-	org := dram.DDR4x16()
+	scheme, err := schemes.New(*spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "faultmap:", err)
+		return 1
+	}
+	org := scheme.Org()
+	pairT := 2
+	if ps, ok := scheme.(*core.Scheme); ok {
+		pairT = ps.T()
+	}
 	mask := dram.NewBurst(org.Pins, org.BurstLen)
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -68,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "fault %q on a x%d BL%d chip access (%d bits flipped)\n\n", *kind, org.Pins, org.BurstLen, flips)
-	fmt.Fprintln(stdout, "        beats 0..7        PAIR symbol (pin-aligned)")
+	fmt.Fprintf(stdout, "        beats 0..%-2d       PAIR symbol (pin-aligned)\n", org.BurstLen-1)
 	for pin := 0; pin < org.Pins; pin++ {
 		var row strings.Builder
 		touched := false
@@ -87,10 +109,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "DQ%-2d    %s%s\n", pin, row.String(), marker)
 	}
 
+	// A BL16 pin carries BurstLen/8 symbols, so count per part — a pin
+	// fault on DDR5 touches two pin-aligned symbols, not one.
 	pairSyms := 0
 	for pin := 0; pin < org.Pins; pin++ {
-		if mask.PinSymbol(pin) != 0 {
-			pairSyms++
+		for part := 0; part < org.BurstLen/8; part++ {
+			if mask.PinSymbolPart(pin, part) != 0 {
+				pairSyms++
+			}
 		}
 	}
 	duoSyms := 0
@@ -102,6 +128,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "\nsymbols corrupted:  PAIR (pin-aligned) = %d   DUO (beat-aligned) = %d\n", pairSyms, duoSyms)
-	fmt.Fprintf(stdout, "correctable:        PAIR t=2: %-5v        DUO t=1: %v\n", pairSyms <= 2, duoSyms <= 1)
+	fmt.Fprintf(stdout, "correctable:        PAIR t=%d: %-5v        DUO t=1: %v\n", pairT, pairSyms <= pairT, duoSyms <= 1)
 	return 0
 }

@@ -104,3 +104,37 @@ func TestBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+// TestSchemeSpecSelectsOrganization maps a pin fault on the DDR5 BL16
+// organization picked purely by spec: the grid doubles in depth and a
+// pin fault now spans two pin-aligned symbols, needing the t=2 code.
+func TestSchemeSpecSelectsOrganization(t *testing.T) {
+	code, out, stderr := runCLI(t, "-scheme", "pair@ddr5x16", "-fault", "pin", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "x16 BL16") {
+		t.Fatalf("DDR5 organization not shown:\n%s", out)
+	}
+	_, pair, _ := parseMap(t, out)
+	if pair != 2 {
+		t.Fatalf("BL16 pin fault touched %d pin-aligned symbols, want 2:\n%s", pair, out)
+	}
+	if !strings.Contains(out, "PAIR t=2: true") {
+		t.Fatalf("expanded code must still correct its aligned axis:\n%s", out)
+	}
+}
+
+func TestBadSchemeSpec(t *testing.T) {
+	code, _, stderr := runCLI(t, "-scheme", "quantum")
+	if code != 1 || !strings.Contains(stderr, "unknown scheme") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestListSchemes(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-schemes")
+	if code != 0 || !strings.Contains(out, "name[@org][:key=val,...]") {
+		t.Fatalf("exit %d, out:\n%s", code, out)
+	}
+}

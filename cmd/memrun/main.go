@@ -7,8 +7,13 @@
 //	tracegen -name mix -reads 0.6 > mix.trace
 //	memrun -scheme pair mix.trace
 //	memrun -scheme xed -compare none mix.trace     # with a baseline column
+//	memrun -scheme pair@ddr5x16 mix.trace          # full spec grammar
+//	memrun -scheme pair:spare=3.7 mix.trace        # spared-PAIR by spec
 //	memrun -scheme pair -check mix.trace           # JEDEC protocol audit
 //	memrun -scheme pair -cmdtrace - mix.trace      # DRAM command stream
+//
+// -scheme and -compare take registry specs, name[@org][:key=val,...];
+// -list-schemes prints the registered schemes, organizations and sets.
 package main
 
 import (
@@ -33,15 +38,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("memrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		schemeName = fs.String("scheme", "pair", "ECC scheme (none|iecc|xed|duo|duo-rank|pair-base|pair|secded)")
-		compare    = fs.String("compare", "", "optional second scheme to compare against")
+		schemeName = fs.String("scheme", "pair", "ECC scheme spec, name[@org][:key=val,...] (see -list-schemes)")
+		compare    = fs.String("compare", "", "optional second scheme spec to compare against")
 		ranks      = fs.Int("ranks", 1, "ranks per channel")
 		window     = fs.Int("window", 0, "override the trace's MLP window")
 		checkFlag  = fs.Bool("check", false, "audit the run against the JEDEC timing constraints; violations exit nonzero")
 		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace to this file (- for stdout)")
+		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listSchs {
+		fmt.Fprint(stdout, pair.SchemeSpecHelp())
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: memrun [flags] <trace-file>  (use - for stdin)")
@@ -82,7 +92,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	exit := 0
 	for _, n := range names {
-		scheme, err := pair.SchemeByName(n)
+		scheme, err := pair.SchemeBySpec(n)
 		if err != nil {
 			fmt.Fprintln(stderr, "memrun:", err)
 			return 1

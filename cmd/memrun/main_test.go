@@ -148,3 +148,34 @@ func TestBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+// TestSpecSchemes replays the trace under registry spec strings — a DDR5
+// organization and a spared-PAIR variant — without any memrun-side
+// knowledge of either: the spec grammar is the whole interface.
+func TestSpecSchemes(t *testing.T) {
+	code, out, stderr := runCLI(t, "", "-scheme", "pair@ddr5x16", writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "\npair") {
+		t.Fatalf("ddr5 spec row missing:\n%s", out)
+	}
+
+	code, out, stderr = runCLI(t, "", "-scheme", "pair:spare=3.7", "-compare", "pair", writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "pair-spared") {
+		t.Fatalf("spared-PAIR spec row missing:\n%s", out)
+	}
+}
+
+func TestListSchemes(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-list-schemes")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "name[@org][:key=val,...]") || !strings.Contains(out, "duo-rank") {
+		t.Fatalf("-list-schemes output wrong:\n%s", out)
+	}
+}

@@ -34,7 +34,9 @@ import (
 	"time"
 
 	"pair/internal/campaign"
+	"pair/internal/ecc"
 	"pair/internal/experiments"
+	"pair/internal/schemes"
 )
 
 func main() {
@@ -81,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress   = fs.Bool("progress", false, "report campaign progress (shards, trials/s, ETA) on stderr")
 		checkFlag  = fs.Bool("check", false, "attach the JEDEC protocol checker to every timing simulation; any violation fails the run")
 		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace of every timing simulation to this file (- for stdout)")
+		schemeList = fs.String("schemes", "", "comma/space-separated scheme specs (name[@org][:key=val,...]) overriding the default set of set-driven experiments")
+		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,6 +111,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, listText)
 		return 0
 	}
+	if *listSchs {
+		fmt.Fprint(stdout, schemes.ListText())
+		return 0
+	}
+	var override []ecc.Scheme
+	if *schemeList != "" {
+		var err error
+		if override, err = schemes.ParseSpecList(*schemeList); err != nil {
+			fmt.Fprintln(stderr, "pairsim:", err)
+			return 2
+		}
+	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(stderr, "pairsim: -resume requires -checkpoint")
 		return 2
@@ -124,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	scale := scaleFor(*quick, *trials, *devices, *requests)
+	scale.schemes = override
 	ids := strings.Split(strings.ToLower(*exp), ",")
 	if *exp == "all" {
 		// f1f2 runs both sweeps off one set of conditional profiles.
@@ -159,6 +176,17 @@ type scale struct {
 	coverage int
 	devices  int
 	requests int
+	// schemes, when non-nil, overrides the default registry set of every
+	// set-driven experiment (-schemes flag: any specs the registry builds).
+	schemes []ecc.Scheme
+}
+
+// set returns the -schemes override when given, else the named default.
+func (s scale) set(def func() []ecc.Scheme) []ecc.Scheme {
+	if s.schemes != nil {
+		return s.schemes
+	}
+	return def()
 }
 
 func scaleFor(quick bool, trials, devices, requests int) scale {
@@ -196,51 +224,51 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 	case "t1":
 		return experiments.T1Config().Render(), nil
 	case "f1":
-		r, err := experiments.F1F2Ctx(ctx, experiments.CommoditySchemes(), sc.sweep, opts)
+		r, err := experiments.F1F2Ctx(ctx, sc.set(experiments.CommoditySchemes), sc.sweep, opts)
 		if err != nil {
 			return "", err
 		}
 		return r.RenderF1(), nil
 	case "f2":
-		r, err := experiments.F1F2Ctx(ctx, experiments.CommoditySchemes(), sc.sweep, opts)
+		r, err := experiments.F1F2Ctx(ctx, sc.set(experiments.CommoditySchemes), sc.sweep, opts)
 		if err != nil {
 			return "", err
 		}
 		return r.RenderF2(), nil
 	case "f1f2":
-		r, err := experiments.F1F2Ctx(ctx, experiments.CommoditySchemes(), sc.sweep, opts)
+		r, err := experiments.F1F2Ctx(ctx, sc.set(experiments.CommoditySchemes), sc.sweep, opts)
 		if err != nil {
 			return "", err
 		}
 		return r.RenderF1() + "\n" + r.RenderF2(), nil
 	case "t2":
-		t, err := experiments.T2CoverageCtx(ctx, experiments.CommoditySchemes(), sc.coverage, 1, opts)
+		t, err := experiments.T2CoverageCtx(ctx, sc.set(experiments.CommoditySchemes), sc.coverage, 1, opts)
 		if err != nil {
 			return "", err
 		}
 		return t.Render(), nil
 	case "f3":
-		t, err := experiments.F3LifetimeCtx(ctx, experiments.CommoditySchemes(), sc.devices, 1, opts)
+		t, err := experiments.F3LifetimeCtx(ctx, sc.set(experiments.CommoditySchemes), sc.devices, 1, opts)
 		if err != nil {
 			return "", err
 		}
 		return t.Render(), nil
 	case "f4":
-		perf, err := experiments.F4Performance(experiments.PerfSchemes(), sc.requests)
+		perf, err := experiments.F4Performance(sc.set(experiments.PerfSchemes), sc.requests)
 		if err != nil {
 			return "", err
 		}
-		lat, err := experiments.F4Latency(sc.requests)
+		lat, err := experiments.F4Latency(sc.set(experiments.PerfSchemes), sc.requests)
 		if err != nil {
 			return "", err
 		}
-		mix, err := experiments.F4CommandMix(sc.requests)
+		mix, err := experiments.F4CommandMix(sc.set(experiments.PerfSchemes), sc.requests)
 		if err != nil {
 			return "", err
 		}
 		return perf.Render() + "\n" + lat.Render() + "\n" + mix.Render(), nil
 	case "f5":
-		t, err := experiments.F5WriteSweep(experiments.PerfSchemes(), sc.requests)
+		t, err := experiments.F5WriteSweep(sc.set(experiments.PerfSchemes), sc.requests)
 		if err != nil {
 			return "", err
 		}
@@ -252,7 +280,7 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		}
 		return t.Render(), nil
 	case "f7":
-		t, err := experiments.F7BurstCtx(ctx, experiments.CommoditySchemes(), sc.coverage, 1, opts)
+		t, err := experiments.F7BurstCtx(ctx, sc.set(experiments.CommoditySchemes), sc.coverage, 1, opts)
 		if err != nil {
 			return "", err
 		}
@@ -260,7 +288,7 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 	case "t3":
 		return experiments.T3Complexity().Render(), nil
 	case "f8":
-		t, err := experiments.F8ScrubSweepCtx(ctx, experiments.CommoditySchemes(), sc.devices/4, 1, opts)
+		t, err := experiments.F8ScrubSweepCtx(ctx, sc.set(experiments.CommoditySchemes), sc.devices/4, 1, opts)
 		if err != nil {
 			return "", err
 		}
@@ -278,13 +306,13 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		}
 		return t.Render(), nil
 	case "t2x":
-		t, err := experiments.T2CoverageCtx(ctx, experiments.ExtendedSchemes(), sc.coverage, 1, opts)
+		t, err := experiments.T2CoverageCtx(ctx, sc.set(experiments.ExtendedSchemes), sc.coverage, 1, opts)
 		if err != nil {
 			return "", err
 		}
 		return t.Render(), nil
 	case "f3x":
-		t, err := experiments.F3LifetimeCtx(ctx, experiments.ExtendedSchemes(), sc.devices, 1, opts)
+		t, err := experiments.F3LifetimeCtx(ctx, sc.set(experiments.ExtendedSchemes), sc.devices, 1, opts)
 		if err != nil {
 			return "", err
 		}
@@ -304,7 +332,7 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		}
 		return t.Render(), nil
 	case "f12":
-		t, err := experiments.F12RepairCtx(ctx, experiments.CommoditySchemes(), sc.devices, 1, opts)
+		t, err := experiments.F12RepairCtx(ctx, sc.set(experiments.CommoditySchemes), sc.devices, 1, opts)
 		if err != nil {
 			return "", err
 		}

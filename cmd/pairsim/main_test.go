@@ -195,3 +195,46 @@ func TestScaleFor(t *testing.T) {
 		t.Fatalf("override scale %+v", o)
 	}
 }
+
+func TestListSchemesOutput(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-schemes")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"name[@org][:key=val,...]", // the spec grammar header
+		"pair", "duo-rank", "secded", // registry schemes
+		"ddr5x16", "ddr4x8ecc", // organizations
+		"spare", // the spared-PAIR option doc
+		"eval", "commodity", "energy", // named sets
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list-schemes missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSchemesOverrideSpecs is the registry extensibility proof: scheme
+// variants that exist nowhere in the experiment code — DDR5 PAIR and
+// spared-PAIR — run through a set-driven experiment purely via -schemes
+// spec strings.
+func TestSchemesOverrideSpecs(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "t2", "-trials", "40",
+		"-schemes", "pair@ddr5x16,pair:spare=3.7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "pair") || !strings.Contains(out, "pair-spared") {
+		t.Fatalf("override schemes missing from t2 columns:\n%s", out)
+	}
+	if strings.Contains(out, "iecc") {
+		t.Fatalf("-schemes did not replace the default commodity set:\n%s", out)
+	}
+}
+
+func TestSchemesOverrideBadSpec(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "t2", "-schemes", "quantum")
+	if code != 2 || !strings.Contains(stderr, "unknown scheme") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}

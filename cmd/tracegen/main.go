@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pair/internal/schemes"
 	"pair/internal/trace"
 )
 
@@ -42,9 +43,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		masked   = fs.Float64("masked", 0.2, "masked fraction of writes")
 		window   = fs.Int("window", 8, "MLP window hint (emitted as a header comment)")
 		seed     = fs.Int64("seed", 1, "generator seed")
+		listSchs = fs.Bool("list-schemes", false, "list the scheme registry the traces feed into (memrun/pairsim specs), then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listSchs {
+		fmt.Fprint(stdout, schemes.ListText())
+		return 0
 	}
 
 	if *suite {

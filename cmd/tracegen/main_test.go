@@ -111,3 +111,10 @@ func TestBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestListSchemes(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-schemes")
+	if code != 0 || !strings.Contains(out, "name[@org][:key=val,...]") {
+		t.Fatalf("exit %d, out:\n%s", code, out)
+	}
+}

@@ -35,10 +35,14 @@ func main() {
 	fmt.Printf("%-10s %12s %9s %11s %11s %12s %10s %9s\n",
 		"scheme", "cycles", "norm", "extra rds", "extra wrs", "read lat ns", "p99 ns", "row hit%")
 
+	// The comparison set as registry specs — swap in any variant the
+	// grammar can express (e.g. "pair@ddr5x16", "pair:spare=3.7").
 	var baseline uint64
-	for _, scheme := range []pair.Scheme{
-		pair.NewNone(), pair.NewIECC(), pair.NewXED(), pair.NewDUO(), pair.NewPAIR(),
-	} {
+	for _, spec := range []string{"none", "iecc", "xed", "duo", "pair"} {
+		scheme, err := pair.SchemeBySpec(spec)
+		if err != nil {
+			panic(err)
+		}
 		cfg := memsim.DefaultConfig()
 		cfg.Cost = scheme.Cost()
 		res := memsim.MustRun(cfg, wl)

@@ -13,7 +13,14 @@ import (
 )
 
 func main() {
-	scheme := pair.NewPAIR() // pin-aligned RS(20,16), t=2, in-DRAM
+	// Schemes are built from registry specs, name[@org][:key=val,...] —
+	// "pair" is the headline pin-aligned RS(20,16), t=2, in-DRAM. Try
+	// "pair@ddr5x16" or "pair:spare=3.7" for variants; `pairsim
+	// -list-schemes` prints the whole registry.
+	scheme, err := pair.SchemeBySpec("pair")
+	if err != nil {
+		panic(err)
+	}
 	rng := rand.New(rand.NewSource(42))
 
 	// A 64-byte cache line of "application data".
@@ -57,6 +64,20 @@ func main() {
 		}
 	}
 	report("row failure (whole access garbage)", scheme, line, st)
+
+	// Case 5: a device with two known-bad pins, built as spared-PAIR
+	// straight from a spec string — the repair map turns pins 3 and 7 of
+	// chip 0 into erasures, so both dead pins AND a fresh weak cell still
+	// decode (budget: 2*errors + erasures <= 4).
+	spared, err := pair.SchemeBySpec("pair:spare=3.7")
+	if err != nil {
+		panic(err)
+	}
+	st = spared.Encode(line)
+	st.Chips[0].Data.SetPinSymbol(3, st.Chips[0].Data.PinSymbol(3)^0x5A)
+	st.Chips[0].Data.SetPinSymbol(7, st.Chips[0].Data.PinSymbol(7)^0xC3)
+	st.Chips[0].Data.Flip(12, 1)
+	report("two dead pins + weak cell (spared)", spared, line, st)
 }
 
 func report(what string, scheme pair.Scheme, golden []byte, st *pair.Stored) {

@@ -9,7 +9,7 @@ import (
 // ExperimentIDs lists the identifiers RunExperiment accepts, in
 // presentation order (see DESIGN.md's per-experiment index).
 func ExperimentIDs() []string {
-	return []string{"t1", "f1", "f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12"}
+	return []string{"t1", "f1", "f2", "t2", "f3", "f4", "f4b", "f4c", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12"}
 }
 
 // RunExperiment regenerates one of the study's tables or figures and
@@ -61,6 +61,18 @@ func RunExperiment(id string, quick bool) (string, error) {
 		return experiments.F9DDR5(coverage, 1).Render(), nil
 	case "f10":
 		return experiments.F10Sparing(coverage, 1).Render(), nil
+	case "f4b":
+		t, err := experiments.F4Latency(experiments.PerfSchemes(), requests)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	case "f4c":
+		t, err := experiments.F4CommandMix(experiments.PerfSchemes(), requests)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "f11":
 		t, err := experiments.F11ScrubTraffic(requests)
 		if err != nil {

@@ -7,20 +7,18 @@ import (
 
 	"pair/internal/campaign"
 	"pair/internal/core"
-	"pair/internal/dram"
 	"pair/internal/ecc"
 	"pair/internal/faults"
 	"pair/internal/reliability"
+	"pair/internal/schemes"
 )
 
 // ExtendedSchemes returns the commodity set plus the two rank-level
 // schemes (their natural ECC-DIMM organization), for the experiments
 // where the cross-organization comparison is meaningful per 64B line.
+// The composition lives in the registry's "extended" set.
 func ExtendedSchemes() []ecc.Scheme {
-	return append(CommoditySchemes(),
-		ecc.NewSECDED(dram.DDR4x8ECC()),
-		ecc.NewDUORank(dram.DDR4x8ECC()),
-	)
+	return schemes.MustBuildSet("extended")
 }
 
 // F8ScrubSweep varies the scrub interval in the lifetime model — the
@@ -90,19 +88,16 @@ func F9DDR5Ctx(ctx context.Context, trials int, seed int64, opts campaign.Option
 		Title:  "F9: PAIR across DRAM generations (pin-fault fail rate / inherent 2-cell fail rate)",
 		Header: []string{"device", "code", "t", "pin fault", "2-cell"},
 	}
-	type cfg struct {
-		label string
-		org   dram.Organization
-		c     core.Config
-	}
-	cases := []cfg{
-		{"DDR4 x16 BL8", dram.DDR4x16(), core.BaseConfig()},
-		{"DDR4 x16 BL8", dram.DDR4x16(), core.DefaultConfig()},
-		{"DDR5 x16 BL16", dram.DDR5x16(), core.BaseConfig()},
-		{"DDR5 x16 BL16", dram.DDR5x16(), core.DefaultConfig()},
+	cases := []struct {
+		label, spec string
+	}{
+		{"DDR4 x16 BL8", "pair-base"},
+		{"DDR4 x16 BL8", "pair"},
+		{"DDR5 x16 BL16", "pair-base@ddr5x16"},
+		{"DDR5 x16 BL16", "pair@ddr5x16"},
 	}
 	for _, c := range cases {
-		s := core.MustNew(c.org, c.c)
+		s := schemes.MustNew(c.spec).(*core.Scheme)
 		pin, err := reliability.CoverageCtx(ctx, s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 			ecc.InjectAccessFault(rng, st, faults.PermanentPin, -1)
 		}, opts)
@@ -146,16 +141,15 @@ func T5WidthsCtx(ctx context.Context, trials int, seed int64, opts campaign.Opti
 		Header: []string{"device", "chips/rank", "code", "storage ovh", "pin-fault fail", "2-cell fail"},
 	}
 	cases := []struct {
-		label string
-		org   dram.Organization
+		label, spec string
 	}{
-		{"DDR4 x4", dram.DDR4x4()},
-		{"DDR4 x8", dram.DDR4x8()},
-		{"DDR4 x16", dram.DDR4x16()},
-		{"DDR5 x16", dram.DDR5x16()},
+		{"DDR4 x4", "pair@ddr4x4"},
+		{"DDR4 x8", "pair@ddr4x8"},
+		{"DDR4 x16", "pair"},
+		{"DDR5 x16", "pair@ddr5x16"},
 	}
 	for _, c := range cases {
-		s := core.MustNew(c.org, core.DefaultConfig())
+		s := schemes.MustNew(c.spec).(*core.Scheme)
 		pin, err := reliability.CoverageCtx(ctx, s, "pin", trials, seed, func(rng *rand.Rand, st *ecc.Stored) {
 			ecc.InjectAccessFault(rng, st, faults.PermanentPin, -1)
 		}, opts)
@@ -171,7 +165,7 @@ func T5WidthsCtx(ctx context.Context, trials int, seed int64, opts campaign.Opti
 			return nil, err
 		}
 		t.AddRow(c.label,
-			fmt.Sprintf("%d", c.org.ChipsPerRank),
+			fmt.Sprintf("%d", s.Org().ChipsPerRank),
 			fmt.Sprintf("RS(%d,%d)", s.CodewordLength(), s.CodewordLength()-4),
 			pct(s.StorageOverhead()),
 			sci(pin.Rates.Fail()),
@@ -244,17 +238,20 @@ func F10SparingCtx(ctx context.Context, trials int, seed int64, opts campaign.Op
 		Title:  "F10: decode outcome with dead pins, plain vs spared (erasure) decoding, +1 fresh cell",
 		Header: []string{"dead pins", "plain fail", "spared fail"},
 	}
-	org := dram.DDR4x16()
 	for _, dead := range []int{0, 1, 2} {
-		plain := core.MustNew(org, core.DefaultConfig())
+		plain := schemes.MustNew("pair")
 		pins := make([]int, dead)
+		spareList := ""
 		for i := range pins {
 			pins[i] = 2 + 5*i
+			if i > 0 {
+				spareList += "."
+			}
+			spareList += fmt.Sprintf("%d", pins[i])
 		}
-		sparedScheme, err := plain.WithSparedPins(map[int][]int{0: pins})
-		if err != nil {
-			panic(err)
-		}
+		// Built through the spec grammar — the same string a CLI user
+		// would pass (dead=2 is "pair:spare=2.7").
+		sparedScheme := schemes.MustNew("pair:spare=" + spareList)
 		inject := func(rng *rand.Rand, st *ecc.Stored) {
 			ci := st.Chips[0]
 			for _, p := range pins {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pair/internal/bus"
+	"pair/internal/schemes"
 )
 
 // T4BusEnergy renders the data-bus energy-proxy comparison: driven zeros
@@ -16,37 +17,36 @@ import (
 // freedom, so an XED bus runs un-inverted AND writes twice (inline
 // parity). DUO keeps DBI but stretches every burst by a beat. PAIR
 // changes nothing — its redundancy never crosses the pins.
+//
+// The rows iterate the registry's "energy" set; the DBI column comes
+// from each entry's NoDBI flag and the burst/write terms are read off
+// the scheme's live AccessCost, so a registered scheme's energy row can
+// never drift from its cost model.
 func T4BusEnergy() *Table {
 	t := &Table{
 		Title:  "T4: bus energy proxy (expected driven zeros per 64B transfer; 8 byte lanes)",
 		Header: []string{"scheme", "DBI", "read proxy", "write proxy", "70/30 mix", "vs none"},
 	}
-	type row struct {
-		name       string
-		dbi        bool
-		extraBeats int
-		writeAmp   float64
-	}
-	rows := []row{
-		{"none", true, 0, 1.0},
-		{"iecc", true, 0, 1.0},
-		{"xed", false, 0, 2.0},
-		{"duo", true, 1, 1.0},
-		{"duo-rank", true, 1, 1.0},
-		{"pair", true, 0, 1.0},
+	set, err := schemes.SetByID("energy")
+	if err != nil {
+		panic(err)
 	}
 	const lanes, beats = 8, 8
 	baseline := 0.7*bus.AccessEnergyProxy(lanes, beats, true, 0, 1.0) +
 		0.3*bus.AccessEnergyProxy(lanes, beats, true, 0, 1.0)
-	for _, r := range rows {
-		read := bus.AccessEnergyProxy(lanes, beats, r.dbi, r.extraBeats, 1.0)
-		write := bus.AccessEnergyProxy(lanes, beats, r.dbi, r.extraBeats, r.writeAmp)
+	for _, spec := range set.Specs {
+		e, s := mustEntry(spec)
+		cost := s.Cost()
+		dbi := !e.NoDBI
+		writeAmp := 1.0 + cost.ExtraWritesPerWrite
+		read := bus.AccessEnergyProxy(lanes, beats, dbi, cost.ExtraReadBeats, 1.0)
+		write := bus.AccessEnergyProxy(lanes, beats, dbi, cost.ExtraWriteBeats, writeAmp)
 		mix := 0.7*read + 0.3*write
 		dbiStr := "on"
-		if !r.dbi {
+		if !dbi {
 			dbiStr = "off (catch-words)"
 		}
-		t.AddRow(r.name, dbiStr,
+		t.AddRow(e.ID, dbiStr,
 			fmt.Sprintf("%.1f", read),
 			fmt.Sprintf("%.1f", write),
 			fmt.Sprintf("%.1f", mix),

@@ -50,7 +50,7 @@ func TestF11ScrubTraffic(t *testing.T) {
 }
 
 func TestF4LatencyTable(t *testing.T) {
-	tb, err := F4Latency(2500)
+	tb, err := F4Latency(PerfSchemes(), 2500)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,26 +4,20 @@ import (
 	"fmt"
 	"io"
 
-	"pair/internal/core"
-	"pair/internal/dram"
 	"pair/internal/ecc"
 	"pair/internal/hamming"
 	"pair/internal/memsim"
 	"pair/internal/memsim/check"
+	"pair/internal/schemes"
 	"pair/internal/stats"
 	"pair/internal/trace"
 )
 
 // PerfSchemes returns the schemes of the performance comparison (figure
-// F4): baseline plus the three architectures the abstract compares.
+// F4): baseline plus the three architectures the abstract compares, as
+// defined by the registry's "perf" set.
 func PerfSchemes() []ecc.Scheme {
-	return []ecc.Scheme{
-		ecc.NewNone(dram.DDR4x16()),
-		ecc.NewIECC(dram.DDR4x16()),
-		ecc.NewXED(dram.DDR4x16()),
-		ecc.NewDUO(dram.DDR4x16()),
-		core.MustNew(dram.DDR4x16(), core.DefaultConfig()),
-	}
+	return schemes.MustBuildSet("perf")
 }
 
 // SimInstrumentation configures observers attached to every timing-
@@ -206,13 +200,12 @@ func F5WriteSweep(schemes []ecc.Scheme, requests int) (*Table, error) {
 // workloads (a pointer-chaser and a masked-write-heavy mix). Companion
 // writes and RMW reads interfere with demand reads, which shows in the
 // tail long before it moves the mean.
-func F4Latency(requests int) (*Table, error) {
+func F4Latency(set []ecc.Scheme, requests int) (*Table, error) {
 	t := &Table{
 		Title:  "F4b: read latency (mean / p99, ns) per scheme",
 		Header: []string{"workload"},
 	}
-	schemes := PerfSchemes()
-	for _, s := range schemes {
+	for _, s := range set {
 		t.Header = append(t.Header, s.Name())
 	}
 	suite := trace.SPECLike(requests)
@@ -221,7 +214,7 @@ func F4Latency(requests int) (*Table, error) {
 			continue
 		}
 		row := []string{wl.Name}
-		for _, s := range schemes {
+		for _, s := range set {
 			cfg := memsim.DefaultConfig()
 			cfg.Cost = s.Cost()
 			res, err := runSim(s.Name()+"/lat/"+wl.Name, cfg, wl)
@@ -241,7 +234,7 @@ func F4Latency(requests int) (*Table, error) {
 // the DRAM command histogram, row-buffer behavior and data-bus occupancy
 // per scheme on the masked-write-heavy x264 mix — the mechanism-level
 // view behind the normalized-cycles rows.
-func F4CommandMix(requests int) (*Table, error) {
+func F4CommandMix(set []ecc.Scheme, requests int) (*Table, error) {
 	t := &Table{
 		Title:  "F4c: command mix and bus occupancy (x264 mix)",
 		Header: []string{"scheme", "ACT", "PRE", "RD", "WR", "REF", "row hit%", "bus util%"},
@@ -252,7 +245,7 @@ func F4CommandMix(requests int) (*Table, error) {
 			wl = w
 		}
 	}
-	for _, s := range PerfSchemes() {
+	for _, s := range set {
 		cfg := memsim.DefaultConfig()
 		cfg.Cost = s.Cost()
 		res, err := runSim(s.Name()+"/mix/"+wl.Name, cfg, wl)
@@ -285,7 +278,7 @@ func F11ScrubTraffic(requests int) (*Table, error) {
 		Title:  "F11: performance vs patrol-scrub rate (PAIR cost model)",
 		Header: []string{"scrub period (cycles)", "scrub reads", "cycles", "normalized"},
 	}
-	pairCost := core.MustNew(dram.DDR4x16(), core.DefaultConfig()).Cost()
+	pairCost := schemes.MustNew("pair").Cost()
 	baseCfg := memsim.DefaultConfig()
 	baseCfg.Cost = pairCost
 	base, err := runSim("scrub-off", baseCfg, wl)
@@ -325,31 +318,31 @@ func T3Complexity() *Table {
 	rsDec := func(n, k int) int { return 2 * n * (n - k) * gfMulXOR }
 	hammingEncXOR := func(k int) int { return hamming.MustSEC(k).EncoderXORs() }
 
-	iecc := ecc.NewIECC(dram.DDR4x16())
+	iecc := schemes.MustNew("iecc")
 	t.AddRow("iecc", pct(iecc.StorageOverhead()),
 		fmt.Sprintf("%d", hammingEncXOR(128)),
 		fmt.Sprintf("%d", hammingEncXOR(128)+136),
 		fmt.Sprintf("%.1fns", iecc.Cost().DecodeLatencyNS), "internal RMW (masked)")
 
-	xed := ecc.NewXED(dram.DDR4x16())
+	xed := schemes.MustNew("xed")
 	t.AddRow("xed", pct(xed.StorageOverhead()),
 		fmt.Sprintf("%d", hammingEncXOR(128)+128*3),
 		fmt.Sprintf("%d", hammingEncXOR(128)+128*3),
 		fmt.Sprintf("%.1fns", xed.Cost().DecodeLatencyNS), "+1 parity write / write")
 
-	duo := ecc.NewDUO(dram.DDR4x16())
+	duo := schemes.MustNew("duo")
 	t.AddRow("duo", pct(duo.StorageOverhead()),
 		fmt.Sprintf("%d", rsEnc(18, 16)),
 		fmt.Sprintf("%d", rsDec(18, 16)),
 		fmt.Sprintf("%.1fns", duo.Cost().DecodeLatencyNS), "BL9 bursts; RMW (masked)")
 
-	pairBase := core.MustNew(dram.DDR4x16(), core.BaseConfig())
+	pairBase := schemes.MustNew("pair-base")
 	t.AddRow("pair-base", pct(pairBase.StorageOverhead()),
 		fmt.Sprintf("%d", rsEnc(18, 16)),
 		fmt.Sprintf("%d", rsDec(18, 16)),
 		fmt.Sprintf("%.1fns", pairBase.Cost().DecodeLatencyNS), "internal RMW (masked)")
 
-	pairFull := core.MustNew(dram.DDR4x16(), core.DefaultConfig())
+	pairFull := schemes.MustNew("pair")
 	t.AddRow("pair", pct(pairFull.StorageOverhead()),
 		fmt.Sprintf("%d", rsEnc(20, 16)),
 		fmt.Sprintf("%d", rsDec(20, 16)),

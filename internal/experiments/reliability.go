@@ -7,10 +7,10 @@ import (
 
 	"pair/internal/campaign"
 	"pair/internal/core"
-	"pair/internal/dram"
 	"pair/internal/ecc"
 	"pair/internal/faults"
 	"pair/internal/reliability"
+	"pair/internal/schemes"
 	"pair/internal/stats"
 )
 
@@ -24,42 +24,48 @@ func must[T any](v T, err error) T {
 	return v
 }
 
-// CommoditySchemes returns the x16 evaluation set in presentation order.
+// CommoditySchemes returns the x16 evaluation set in presentation order,
+// as defined by the registry's "commodity" set.
 func CommoditySchemes() []ecc.Scheme {
-	return []ecc.Scheme{
-		ecc.NewIECC(dram.DDR4x16()),
-		ecc.NewXED(dram.DDR4x16()),
-		ecc.NewDUO(dram.DDR4x16()),
-		core.MustNew(dram.DDR4x16(), core.BaseConfig()),
-		core.MustNew(dram.DDR4x16(), core.DefaultConfig()),
-	}
+	return schemes.MustBuildSet("commodity")
 }
 
-// T1Config renders the scheme-configuration comparison table.
+// T1Config renders the scheme-configuration comparison table. The rows
+// come straight from the registry's "t1" set: each entry carries its
+// codec/granularity/alignment/correction metadata, and the storage
+// overhead is read off the constructed scheme — registering a scheme is
+// all it takes to appear here.
 func T1Config() *Table {
 	t := &Table{
 		Title:  "T1: evaluated ECC configurations (commodity DDR4 x16, BL8; SECDED on 9x x8)",
 		Header: []string{"scheme", "code", "granularity", "symbol alignment", "corrects", "storage ovh", "bus change"},
 	}
-	rows := []struct {
-		s                                        ecc.Scheme
-		code, gran, align, capability, busChange string
-	}{
-		{ecc.NewNone(dram.DDR4x16()), "-", "-", "-", "0", "none"},
-		{ecc.NewIECC(dram.DDR4x16()), "Hamming (136,128) SEC", "chip access (128b)", "bit", "1 bit", "none"},
-		{ecc.NewSECDED(dram.DDR4x8ECC()), "Hsiao (72,64) SEC-DED", "beat (64b)", "bit", "1 bit", "9th chip"},
-		{ecc.NewXED(dram.DDR4x16()), "on-die detect + rank XOR", "chip access / rank", "bit / chip", "1 chip*", "+1 wr/wr"},
-		{ecc.NewDUO(dram.DDR4x16()), "RS(18,16) GF(256)", "chip access", "beat (byte)", "1 sym", "BL8->BL9"},
-		{core.MustNew(dram.DDR4x16(), core.BaseConfig()), "RS(18,16) GF(256)", "chip access", "pin", "1 sym", "none"},
-		{core.MustNew(dram.DDR4x16(), core.DefaultConfig()), "RS(20,16) expandable", "chip access", "pin", "2 sym", "none"},
+	set, err := schemes.SetByID("t1")
+	if err != nil {
+		panic(err)
 	}
-	for _, r := range rows {
-		t.AddRow(r.s.Name(), r.code, r.gran, r.align, r.capability, pct(r.s.StorageOverhead()), r.busChange)
+	for _, spec := range set.Specs {
+		e, s := mustEntry(spec)
+		t.AddRow(s.Name(), e.Codec, e.Granularity, e.Alignment, e.Corrects, pct(s.StorageOverhead()), e.BusChange)
 	}
 	t.Notes = append(t.Notes,
 		"XED corrects one *flagged* chip per access via the rank-XOR image; unflagged (aliased) corruption escapes.",
 		"PAIR expansion symbols live in spare columns and never cross the DQ pins.")
 	return t
+}
+
+// mustEntry resolves a spec string to its registry entry plus a built
+// scheme, for tables that mix entry metadata with live scheme state.
+func mustEntry(spec string) (*schemes.Entry, ecc.Scheme) {
+	parsed, err := schemes.ParseSpec(spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	e, ok := schemes.Lookup(parsed.ID)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown scheme %q", parsed.ID))
+	}
+	return e, schemes.MustNew(spec)
 }
 
 // SweepSettings sizes the F1/F2/F6 semi-analytic sweeps.
@@ -271,7 +277,7 @@ func F6ExpandabilityCtx(ctx context.Context, trials int, seed int64, opts campai
 		Header: []string{"config", "codeword", "t", "storage ovh", "P(fail)", "P(SDC)"},
 	}
 	for exp := 0; exp <= 4; exp++ {
-		s := core.MustNew(dram.DDR4x16(), core.Config{BaseParity: 2, Expansion: exp, DecodeLatencyNS: 2})
+		s := schemes.MustNew(fmt.Sprintf("pair:exp=%d", exp)).(*core.Scheme)
 		prof, err := reliability.BuildProfileCtx(ctx, s, reliability.SweepConfig{MaxK: 8, Trials: trials, Seed: seed},
 			opts.Sublabel(fmt.Sprintf("exp=%d", exp)))
 		if err != nil {

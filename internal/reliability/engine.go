@@ -34,16 +34,14 @@ import (
 	"pair/internal/campaign"
 	"pair/internal/ecc"
 	"pair/internal/faults"
+	"pair/internal/schemes"
 )
 
-// schemeLabel names a scheme *and* its organization for campaign labels:
-// scheme names alone are not unique (e.g. "pair" across device widths or
-// DRAM generations), and campaign labels both salt the seed streams and
-// name checkpoint files, so they must identify the exact configuration.
-func schemeLabel(s ecc.Scheme) string {
-	org := s.Org()
-	return fmt.Sprintf("%s-x%d-bl%d-c%d", s.Name(), org.Pins, org.BurstLen, org.ChipsPerRank)
-}
+// Campaign labels name a scheme *and* its organization (scheme names
+// alone are not unique across device widths or DRAM generations) via
+// schemes.CampaignID — the registry's frozen checkpoint-compatible
+// identity, byte-identical to the schemeLabel format this package used
+// before the registry existed, so old checkpoint directories resume.
 
 // mergeCounts folds one shard's outcome counts into the aggregate.
 func mergeCounts(agg *[4]int64, s [4]int64) {
@@ -165,7 +163,7 @@ func BuildProfileCtx(ctx context.Context, scheme ecc.Scheme, cfg SweepConfig, op
 	for k := 1; k <= cfg.MaxK; k++ {
 		k := k
 		spec := campaign.Spec{
-			Label:  campaign.JoinLabel("profile", schemeLabel(scheme), fmt.Sprintf("k=%d", k)),
+			Label:  campaign.JoinLabel("profile", schemes.CampaignID(scheme), fmt.Sprintf("k=%d", k)),
 			Trials: cfg.Trials,
 			Seed:   cfg.Seed,
 		}
@@ -286,7 +284,7 @@ func Coverage(scheme ecc.Scheme, label string, trials int, seed int64, inject fu
 // scheduling.
 func CoverageCtx(ctx context.Context, scheme ecc.Scheme, label string, trials int, seed int64, inject func(*rand.Rand, *ecc.Stored), opts campaign.Options) (CoverageResult, error) {
 	spec := campaign.Spec{
-		Label:  campaign.JoinLabel("coverage", schemeLabel(scheme), label),
+		Label:  campaign.JoinLabel("coverage", schemes.CampaignID(scheme), label),
 		Trials: trials,
 		Seed:   seed,
 	}

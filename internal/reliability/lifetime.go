@@ -11,6 +11,7 @@ import (
 	"pair/internal/campaign"
 	"pair/internal/ecc"
 	"pair/internal/faults"
+	"pair/internal/schemes"
 )
 
 // HoursPerYear is the mean Gregorian year in hours.
@@ -170,7 +171,7 @@ func RunLifetimeCtx(ctx context.Context, cfg LifetimeConfig, opts campaign.Optio
 	}
 	nYears := int(math.Ceil(cfg.Years))
 	spec := campaign.Spec{
-		Label:  campaign.JoinLabel("lifetime", schemeLabel(cfg.Scheme)),
+		Label:  campaign.JoinLabel("lifetime", schemes.CampaignID(cfg.Scheme)),
 		Trials: cfg.Devices,
 		Seed:   cfg.Seed,
 	}

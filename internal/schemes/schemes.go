@@ -1,0 +1,202 @@
+// Package schemes is the single registry of every ECC architecture the
+// study evaluates. Each scheme registers itself once — with a canonical
+// ID, descriptive metadata, the organizations it supports and an option
+// hook — and every consumer (the pair facade, the reliability campaigns,
+// the experiment tables, all five cmd/ binaries and the examples) builds
+// schemes exclusively through the registry. Adding a new RS variant is
+// one Register call; no consumer layer changes.
+//
+// # Spec grammar
+//
+// A scheme spec is a one-line description of a scheme instance:
+//
+//	name[@org][:key=val,...]
+//
+// where name is a registered scheme ID, org is a registered organization
+// ID (defaulting to the scheme's natural organization) and the key=val
+// options are interpreted by the scheme's constructor hook. Examples:
+//
+//	pair                    headline PAIR, RS(20,16) on DDR4 x16
+//	pair@ddr5x16            the same code family on a DDR5 subchannel
+//	pair:exp=4              PAIR expanded to RS(22,16), t=3
+//	pair:spare=3.7          spared-PAIR: pins 3 and 7 of chip 0 erased
+//	duo-rank@ddr4x8ecc      rank-level DUO on the 9-chip ECC DIMM
+//
+// ParseSpec parses the grammar; New builds a scheme from a spec string.
+//
+// # Campaign identity
+//
+// CampaignID returns the frozen label the Monte-Carlo campaigns use for
+// seed derivation and checkpoint file names. It is intentionally NOT the
+// spec form: its format predates the registry and is kept byte-identical
+// so existing checkpoint directories keep resuming (see CampaignID).
+package schemes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pair/internal/dram"
+	"pair/internal/ecc"
+)
+
+// OptionDoc documents one option key a scheme's constructor hook accepts.
+type OptionDoc struct {
+	Key string
+	Doc string
+}
+
+// Entry is one registered scheme: identity, presentation metadata, the
+// organizations it can be built on and the constructor hook.
+type Entry struct {
+	// ID is the canonical scheme identifier ("pair", "duo-rank", ...).
+	ID string
+	// Description is a one-line summary for listings.
+	Description string
+
+	// Presentation metadata (the T1 configuration-table columns).
+	Codec       string // code construction, e.g. "RS(20,16) expandable"
+	Granularity string // protection granularity, e.g. "chip access"
+	Alignment   string // symbol alignment, e.g. "pin"
+	Corrects    string // guaranteed correction capability, e.g. "2 sym"
+	BusChange   string // bus-protocol change, e.g. "BL8->BL9"
+
+	// NoDBI marks schemes whose signaling occupies the Data Bus Inversion
+	// encoding freedom (XED's catch-words), for the bus-energy model.
+	NoDBI bool
+
+	// Orgs lists the registered organization IDs the scheme supports;
+	// DefaultOrg (which must appear in Orgs) is used when a spec names no
+	// organization.
+	Orgs       []string
+	DefaultOrg string
+
+	// Options documents the option keys the hook accepts; specs using any
+	// other key are rejected before the hook runs.
+	Options []OptionDoc
+
+	// New builds the scheme on an organization resolved from Orgs with
+	// the spec's validated options.
+	New func(org dram.Organization, opts map[string]string) (ecc.Scheme, error)
+}
+
+// supportsOrg reports whether the entry lists the organization ID.
+func (e *Entry) supportsOrg(id string) bool {
+	for _, o := range e.Orgs {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// optionKeys returns the documented option keys.
+func (e *Entry) optionKeys() []string {
+	keys := make([]string, len(e.Options))
+	for i, o := range e.Options {
+		keys[i] = o.Key
+	}
+	return keys
+}
+
+var (
+	registry = map[string]*Entry{}
+	order    []string // registration (presentation) order
+)
+
+// Register adds a scheme to the registry. It panics on a duplicate or
+// malformed entry — registration happens in init functions, where a
+// panic is a build-time error.
+func Register(e Entry) {
+	if e.ID == "" || e.New == nil {
+		panic("schemes: entry needs an ID and a constructor")
+	}
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("schemes: duplicate scheme %q", e.ID))
+	}
+	if len(e.Orgs) == 0 || e.DefaultOrg == "" {
+		panic(fmt.Sprintf("schemes: scheme %q needs supported organizations and a default", e.ID))
+	}
+	if !e.supportsOrg(e.DefaultOrg) {
+		panic(fmt.Sprintf("schemes: scheme %q default org %q not in supported set", e.ID, e.DefaultOrg))
+	}
+	for _, id := range e.Orgs {
+		if _, err := OrgByID(id); err != nil {
+			panic(fmt.Sprintf("schemes: scheme %q: %v", e.ID, err))
+		}
+	}
+	cp := e
+	registry[e.ID] = &cp
+	order = append(order, e.ID)
+}
+
+// Lookup returns the entry registered under id.
+func Lookup(id string) (*Entry, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns every registered scheme ID in registration order.
+func IDs() []string {
+	return append([]string(nil), order...)
+}
+
+// All returns every registered entry in registration order.
+func All() []*Entry {
+	out := make([]*Entry, len(order))
+	for i, id := range order {
+		out[i] = registry[id]
+	}
+	return out
+}
+
+// unknownSchemeError builds the error for an unregistered scheme ID; the
+// valid-ID list is generated from the registry so it can never drift.
+func unknownSchemeError(id string) error {
+	return fmt.Errorf("schemes: unknown scheme %q (valid: %s)", id, strings.Join(IDs(), "|"))
+}
+
+// validateOptions checks that every option key of a spec is documented by
+// the entry.
+func validateOptions(e *Entry, opts map[string]string) error {
+	if len(opts) == 0 {
+		return nil
+	}
+	keys := e.optionKeys()
+	allowed := map[string]bool{}
+	for _, k := range keys {
+		allowed[k] = true
+	}
+	var bad []string
+	for k := range opts {
+		if !allowed[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	if len(keys) == 0 {
+		return fmt.Errorf("schemes: scheme %q takes no options, got %s", e.ID, strings.Join(bad, ","))
+	}
+	return fmt.Errorf("schemes: scheme %q does not accept option(s) %s (valid: %s)",
+		e.ID, strings.Join(bad, ","), strings.Join(keys, "|"))
+}
+
+// CampaignID is the campaign/checkpoint identity of a scheme instance:
+// the label component that salts every Monte-Carlo seed stream and names
+// checkpoint files.
+//
+// Compatibility shim — the format is FROZEN. It predates the registry
+// (it was reliability.schemeLabel) and deliberately stays byte-identical
+// to it: "<name>-x<pins>-bl<burstlen>-c<chips>". Changing it would both
+// orphan every existing checkpoint directory (labels name the files and
+// must match on resume) and silently reseed every campaign (labels salt
+// the shard RNG streams). Human-facing canonical identity is the spec
+// form (Spec.String / CanonicalSpec); machine campaign identity is this.
+func CampaignID(s ecc.Scheme) string {
+	org := s.Org()
+	return fmt.Sprintf("%s-x%d-bl%d-c%d", s.Name(), org.Pins, org.BurstLen, org.ChipsPerRank)
+}

@@ -1,0 +1,84 @@
+package schemes
+
+import (
+	"fmt"
+	"strings"
+
+	"pair/internal/ecc"
+)
+
+// SetEntry is a named, ordered list of scheme specs — the presentation
+// sets the experiments iterate (the paper compares scheme *families*, so
+// the sets live in the registry next to the schemes themselves).
+type SetEntry struct {
+	ID          string
+	Description string
+	Specs       []string
+}
+
+var (
+	setRegistry = map[string]*SetEntry{}
+	setOrder    []string
+)
+
+// RegisterSet adds a named scheme set; it panics on duplicates or specs
+// that do not build (registration runs from init functions).
+func RegisterSet(e SetEntry) {
+	if e.ID == "" || len(e.Specs) == 0 {
+		panic("schemes: set needs an ID and at least one spec")
+	}
+	if _, dup := setRegistry[e.ID]; dup {
+		panic(fmt.Sprintf("schemes: duplicate set %q", e.ID))
+	}
+	for _, spec := range e.Specs {
+		if _, err := New(spec); err != nil {
+			panic(fmt.Sprintf("schemes: set %q: %v", e.ID, err))
+		}
+	}
+	cp := e
+	cp.Specs = append([]string(nil), e.Specs...)
+	setRegistry[e.ID] = &cp
+	setOrder = append(setOrder, e.ID)
+}
+
+// SetByID returns the specs of a registered set.
+func SetByID(id string) (*SetEntry, error) {
+	e, ok := setRegistry[id]
+	if !ok {
+		return nil, fmt.Errorf("schemes: unknown scheme set %q (valid: %s)", id, strings.Join(SetIDs(), "|"))
+	}
+	return e, nil
+}
+
+// SetIDs returns every registered set ID in registration order.
+func SetIDs() []string {
+	return append([]string(nil), setOrder...)
+}
+
+// Sets returns every registered set in registration order.
+func Sets() []*SetEntry {
+	out := make([]*SetEntry, len(setOrder))
+	for i, id := range setOrder {
+		out[i] = setRegistry[id]
+	}
+	return out
+}
+
+// BuildSet constructs every scheme of a registered set, in order.
+func BuildSet(id string) ([]ecc.Scheme, error) {
+	e, err := SetByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return Build(e.Specs)
+}
+
+// MustBuildSet is BuildSet, panicking on error; registration already
+// proved every member builds.
+func MustBuildSet(id string) []ecc.Scheme {
+	s, err := BuildSet(id)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package schemes
+
+import (
+	"strings"
+	"testing"
+
+	"pair/internal/core"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"pair", Spec{ID: "pair"}},
+		{"pair@ddr5x16", Spec{ID: "pair", Org: "ddr5x16"}},
+		{"pair:spare=3.7", Spec{ID: "pair", Options: map[string]string{"spare": "3.7"}}},
+		{"pair@ddr5x16:exp=4,lat=2.5", Spec{ID: "pair", Org: "ddr5x16", Options: map[string]string{"exp": "4", "lat": "2.5"}}},
+		{"duo-rank@ddr4x8ecc", Spec{ID: "duo-rank", Org: "ddr4x8ecc"}},
+		{"pair:spare=", Spec{ID: "pair", Options: map[string]string{"spare": ""}}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got.ID != c.want.ID || got.Org != c.want.Org || len(got.Options) != len(c.want.Options) {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		for k, v := range c.want.Options {
+			if got.Options[k] != v {
+				t.Fatalf("ParseSpec(%q) option %s = %q, want %q", c.in, k, got.Options[k], v)
+			}
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{"", "@ddr4x16", "pair@", "pair:spare", "pair:=3", "pair:a=1,a=2"} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+		}
+	}
+}
+
+func TestSpecCanonicalString(t *testing.T) {
+	s, err := ParseSpec("pair@ddr5x16:lat=2.5,exp=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "pair@ddr5x16:exp=4,lat=2.5" {
+		t.Fatalf("canonical form %q", got)
+	}
+}
+
+func TestNewErrorsEnumerateRegistry(t *testing.T) {
+	_, err := New("quantum")
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("unknown-scheme error %q does not enumerate %q", err, id)
+		}
+	}
+
+	_, err = New("secded@ddr4x16")
+	if err == nil {
+		t.Fatal("unsupported org accepted")
+	}
+	if !strings.Contains(err.Error(), "ddr4x8ecc") {
+		t.Fatalf("unsupported-org error %q does not enumerate the valid orgs", err)
+	}
+
+	_, err = New("pair@nowhere")
+	if err == nil || !strings.Contains(err.Error(), "ddr4x16") {
+		t.Fatalf("unknown-org error %q does not enumerate pair's orgs", err)
+	}
+
+	_, err = New("duo:spare=1")
+	if err == nil || !strings.Contains(err.Error(), "no options") {
+		t.Fatalf("option on option-less scheme: %v", err)
+	}
+
+	_, err = New("pair:bogus=1")
+	if err == nil || !strings.Contains(err.Error(), "spare") {
+		t.Fatalf("unknown-option error %q does not enumerate valid keys", err)
+	}
+
+	_, err = New("pair:chip=1")
+	if err == nil {
+		t.Fatal("chip without spare accepted")
+	}
+}
+
+func TestSpecVariants(t *testing.T) {
+	// pair@ddr5x16: two symbols per pin, RS(36,32) at t=2.
+	s := MustNew("pair@ddr5x16")
+	ps, ok := s.(*core.Scheme)
+	if !ok {
+		t.Fatalf("pair@ddr5x16 built %T", s)
+	}
+	if ps.Org().BurstLen != 16 || ps.CodewordLength() != 36 || ps.T() != 2 {
+		t.Fatalf("pair@ddr5x16: BL%d RS(%d,·) t=%d", ps.Org().BurstLen, ps.CodewordLength(), ps.T())
+	}
+
+	// Spared-PAIR purely via the spec grammar, wrapping core.WithSparedPins.
+	sp, ok := MustNew("pair:spare=3.7,chip=2").(*core.SparedScheme)
+	if !ok {
+		t.Fatal("spare spec did not build a SparedScheme")
+	}
+	if sp.SparedPins() != 2 || sp.Name() != "pair-spared" {
+		t.Fatalf("spared spec: %d pins, name %q", sp.SparedPins(), sp.Name())
+	}
+
+	// Expansion / latency overrides.
+	e4 := MustNew("pair:exp=4,lat=3.5").(*core.Scheme)
+	if e4.CodewordLength() != 22 || e4.T() != 3 || e4.Cost().DecodeLatencyNS != 3.5 {
+		t.Fatalf("pair:exp=4,lat=3.5 built RS(%d,·) t=%d lat=%v", e4.CodewordLength(), e4.T(), e4.Cost().DecodeLatencyNS)
+	}
+
+	// exp=0 on the pair entry degrades to the base code (reported name follows).
+	if s := MustNew("pair:exp=0"); s.Name() != "pair-base" {
+		t.Fatalf("pair:exp=0 named %q", s.Name())
+	}
+}
+
+func TestParseSpecList(t *testing.T) {
+	got, err := ParseSpecList("pair@ddr5x16,pair:spare=3.7,chip=1,iecc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		names := []string{}
+		for _, s := range got {
+			names = append(names, s.Name())
+		}
+		t.Fatalf("ParseSpecList split into %v", names)
+	}
+	if got[0].Org().BurstLen != 16 || got[1].Name() != "pair-spared" || got[2].Name() != "iecc" {
+		t.Fatalf("ParseSpecList built %s/%s/%s", got[0].Name(), got[1].Name(), got[2].Name())
+	}
+
+	// Whitespace separation also works.
+	got, err = ParseSpecList("pair:spare=3.7 duo")
+	if err != nil || len(got) != 2 || got[1].Name() != "duo" {
+		t.Fatalf("whitespace list: %v (%d schemes)", err, len(got))
+	}
+
+	if _, err := ParseSpecList("pair,quantum"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestSetsBuild(t *testing.T) {
+	for _, set := range Sets() {
+		built := MustBuildSet(set.ID)
+		if len(built) != len(set.Specs) {
+			t.Fatalf("set %s built %d of %d", set.ID, len(built), len(set.Specs))
+		}
+	}
+	if _, err := BuildSet("nope"); err == nil || !strings.Contains(err.Error(), "eval") {
+		t.Fatalf("unknown-set error should enumerate sets: %v", err)
+	}
+}
+
+func TestCanonicalSpec(t *testing.T) {
+	e, _ := Lookup("pair")
+	if CanonicalSpec(e, "") != "pair" || CanonicalSpec(e, "ddr4x16") != "pair" || CanonicalSpec(e, "ddr5x16") != "pair@ddr5x16" {
+		t.Fatal("CanonicalSpec wrong")
+	}
+}

@@ -16,11 +16,10 @@
 package pair
 
 import (
-	"fmt"
-
 	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/ecc"
+	"pair/internal/schemes"
 )
 
 // Scheme is the common interface of every evaluated ECC architecture. See
@@ -106,31 +105,33 @@ func NewDUORank() Scheme { return ecc.NewDUORank(dram.DDR4x8ECC()) }
 func NewSECDED() Scheme { return ecc.NewSECDED(dram.DDR4x8ECC()) }
 
 // AllSchemes returns the evaluation set of the study, in presentation
-// order: none, iecc, xed, duo, pair-base, pair.
+// order: none, iecc, xed, duo, pair-base, pair. The composition lives in
+// the scheme registry's "eval" set (internal/schemes).
 func AllSchemes() []Scheme {
-	return []Scheme{NewNone(), NewIECC(), NewXED(), NewDUO(), NewPAIRBase(), NewPAIR()}
+	return schemes.MustBuildSet("eval")
 }
 
-// SchemeByName builds a scheme from its identifier.
+// SchemeByName builds a scheme from its canonical registry identifier on
+// its default organization. The accepted names — and the name list in the
+// error — come from the registry, so a newly registered scheme is
+// immediately constructible here.
 func SchemeByName(name string) (Scheme, error) {
-	switch name {
-	case "none":
-		return NewNone(), nil
-	case "iecc":
-		return NewIECC(), nil
-	case "xed":
-		return NewXED(), nil
-	case "duo":
-		return NewDUO(), nil
-	case "duo-rank":
-		return NewDUORank(), nil
-	case "pair-base":
-		return NewPAIRBase(), nil
-	case "pair":
-		return NewPAIR(), nil
-	case "secded":
-		return NewSECDED(), nil
-	default:
-		return nil, fmt.Errorf("pair: unknown scheme %q (want none|iecc|xed|duo|duo-rank|pair-base|pair|secded)", name)
-	}
+	return schemes.New(name)
+}
+
+// SchemeBySpec builds a scheme from a full registry spec string,
+//
+//	name[@org][:key=val,...]
+//
+// e.g. "pair@ddr5x16" (the headline code on a DDR5 subchannel) or
+// "pair:spare=3.7" (spared-PAIR with pins 3 and 7 of chip 0 erased).
+// Plain names are valid specs, so this is a superset of SchemeByName.
+func SchemeBySpec(spec string) (Scheme, error) {
+	return schemes.New(spec)
+}
+
+// SchemeSpecHelp returns the full scheme/organization/set listing the
+// cmd binaries print for -list-schemes.
+func SchemeSpecHelp() string {
+	return schemes.ListText()
 }
