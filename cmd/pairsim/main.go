@@ -16,6 +16,15 @@
 //	pairsim -exp f3 -checkpoint ckpt/ -resume    # pick up where it stopped
 //	pairsim -exp all -progress                   # shard counters + ETA on stderr
 //
+// Campaigns are failure-hardened: a shard that panics, errors, or hangs
+// past -shard-timeout is retried up to -retries times (each attempt
+// reseeds from the shard seed, so a successful retry is byte-identical);
+// transient checkpoint I/O errors are retried with backoff, degrading to
+// memory-only checkpointing when the budget runs out; and -salvage
+// recovers every intact shard from a corrupted or truncated checkpoint
+// instead of aborting the resume. Anything noteworthy is summarized in a
+// defect report on stderr.
+//
 // Experiment identifiers match DESIGN.md's per-experiment index (T1, F1,
 // F2, T2, F3, F4, F5, F6, F7, T3); EXPERIMENTS.md records claimed-vs-
 // measured values.
@@ -85,6 +94,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace of every timing simulation to this file (- for stdout)")
 		schemeList = fs.String("schemes", "", "comma/space-separated scheme specs (name[@org][:key=val,...]) overriding the default set of set-driven experiments")
 		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
+		retries    = fs.Int("retries", 1, "extra attempts for a shard whose function panics, errors, or times out (0 disables)")
+		shardTO    = fs.Duration("shard-timeout", 0, "watchdog: abandon and retry a shard running longer than this (0 disables)")
+		salvage    = fs.Bool("salvage", false, "with -resume: recover every intact shard from a corrupted or truncated checkpoint instead of aborting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -127,11 +139,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pairsim: -resume requires -checkpoint")
 		return 2
 	}
+	if *salvage && !*resume {
+		fmt.Fprintln(stderr, "pairsim: -salvage requires -resume")
+		return 2
+	}
+	if *retries < 0 {
+		fmt.Fprintln(stderr, "pairsim: -retries must be >= 0")
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := campaign.Options{CheckpointDir: *checkpoint, Resume: *resume}
+	report := new(campaign.Report)
+	opts := campaign.Options{
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+		Salvage:       *salvage,
+		Retries:       *retries,
+		ShardTimeout:  *shardTO,
+		Report:        report,
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "pairsim: warning: "+format+"\n", args...)
+		},
+	}
 	if *progress {
 		prog := campaign.NewProgress()
 		opts.Progress = prog
@@ -163,12 +194,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 130
 			}
 			fmt.Fprintln(stderr, "pairsim:", err)
+			printDefects(stderr, report)
 			return 1
 		}
 		fmt.Fprintln(stdout, out)
 		fmt.Fprintf(stdout, "[%s done in %v]\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
 	}
+	printDefects(stderr, report)
 	return 0
+}
+
+// printDefects writes the campaign defect report (retries, salvage,
+// degradation, shard failures) to w; silent when nothing went wrong.
+func printDefects(w io.Writer, rep *campaign.Report) {
+	if rep.Empty() {
+		return
+	}
+	fmt.Fprintln(w, "pairsim: campaign defect report:")
+	for _, line := range strings.Split(rep.Summary(), "\n") {
+		fmt.Fprintln(w, "  "+line)
+	}
 }
 
 type scale struct {

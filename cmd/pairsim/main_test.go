@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pair/internal/campaign"
+	"pair/internal/failpoint"
 )
 
 // runCLI invokes run with captured stdout/stderr.
@@ -202,10 +205,10 @@ func TestListSchemesOutput(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 	for _, want := range []string{
-		"name[@org][:key=val,...]", // the spec grammar header
+		"name[@org][:key=val,...]",   // the spec grammar header
 		"pair", "duo-rank", "secded", // registry schemes
 		"ddr5x16", "ddr4x8ecc", // organizations
-		"spare", // the spared-PAIR option doc
+		"spare",                       // the spared-PAIR option doc
 		"eval", "commodity", "energy", // named sets
 	} {
 		if !strings.Contains(out, want) {
@@ -237,4 +240,104 @@ func TestSchemesOverrideBadSpec(t *testing.T) {
 	if code != 2 || !strings.Contains(stderr, "unknown scheme") {
 		t.Fatalf("exit %d, stderr %q", code, stderr)
 	}
+}
+
+func TestSalvageRequiresResume(t *testing.T) {
+	code, _, stderr := runCLI(t, "-salvage", "-checkpoint", t.TempDir(), "-exp", "t1")
+	if code != 2 || !strings.Contains(stderr, "-salvage requires -resume") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestNegativeRetriesRejected(t *testing.T) {
+	code, _, stderr := runCLI(t, "-retries", "-1", "-exp", "t1")
+	if code != 2 || !strings.Contains(stderr, "-retries must be >= 0") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestRetriesAbsorbShardPanicCLI injects a one-shot shard panic under
+// the whole CLI: with the default retry budget the run completes, the
+// output matches an undisturbed run, and the defect report on stderr
+// accounts for the retry.
+func TestRetriesAbsorbShardPanicCLI(t *testing.T) {
+	defer failpoint.Reset()
+	code, clean, stderr := runCLI(t, "-exp", "f9", "-trials", "80")
+	if code != 0 {
+		t.Fatalf("clean exit %d, stderr %q", code, stderr)
+	}
+
+	failpoint.Arm(campaign.FailpointShard, failpoint.Action{Panic: "cli crash", Times: 1})
+	code, got, stderr := runCLI(t, "-exp", "f9", "-trials", "80")
+	if code != 0 {
+		t.Fatalf("retried exit %d, stderr %q", code, stderr)
+	}
+	if stripTimings(got) != stripTimings(clean) {
+		t.Fatalf("retried output differs:\n--- clean\n%s\n--- retried\n%s", clean, got)
+	}
+	if !strings.Contains(stderr, "campaign defect report") || !strings.Contains(stderr, "retries: 1 shard") {
+		t.Fatalf("defect report missing from stderr: %q", stderr)
+	}
+
+	// With retries disabled the same panic fails the run — with a typed
+	// shard failure in the defect report, not a process crash.
+	failpoint.Arm(campaign.FailpointShard, failpoint.Action{Panic: "cli crash", Times: 1})
+	code, _, stderr = runCLI(t, "-exp", "f9", "-trials", "80", "-retries", "0")
+	if code != 1 {
+		t.Fatalf("unretried panic exit %d, want 1; stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "shard failure") || !strings.Contains(stderr, "cli crash") {
+		t.Fatalf("shard failure missing from defect report: %q", stderr)
+	}
+}
+
+// TestSalvageCLIRecoversTruncatedCheckpoint damages a checkpoint on
+// disk: a plain -resume refuses it, -resume -salvage recovers the
+// intact shards and reproduces the original output exactly.
+func TestSalvageCLIRecoversTruncatedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	code, first, stderr := runCLI(t, "-exp", "f9", "-trials", "80", "-checkpoint", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoint files written: %v %v", files, err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr = runCLI(t, "-exp", "f9", "-trials", "80", "-checkpoint", dir, "-resume")
+	if code != 1 || !strings.Contains(stderr, "salvage") {
+		t.Fatalf("plain resume of damaged checkpoint: exit %d, stderr %q (want failure hinting at salvage)", code, stderr)
+	}
+
+	code, second, stderr := runCLI(t, "-exp", "f9", "-trials", "80", "-checkpoint", dir, "-resume", "-salvage")
+	if code != 0 {
+		t.Fatalf("salvage resume exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "salvaged") {
+		t.Fatalf("salvage left no trace on stderr: %q", stderr)
+	}
+	if stripTimings(first) != stripTimings(second) {
+		t.Fatalf("salvaged output differs:\n--- first\n%s\n--- salvaged\n%s", first, second)
+	}
+}
+
+// stripTimings drops the wall-clock "[F9 done in ...]" lines so runs can
+// be compared byte-for-byte.
+func stripTimings(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "[") && strings.Contains(line, "done in") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
 }

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"time"
 )
 
 // DefaultShardSize is the trials-per-shard used when Spec.ShardSize is
@@ -122,6 +123,46 @@ type Options struct {
 	// exists for tests and custom reporters that need a hook at shard
 	// granularity, e.g. to cancel a run at a known point.
 	OnShardDone func(completed, total int)
+
+	// Retries is the per-shard retry budget: a shard attempt that
+	// panics, errors, or exceeds the watchdog is re-attempted up to
+	// this many extra times (each attempt reseeds from the shard seed,
+	// so a successful retry is byte-identical to a first-attempt
+	// success). 0 disables retries; a shard whose budget is exhausted
+	// becomes a ShardError in the returned RunError while the rest of
+	// the campaign keeps running.
+	Retries int
+
+	// ShardTimeout, when positive, arms a watchdog per shard attempt:
+	// an attempt running longer is abandoned (its goroutine finishes in
+	// the background; its result is discarded) and counts as a failed
+	// attempt against the retry budget.
+	ShardTimeout time.Duration
+
+	// Salvage relaxes resume: instead of aborting on a corrupted or
+	// truncated checkpoint (or a stale .tmp left by a crash), every
+	// intact shard is recovered, the damaged ones are dropped with a
+	// warning, and only the lost work is recomputed. Without Salvage a
+	// damaged checkpoint is a hard error, exactly as before.
+	Salvage bool
+
+	// CheckpointBackoff tunes the retry/backoff policy for transient
+	// checkpoint I/O (mkdir, read, write, fsync, rename). The zero
+	// value uses defaults; tests inject a recording Sleep to make the
+	// schedule deterministic. When the budget is exhausted the
+	// checkpoint degrades to memory-only mode and the campaign
+	// completes without resumability rather than failing.
+	CheckpointBackoff Backoff
+
+	// Report, when non-nil, collects the structured defect record of
+	// the run: shard failures, retry counts, salvage outcomes and
+	// degradation warnings. Shareable across campaigns like Progress.
+	Report *Report
+
+	// Warnf, when non-nil, receives each engine warning as it happens
+	// (degradation, salvage, dropped shards). Warnings are also
+	// recorded in Report regardless.
+	Warnf func(format string, args ...any)
 }
 
 // Sublabel returns a copy of o with extra joined onto the namespace,

@@ -156,7 +156,7 @@ func TestKillAndResumeByteIdentical(t *testing.T) {
 		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
 	}
 
-	ck, err := openCheckpoint(dir, spec, true)
+	ck, err := openCheckpoint(dir, spec, Options{Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}

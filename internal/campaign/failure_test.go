@@ -1,0 +1,605 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pair/internal/failpoint"
+)
+
+// fastBackoff returns a backoff whose sleeper records instead of
+// sleeping, so failure tests assert the schedule without wall-clock
+// waits.
+func fastBackoff(sleeps *[]time.Duration, mu *sync.Mutex) Backoff {
+	return Backoff{Sleep: func(d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		*sleeps = append(*sleeps, d)
+	}}
+}
+
+// TestPanickingShardYieldsPartialResultsAndReport is the headline
+// hardening guarantee: a shard function that panics no longer kills the
+// process — the panic is recovered with full context, the other shards
+// keep running, and Run returns the partial aggregate plus a typed
+// defect report.
+func TestPanickingShardYieldsPartialResultsAndReport(t *testing.T) {
+	defer failpoint.Reset()
+	spec := Spec{Label: "panic", Trials: 4000, ShardSize: 500, Seed: 9}
+	clean, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	failpoint.Arm(FailpointShard, failpoint.Action{Panic: "injected shard crash", Times: 1})
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{Workers: 4, Report: rep}, sumFn, sumMerge)
+
+	var runErr *RunError
+	if !errors.As(err, &runErr) {
+		t.Fatalf("panicking shard returned %v, want *RunError", err)
+	}
+	if len(runErr.Failed) != 1 || runErr.Completed != spec.NumShards()-1 || runErr.Total != spec.NumShards() {
+		t.Fatalf("run error %+v, want 1 failure of %d shards", runErr, spec.NumShards())
+	}
+	se := runErr.Failed[0]
+	if se.Panic == nil || !strings.Contains(se.Stack, "campaign") {
+		t.Fatalf("shard error lacks panic context: %+v", se)
+	}
+	sh := spec.Shard(se.Shard)
+	if se.Seed != sh.Seed || se.Trials != sh.Trials || se.Label != "panic" || se.Attempts != 1 {
+		t.Fatalf("shard error context %+v does not match shard %+v", se, sh)
+	}
+	var asShard *ShardError
+	if !errors.As(err, &asShard) {
+		t.Fatal("errors.As cannot reach the ShardError through the RunError")
+	}
+	// Partial aggregate: everything except the panicked shard.
+	if got.N != clean.N-sh.Trials {
+		t.Fatalf("partial aggregate has %d trials, want %d", got.N, clean.N-sh.Trials)
+	}
+	if len(rep.ShardErrors()) != 1 || rep.Empty() {
+		t.Fatalf("report did not record the failure: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "shard failure") {
+		t.Fatalf("report summary %q lacks the failure", rep.Summary())
+	}
+}
+
+// TestPanickingShardRetriedToSuccess: with a retry budget, a transient
+// panic costs one retry and the final aggregate is byte-identical to a
+// clean run (every attempt reseeds from the shard seed).
+func TestPanickingShardRetriedToSuccess(t *testing.T) {
+	defer failpoint.Reset()
+	spec := Spec{Label: "panic-retry", Trials: 3000, ShardSize: 500, Seed: 5}
+	clean, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Arm(FailpointShard, failpoint.Action{Panic: "transient crash", Times: 1})
+	rep := new(Report)
+	prog := NewProgress()
+	got, err := Run(context.Background(), spec, Options{Retries: 2, Report: rep, Progress: prog}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("retried run failed: %v", err)
+	}
+	if got != clean {
+		t.Fatalf("retried aggregate %+v != clean %+v", got, clean)
+	}
+	if sr, _ := rep.Retries(); sr != 1 {
+		t.Fatalf("report counts %d shard retries, want 1", sr)
+	}
+	if s := prog.Snapshot(); s.ShardsRetried != 1 || s.ShardsFailed != 0 {
+		t.Fatalf("progress snapshot %+v, want 1 retried / 0 failed", s)
+	}
+}
+
+// TestInjectedShardErrorExhaustsBudget: an error-action failpoint that
+// always fires consumes the whole retry budget and surfaces as a
+// ShardError wrapping the injected error.
+func TestInjectedShardErrorExhaustsBudget(t *testing.T) {
+	defer failpoint.Reset()
+	boom := errors.New("injected shard error")
+	failpoint.Arm(FailpointShard, failpoint.Action{Err: boom})
+	spec := Spec{Label: "err", Trials: 1000, ShardSize: 500, Seed: 2}
+	prog := NewProgress()
+	_, err := Run(context.Background(), spec, Options{Workers: 1, Retries: 2, Progress: prog}, sumFn, sumMerge)
+	var runErr *RunError
+	if !errors.As(err, &runErr) || len(runErr.Failed) != 2 {
+		t.Fatalf("got %v, want RunError with both shards failed", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("injected error not reachable via errors.Is")
+	}
+	for _, se := range runErr.Failed {
+		if se.Attempts != 3 {
+			t.Fatalf("shard %d made %d attempts, want 3", se.Shard, se.Attempts)
+		}
+	}
+	s := prog.Snapshot()
+	if s.ShardsFailed != 2 || s.ShardsRetried != 4 {
+		t.Fatalf("progress %+v, want 2 failed / 4 retried", s)
+	}
+	if line := s.String(); !strings.Contains(line, "FAILED") || !strings.Contains(line, "retried") {
+		t.Fatalf("snapshot line %q lacks failure counters", line)
+	}
+}
+
+// TestWatchdogAbandonsStuckShard: a shard attempt stalled past
+// ShardTimeout is abandoned and retried; with no budget left it surfaces
+// as ErrShardTimeout.
+func TestWatchdogAbandonsStuckShard(t *testing.T) {
+	defer failpoint.Reset()
+	spec := Spec{Label: "stuck", Trials: 1000, ShardSize: 500, Seed: 3}
+	clean, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt of one shard stalls; the retry succeeds.
+	failpoint.Arm(FailpointShard, failpoint.Action{Delay: 30 * time.Second, Times: 1})
+	rep := new(Report)
+	got, err := Run(context.Background(), spec,
+		Options{Workers: 2, Retries: 1, ShardTimeout: 50 * time.Millisecond, Report: rep}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("watchdog run failed: %v", err)
+	}
+	if got != clean {
+		t.Fatalf("watchdog aggregate %+v != clean %+v", got, clean)
+	}
+	if sr, _ := rep.Retries(); sr != 1 {
+		t.Fatalf("report counts %d retries, want 1", sr)
+	}
+
+	// Every attempt stalls and the budget runs out: typed timeout error.
+	failpoint.Arm(FailpointShard, failpoint.Action{Delay: 30 * time.Second})
+	_, err = Run(context.Background(), spec,
+		Options{Workers: 2, ShardTimeout: 20 * time.Millisecond}, sumFn, sumMerge)
+	if !errors.Is(err, ErrShardTimeout) {
+		t.Fatalf("stuck campaign returned %v, want ErrShardTimeout", err)
+	}
+	var runErr *RunError
+	if !errors.As(err, &runErr) || len(runErr.Failed) != spec.NumShards() {
+		t.Fatalf("want every shard timed out, got %v", err)
+	}
+}
+
+// TestTransientCheckpointWriteRetriedWithBackoff: two injected write
+// failures are absorbed by the backoff loop — the run completes, the
+// checkpoint is intact, and the recorded sleeps follow the schedule.
+func TestTransientCheckpointWriteRetriedWithBackoff(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	spec := Spec{Label: "transient", Trials: 2000, ShardSize: 500, Seed: 4}
+	clean, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	failpoint.Arm(FailpointWrite, failpoint.Action{Err: errors.New("transient EIO"), Times: 2})
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{
+		Workers:           1,
+		CheckpointDir:     dir,
+		CheckpointBackoff: fastBackoff(&sleeps, &mu),
+		Report:            rep,
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("run with transient checkpoint errors failed: %v", err)
+	}
+	if got != clean {
+		t.Fatalf("aggregate %+v != clean %+v", got, clean)
+	}
+	if degraded, _ := rep.Degraded(); degraded {
+		t.Fatal("transient errors within budget must not degrade")
+	}
+	if _, cr := rep.Retries(); cr != 2 {
+		t.Fatalf("report counts %d checkpoint retries, want 2", cr)
+	}
+	if len(sleeps) != 2 || sleeps[0] <= 0 || sleeps[1] <= 0 {
+		t.Fatalf("backoff sleeps %v, want two positive delays", sleeps)
+	}
+
+	// The checkpoint survived the turbulence: a full resume recomputes
+	// nothing and reproduces the aggregate.
+	failpoint.Reset()
+	again, err := Run(context.Background(), spec, Options{CheckpointDir: dir, Resume: true,
+		OnShardDone: func(int, int) { t.Fatal("resume after transient errors recomputed a shard") }}, sumFn, sumMerge)
+	if err != nil || again != clean {
+		t.Fatalf("resume: %+v, %v", again, err)
+	}
+}
+
+// TestExhaustedCheckpointBudgetDegradesToMemory: when every write
+// attempt fails, the campaign still completes — checkpointing switches
+// to memory-only mode with a warning instead of killing the run.
+func TestExhaustedCheckpointBudgetDegradesToMemory(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	spec := Spec{Label: "degrade", Trials: 2000, ShardSize: 500, Seed: 6}
+	clean, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	var warned []string
+	failpoint.Arm(FailpointWrite, failpoint.Action{Err: errors.New("disk on fire")})
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{
+		Workers:           1,
+		CheckpointDir:     dir,
+		CheckpointBackoff: fastBackoff(&sleeps, &mu),
+		Report:            rep,
+		Warnf: func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			warned = append(warned, format)
+		},
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if got != clean {
+		t.Fatalf("degraded aggregate %+v != clean %+v", got, clean)
+	}
+	degraded, reason := rep.Degraded()
+	if !degraded || !strings.Contains(reason, "disk on fire") {
+		t.Fatalf("degraded=%v reason=%q", degraded, reason)
+	}
+	mu.Lock()
+	gotWarning := len(warned) > 0
+	mu.Unlock()
+	if !gotWarning {
+		t.Fatal("degradation emitted no live warning")
+	}
+	if !strings.Contains(rep.Summary(), "memory-only") {
+		t.Fatalf("report summary %q lacks degradation", rep.Summary())
+	}
+	// Exactly one full budget was spent; later shards skip disk I/O.
+	if _, cr := rep.Retries(); cr != DefaultBackoffAttempts-1 {
+		t.Fatalf("checkpoint retries %d, want %d", cr, DefaultBackoffAttempts-1)
+	}
+	if _, err := os.Stat(CheckpointPath(dir, spec.Label)); !os.IsNotExist(err) {
+		t.Fatal("degraded run left a (possibly torn) checkpoint behind")
+	}
+}
+
+// TestUnusableCheckpointDirDegrades: a checkpoint directory that cannot
+// be created degrades the run to memory-only instead of failing it.
+func TestUnusableCheckpointDirDegrades(t *testing.T) {
+	defer failpoint.Reset()
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	failpoint.Arm(FailpointMkdir, failpoint.Action{Err: errors.New("read-only fs")})
+	spec := Spec{Label: "nodir", Trials: 1000, ShardSize: 500, Seed: 7}
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{
+		CheckpointDir:     t.TempDir(),
+		CheckpointBackoff: fastBackoff(&sleeps, &mu),
+		Report:            rep,
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("run with unusable dir failed: %v", err)
+	}
+	if got.N != spec.Trials {
+		t.Fatalf("aggregate %+v incomplete", got)
+	}
+	if degraded, reason := rep.Degraded(); !degraded || !strings.Contains(reason, "read-only fs") {
+		t.Fatalf("degraded=%v reason=%q", degraded, reason)
+	}
+}
+
+// TestSalvageTruncatedCheckpoint: a checkpoint cut mid-file (the
+// classic crash/ENOSPC shape) resumes with every shard before the cut
+// salvaged and only the lost tail recomputed, byte-identical.
+func TestSalvageTruncatedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Label: "truncated", Trials: 8000, ShardSize: 500, Seed: 42}
+	clean, err := Run(context.Background(), spec, Options{CheckpointDir: dir}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CheckpointPath(dir, spec.Label)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:2*len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without salvage the truncated file is still a hard error.
+	if _, err := Run(context.Background(), spec, Options{CheckpointDir: dir, Resume: true}, sumFn, sumMerge); err == nil {
+		t.Fatal("truncated checkpoint resumed without salvage")
+	}
+
+	rep := new(Report)
+	fresh := 0
+	got, err := Run(context.Background(), spec, Options{
+		CheckpointDir: dir, Resume: true, Salvage: true, Report: rep,
+		OnShardDone: func(int, int) { fresh++ },
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("salvage resume failed: %v", err)
+	}
+	if got != clean {
+		t.Fatalf("salvaged aggregate %+v != clean %+v", got, clean)
+	}
+	salv := rep.Salvages()
+	if len(salv) != 1 {
+		t.Fatalf("report has %d salvages, want 1", len(salv))
+	}
+	s := salv[0]
+	if !s.HeaderOK || s.Recovered == 0 || s.Recovered >= spec.NumShards() {
+		t.Fatalf("salvage report %+v, want partial recovery with intact header", s)
+	}
+	if fresh != spec.NumShards()-s.Recovered {
+		t.Fatalf("recomputed %d shards, want %d", fresh, spec.NumShards()-s.Recovered)
+	}
+}
+
+// TestSalvageDropsCorruptShardPayload: a shard whose payload is valid
+// JSON but no longer the campaign's result type is dropped and
+// recomputed; every other shard is reused.
+func TestSalvageDropsCorruptShardPayload(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Label: "badshard", Trials: 3000, ShardSize: 500, Seed: 8}
+	clean, err := Run(context.Background(), spec, Options{CheckpointDir: dir}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CheckpointPath(dir, spec.Label)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Shards[2] = json.RawMessage(`{"n":"not a number"}`)
+	f.Shards[4] = json.RawMessage(`null`)
+	mut, _ := json.Marshal(&f)
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := 0
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{
+		CheckpointDir: dir, Resume: true, Salvage: true, Report: rep,
+		OnShardDone: func(int, int) { fresh++ },
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("salvage resume failed: %v", err)
+	}
+	if got != clean {
+		t.Fatalf("salvaged aggregate %+v != clean %+v", got, clean)
+	}
+	// Shard 4 (null) is dropped at the file layer, shard 2 (wrong type)
+	// at the unmarshal layer; both are recomputed.
+	if fresh != 2 {
+		t.Fatalf("recomputed %d shards, want 2", fresh)
+	}
+	if len(rep.Warnings()) == 0 {
+		t.Fatal("dropping corrupt shards emitted no warning")
+	}
+}
+
+// TestSalvageFromStrayTmp: a crash between the temp-file write and the
+// rename leaves only <label>.json.tmp; salvage recovers its shards and
+// the tmp file is removed either way.
+func TestSalvageFromStrayTmp(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Label: "straytmp", Trials: 2000, ShardSize: 500, Seed: 10}
+	clean, err := Run(context.Background(), spec, Options{CheckpointDir: dir}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CheckpointPath(dir, spec.Label)
+	if err := os.Rename(path, path+".tmp"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{
+		CheckpointDir: dir, Resume: true, Salvage: true, Report: rep,
+		OnShardDone: func(int, int) { t.Fatal("tmp salvage recomputed a shard") },
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("tmp salvage failed: %v", err)
+	}
+	if got != clean {
+		t.Fatalf("tmp-salvaged aggregate %+v != clean %+v", got, clean)
+	}
+	salv := rep.Salvages()
+	if len(salv) != 1 || salv[0].FromTmp != spec.NumShards() {
+		t.Fatalf("salvage report %+v, want all %d shards from tmp", salv, spec.NumShards())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("stray .tmp not removed after salvage")
+	}
+}
+
+// TestStaleTmpRemovedOnFreshOpen: a leftover .tmp from a killed run is
+// deleted on any open so it can neither accumulate nor be mistaken for
+// a checkpoint later.
+func TestStaleTmpRemovedOnFreshOpen(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Label: "tmpclean", Trials: 500, ShardSize: 500, Seed: 1}
+	tmp := CheckpointPath(dir, spec.Label) + ".tmp"
+	if err := os.WriteFile(tmp, []byte("{half a checkp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), spec, Options{CheckpointDir: dir}, sumFn, sumMerge); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale .tmp survived a fresh open")
+	}
+
+	// Resume (non-salvage) also clears it.
+	if err := os.WriteFile(tmp, []byte("{half a checkp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), spec, Options{CheckpointDir: dir, Resume: true}, sumFn, sumMerge); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale .tmp survived a resume open")
+	}
+}
+
+// TestSalvageRejectsForeignHeader: shards recorded under a different
+// campaign header (seed/label/shape) are never reused — salvage drops
+// them all and recomputes, still finishing with correct results.
+func TestSalvageRejectsForeignHeader(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Label: "foreign", Trials: 1000, ShardSize: 500, Seed: 11}
+	other := spec
+	other.Seed = 999
+	if _, err := Run(context.Background(), other, Options{CheckpointDir: dir}, sumFn, sumMerge); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{
+		CheckpointDir: dir, Resume: true, Salvage: true, Report: rep,
+		OnShardDone: func(int, int) { fresh++ },
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatalf("foreign-header salvage failed: %v", err)
+	}
+	if got != clean || fresh != spec.NumShards() {
+		t.Fatalf("foreign shards were reused: %+v (fresh %d)", got, fresh)
+	}
+	salv := rep.Salvages()
+	if len(salv) != 1 || salv[0].Recovered != 0 || salv[0].HeaderOK {
+		t.Fatalf("salvage report %+v, want 0 recovered, header mismatch", salv)
+	}
+}
+
+// TestTransientReadErrorRetriedOnResume: a transient read failure on
+// resume is retried; within budget the resume proceeds normally.
+func TestTransientReadErrorRetriedOnResume(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	spec := Spec{Label: "readretry", Trials: 1000, ShardSize: 500, Seed: 12}
+	clean, err := Run(context.Background(), spec, Options{CheckpointDir: dir}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	failpoint.Arm(FailpointRead, failpoint.Action{Err: errors.New("transient read"), Times: 1})
+	rep := new(Report)
+	got, err := Run(context.Background(), spec, Options{
+		CheckpointDir: dir, Resume: true, Report: rep,
+		CheckpointBackoff: fastBackoff(&sleeps, &mu),
+		OnShardDone:       func(int, int) { t.Fatal("retried resume recomputed a shard") },
+	}, sumFn, sumMerge)
+	if err != nil || got != clean {
+		t.Fatalf("resume with transient read error: %+v, %v", got, err)
+	}
+	if _, cr := rep.Retries(); cr != 1 {
+		t.Fatalf("checkpoint retries %d, want 1", cr)
+	}
+}
+
+// TestHardenedOptionsAreNoOpWhenNothingFails: with retries, watchdog,
+// salvage and reporting all enabled but no failpoints armed, the
+// campaign produces results identical to the plain engine and an empty
+// report — the hardening layer is invisible on the happy path.
+func TestHardenedOptionsAreNoOpWhenNothingFails(t *testing.T) {
+	failpoint.Reset()
+	dir := t.TempDir()
+	spec := Spec{Label: "noop", Trials: 5300, ShardSize: 500, Seed: 7}
+	plain, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := new(Report)
+	hardened, err := Run(context.Background(), spec, Options{
+		Workers:       4,
+		CheckpointDir: dir,
+		Retries:       3,
+		ShardTimeout:  time.Minute,
+		Salvage:       true,
+		Report:        rep,
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hardened != plain {
+		t.Fatalf("hardened run %+v != plain %+v", hardened, plain)
+	}
+	if !rep.Empty() || rep.Summary() != "" {
+		t.Fatalf("clean run produced a non-empty report: %s", rep.Summary())
+	}
+
+	// And a salvage resume of the intact checkpoint recomputes nothing.
+	got, err := Run(context.Background(), spec, Options{
+		CheckpointDir: dir, Resume: true, Salvage: true, Report: rep,
+		OnShardDone: func(int, int) { t.Fatal("salvage resume of intact checkpoint recomputed a shard") },
+	}, sumFn, sumMerge)
+	if err != nil || got != plain {
+		t.Fatalf("salvage resume of intact checkpoint: %+v, %v", got, err)
+	}
+	if !rep.Empty() {
+		t.Fatalf("intact salvage resume logged something: %s", rep.Summary())
+	}
+}
+
+// TestKillAndResumeWithSalvageStillByteIdentical re-runs the PR 2
+// byte-identity guarantee with the full hardening stack enabled, so the
+// new failure paths cannot have perturbed determinism.
+func TestKillAndResumeWithSalvageStillByteIdentical(t *testing.T) {
+	failpoint.Reset()
+	dir := t.TempDir()
+	spec := Spec{Label: "kill-resume-hardened", Trials: 8000, ShardSize: 500, Seed: 42}
+	clean, err := Run(context.Background(), spec, Options{}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{
+		Workers:       2,
+		CheckpointDir: dir,
+		Retries:       2,
+		Salvage:       true,
+		OnShardDone: func(completed, total int) {
+			if completed >= 3 {
+				cancel()
+			}
+		},
+	}
+	if _, err := Run(ctx, spec, opts, sumFn, sumMerge); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+	resumed, err := Run(context.Background(), spec, Options{
+		CheckpointDir: dir, Resume: true, Salvage: true, Retries: 2,
+	}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(clean)
+	gotJSON, _ := json.Marshal(resumed)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("hardened resume JSON %s != clean %s", gotJSON, wantJSON)
+	}
+}

@@ -23,6 +23,8 @@ type Progress struct {
 	doneTrials    atomic.Int64
 	resumedShards atomic.Int64
 	resumedTrials atomic.Int64
+	retriedShards atomic.Int64
+	failedShards  atomic.Int64
 }
 
 // NewProgress returns a Progress anchored at the current time.
@@ -58,10 +60,28 @@ func (p *Progress) shardResumed(trials int) {
 	p.resumedTrials.Add(int64(trials))
 }
 
+// shardRetried records one re-attempt of a failed shard.
+func (p *Progress) shardRetried() {
+	if p == nil {
+		return
+	}
+	p.retriedShards.Add(1)
+}
+
+// shardFailed records one shard whose retry budget was exhausted.
+func (p *Progress) shardFailed() {
+	if p == nil {
+		return
+	}
+	p.failedShards.Add(1)
+}
+
 // Snapshot is a point-in-time view of campaign progress.
 type Snapshot struct {
 	ShardsDone    int64 // freshly computed this run
 	ShardsResumed int64 // loaded from checkpoints
+	ShardsRetried int64 // shard attempts re-run after a failure
+	ShardsFailed  int64 // shards whose retry budget was exhausted
 	ShardsTotal   int64
 	TrialsDone    int64
 	TrialsResumed int64
@@ -76,6 +96,8 @@ func (p *Progress) Snapshot() Snapshot {
 	s := Snapshot{
 		ShardsDone:    p.doneShards.Load(),
 		ShardsResumed: p.resumedShards.Load(),
+		ShardsRetried: p.retriedShards.Load(),
+		ShardsFailed:  p.failedShards.Load(),
 		ShardsTotal:   p.totalShards.Load(),
 		TrialsDone:    p.doneTrials.Load(),
 		TrialsResumed: p.resumedTrials.Load(),
@@ -96,6 +118,12 @@ func (s Snapshot) String() string {
 	out := fmt.Sprintf("shards %d/%d  trials %d/%d", s.ShardsDone+s.ShardsResumed, s.ShardsTotal, s.TrialsDone+s.TrialsResumed, s.TrialsTotal)
 	if s.ShardsResumed > 0 {
 		out += fmt.Sprintf(" (%d shards resumed)", s.ShardsResumed)
+	}
+	if s.ShardsRetried > 0 {
+		out += fmt.Sprintf(" (%d retried)", s.ShardsRetried)
+	}
+	if s.ShardsFailed > 0 {
+		out += fmt.Sprintf(" (%d FAILED)", s.ShardsFailed)
 	}
 	if s.TrialsPerSec > 0 {
 		out += fmt.Sprintf("  %.0f trials/s", s.TrialsPerSec)

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter collects reporter output under a lock (the reporter
+// goroutine and the test read/write concurrently).
+type syncWriter struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (w *syncWriter) Write(b []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(b)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestProgressReporterTicks(t *testing.T) {
+	p := NewProgress()
+	p.addCampaign(4, 400)
+	p.shardDone(100)
+	w := &syncWriter{}
+	stop := p.Report(context.Background(), w, 2*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(w.String(), "shards 1/4") {
+		if time.Now().After(deadline) {
+			t.Fatalf("reporter never ticked; output %q", w.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	if n := strings.Count(w.String(), "progress:"); n < 2 {
+		t.Fatalf("want >= 2 progress lines (ticks + final), got %d: %q", n, w.String())
+	}
+}
+
+func TestProgressReporterStopsOnContextCancel(t *testing.T) {
+	p := NewProgress()
+	w := &syncWriter{}
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := p.Report(ctx, w, time.Millisecond)
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	before := w.String()
+	time.Sleep(20 * time.Millisecond)
+	if after := w.String(); after != before {
+		t.Fatalf("reporter kept ticking after cancel: %q -> %q", before, after)
+	}
+	stop() // still emits the final line, idempotently
+	if !strings.Contains(w.String(), "progress:") {
+		t.Fatalf("no final line after stop: %q", w.String())
+	}
+}
+
+func TestSnapshotRateAndETA(t *testing.T) {
+	p := NewProgress()
+	p.start = time.Now().Add(-2 * time.Second) // fake 2s of elapsed work
+	p.addCampaign(10, 1000)
+	p.shardDone(100)
+	p.shardDone(100)
+	s := p.Snapshot()
+	if s.TrialsPerSec <= 0 {
+		t.Fatalf("TrialsPerSec = %v, want > 0", s.TrialsPerSec)
+	}
+	if s.ETA <= 0 {
+		t.Fatalf("ETA = %v, want > 0 with %d trials remaining", s.ETA, s.TrialsTotal-s.TrialsDone)
+	}
+	line := s.String()
+	if !strings.Contains(line, "trials/s") || !strings.Contains(line, "ETA") {
+		t.Fatalf("snapshot line %q lacks rate/ETA", line)
+	}
+}
+
+func TestNilProgressIsSafe(t *testing.T) {
+	var p *Progress
+	p.addCampaign(1, 1)
+	p.shardDone(1)
+	p.shardResumed(1)
+	p.shardRetried()
+	p.shardFailed()
+}

@@ -1,0 +1,118 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+)
+
+// salvageParse extracts as much of a checkpoint file as survives
+// corruption. A fully intact file parses strictly; otherwise the bytes
+// are walked token by token, keeping every header field and every
+// syntactically complete shard entry up to the first point of damage —
+// which, for the common crash shape (a truncated write), is everything
+// before the cut. Semantically corrupt shard payloads (valid JSON that
+// no longer matches the result type) are caught later, when the runner
+// unmarshals each shard into the concrete type.
+//
+// salvageParse never fails: garbage in yields an empty checkpointFile
+// whose header will not match any spec.
+func salvageParse(raw []byte) checkpointFile {
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err == nil {
+		if f.Shards == nil {
+			f.Shards = map[int]json.RawMessage{}
+		}
+		return f
+	}
+	out := checkpointFile{Shards: map[int]json.RawMessage{}}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	tok, err := dec.Token()
+	if err != nil || tok != json.Delim('{') {
+		return out
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return out
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return out
+		}
+		switch key {
+		case "version":
+			if dec.Decode(&out.Version) != nil {
+				return out
+			}
+		case "label":
+			if dec.Decode(&out.Label) != nil {
+				return out
+			}
+		case "seed":
+			if dec.Decode(&out.Seed) != nil {
+				return out
+			}
+		case "trials":
+			if dec.Decode(&out.Trials) != nil {
+				return out
+			}
+		case "shard_size":
+			if dec.Decode(&out.ShardSize) != nil {
+				return out
+			}
+		case "shards":
+			t, err := dec.Token()
+			if err != nil || t != json.Delim('{') {
+				return out
+			}
+			for dec.More() {
+				kTok, err := dec.Token()
+				if err != nil {
+					return out
+				}
+				ks, ok := kTok.(string)
+				if !ok {
+					return out
+				}
+				var payload json.RawMessage
+				if err := dec.Decode(&payload); err != nil {
+					return out // damage point: keep what we have
+				}
+				idx, err := strconv.Atoi(ks)
+				if err != nil {
+					continue // malformed key: drop the entry, keep walking
+				}
+				out.Shards[idx] = payload
+			}
+			if _, err := dec.Token(); err != nil { // closing '}'
+				return out
+			}
+		default:
+			var skip json.RawMessage
+			if dec.Decode(&skip) != nil {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// headerMatches reports whether a (possibly salvaged) checkpoint header
+// identifies exactly the campaign in spec. Shards from a mismatched or
+// unrecoverable header were derived from different seed streams and
+// must never be reused.
+func headerMatches(f checkpointFile, spec Spec) bool {
+	return f.Version == checkpointVersion &&
+		f.Label == spec.Label &&
+		f.Seed == spec.Seed &&
+		f.Trials == spec.Trials &&
+		f.ShardSize == spec.shardSize()
+}
+
+// isNullJSON reports whether a shard payload is the JSON null literal,
+// which would silently unmarshal into a zero result and corrupt the
+// aggregate if resumed.
+func isNullJSON(raw json.RawMessage) bool {
+	return string(bytes.TrimSpace(raw)) == "null"
+}

@@ -139,7 +139,7 @@ func (c *SweepConfig) setDefaults() {
 func BuildProfile(scheme ecc.Scheme, cfg SweepConfig) *ConditionalProfile {
 	prof, err := BuildProfileCtx(context.Background(), scheme, cfg, campaign.Options{})
 	if err != nil {
-		panic(fmt.Sprintf("reliability: BuildProfile: %v", err)) // unreachable without ctx/checkpoint
+		panic(fmt.Sprintf("reliability: BuildProfile: %v", err)) // only reachable if the shard fn itself fails
 	}
 	return prof
 }
@@ -270,7 +270,7 @@ type CoverageResult struct {
 func Coverage(scheme ecc.Scheme, label string, trials int, seed int64, inject func(*rand.Rand, *ecc.Stored)) CoverageResult {
 	r, err := CoverageCtx(context.Background(), scheme, label, trials, seed, inject, campaign.Options{})
 	if err != nil {
-		panic(fmt.Sprintf("reliability: Coverage: %v", err)) // unreachable without ctx/checkpoint
+		panic(fmt.Sprintf("reliability: Coverage: %v", err)) // only reachable if the shard fn itself fails
 	}
 	return r
 }

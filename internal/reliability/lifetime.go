@@ -126,7 +126,7 @@ func schemeCouplesChips(s ecc.Scheme) bool {
 func RunLifetime(cfg LifetimeConfig) LifetimeResult {
 	res, err := RunLifetimeCtx(context.Background(), cfg, campaign.Options{})
 	if err != nil {
-		panic(fmt.Sprintf("reliability: RunLifetime: %v", err)) // unreachable without ctx/checkpoint
+		panic(fmt.Sprintf("reliability: RunLifetime: %v", err)) // only reachable if the shard fn itself fails
 	}
 	return res
 }
