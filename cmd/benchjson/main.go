@@ -8,10 +8,19 @@
 //	go run ./cmd/benchjson                     # next free BENCH_<n>.json
 //	go run ./cmd/benchjson -out BENCH_0.json   # explicit slot
 //	go run ./cmd/benchjson -bench 'RS' -label "post-chien"
+//	go run ./cmd/benchjson -compare BENCH_2.json -threshold 2
 //
 // The default -bench regex covers the arithmetic/codec kernels (GF256,
-// RS, Expandable, Hamming, SchemeEncodeDecode) and deliberately excludes
-// the minutes-long figure benchmarks (F1..F12, T1..T4) and Memsim.
+// RS and RSBatch, Expandable, Hamming, SchemeEncodeDecode and
+// SchemeBatchDecode) and deliberately excludes the minutes-long figure
+// benchmarks (F1..F12, T1..T4) and Memsim.
+//
+// With -compare the run becomes a regression gate instead of a recorder:
+// results are checked against the baseline file and the exit code is
+// nonzero if any benchmark got slower than threshold x its baseline
+// ns/op, allocates more than its baseline allocs/op, or disappeared from
+// the run entirely (a stale baseline must be regenerated, not ignored).
+// No file is written in compare mode unless -out is given explicitly.
 package main
 
 import (
@@ -74,12 +83,14 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	bench := fs.String("bench", "^Benchmark(GF256|RS|Expandable|Hamming|SchemeEncodeDecode)", "benchmark regex passed to go test -bench")
+	bench := fs.String("bench", "^Benchmark(GF256|RS|Expandable|Hamming|SchemeEncodeDecode|SchemeBatchDecode)", "benchmark regex passed to go test -bench")
 	pkg := fs.String("pkg", ".", "comma-separated packages to benchmark")
 	out := fs.String("out", "", "output path (default: next free BENCH_<n>.json in repo root)")
 	label := fs.String("label", "", "free-form label recorded in the file")
 	benchtime := fs.String("benchtime", "", "value for go test -benchtime")
 	count := fs.Int("count", 1, "value for go test -count")
+	compare := fs.String("compare", "", "baseline BENCH_<n>.json: gate this run against it instead of recording")
+	threshold := fs.Float64("threshold", 2.0, "with -compare, fail when ns/op exceeds threshold x the baseline")
 	listSchs := fs.Bool("list-schemes", false, "list the scheme registry behind the Scheme* benchmarks, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -106,6 +117,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(results) == 0 {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines parsed")
 		return 1
+	}
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		var base File
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(stderr, "benchjson: parse %s: %v\n", *compare, err)
+			return 1
+		}
+		if n := regressions(base.Benchmarks, results, *threshold, stdout); n > 0 {
+			fmt.Fprintf(stderr, "benchjson: %d regression(s) vs %s\n", n, *compare)
+			return 1
+		}
+		fmt.Fprintf(stdout, "no regressions vs %s (threshold %.2gx)\n", *compare, *threshold)
+		if *out == "" {
+			return 0
+		}
 	}
 
 	path := *out
@@ -196,6 +228,53 @@ func parse(out string) []Result {
 		results = append(results, r)
 	}
 	return results
+}
+
+// regressions compares the current results against a baseline, prints one
+// verdict line per baseline benchmark, and returns the number of
+// failures. A benchmark fails by getting slower than threshold x its
+// baseline ns/op, by allocating more than its baseline allocs/op, or by
+// vanishing from the run (stale baselines must be regenerated, not
+// silently skipped). Benchmarks the baseline does not know are reported
+// but never fail — recording them is the next BENCH_<n> snapshot's job.
+func regressions(base, cur []Result, threshold float64, w io.Writer) int {
+	curByName := make(map[string]Result, len(cur))
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	failures := 0
+	for _, b := range base {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "MISSING %s: in baseline but not in this run\n", b.Name)
+			failures++
+			continue
+		}
+		delete(curByName, b.Name)
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		switch {
+		case ratio > threshold:
+			fmt.Fprintf(w, "FAIL    %s: %.4g ns/op vs %.4g baseline (%.2fx > %.2gx)\n",
+				b.Name, c.NsPerOp, b.NsPerOp, ratio, threshold)
+			failures++
+		case c.AllocsPerOp > b.AllocsPerOp:
+			fmt.Fprintf(w, "FAIL    %s: %d allocs/op vs %d baseline\n",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp)
+			failures++
+		default:
+			fmt.Fprintf(w, "ok      %s: %.4g ns/op (%.2fx of baseline), %d allocs/op\n",
+				b.Name, c.NsPerOp, ratio, c.AllocsPerOp)
+		}
+	}
+	for _, r := range cur {
+		if _, seen := curByName[r.Name]; seen {
+			fmt.Fprintf(w, "new     %s: %.4g ns/op (no baseline)\n", r.Name, r.NsPerOp)
+		}
+	}
+	return failures
 }
 
 // nextSlot returns the first BENCH_<n>.json path that does not exist yet.

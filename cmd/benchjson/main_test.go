@@ -172,3 +172,102 @@ func TestListSchemes(t *testing.T) {
 		t.Fatalf("exit %d, out:\n%s", code, out)
 	}
 }
+
+// writeBaseline marshals a File with the given benchmarks to a temp path.
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	raw, err := json.Marshal(File{Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareClean(t *testing.T) {
+	withStubRunner(t, cannedBench, nil)
+	base := writeBaseline(t, []Result{
+		{Name: "BenchmarkGF256Mul", NsPerOp: 9.0},
+		{Name: "BenchmarkRSEncode", NsPerOp: 1500, BytesPerOp: 64, AllocsPerOp: 2},
+	})
+	code, out, stderr := runCLI(t, "-compare", base)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q, out:\n%s", code, stderr, out)
+	}
+	if !strings.Contains(out, "no regressions vs "+base) {
+		t.Fatalf("out:\n%s", out)
+	}
+	// Compare mode without -out must not record a file.
+	if strings.Contains(out, "wrote ") {
+		t.Fatalf("compare mode wrote a file:\n%s", out)
+	}
+}
+
+func TestCompareCatchesSlowdown(t *testing.T) {
+	withStubRunner(t, cannedBench, nil)
+	// Canned GF256Mul runs at 10 ns/op; a 4 ns baseline is a 2.5x slip.
+	base := writeBaseline(t, []Result{{Name: "BenchmarkGF256Mul", NsPerOp: 4.0}})
+	code, out, stderr := runCLI(t, "-compare", base)
+	if code != 1 || !strings.Contains(stderr, "1 regression(s)") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "FAIL    BenchmarkGF256Mul") {
+		t.Fatalf("out:\n%s", out)
+	}
+	// A looser threshold lets the same run pass.
+	if code, _, _ := runCLI(t, "-compare", base, "-threshold", "3"); code != 0 {
+		t.Fatal("threshold 3 should pass a 2.5x ratio")
+	}
+}
+
+func TestCompareCatchesAllocGrowthAndMissing(t *testing.T) {
+	withStubRunner(t, cannedBench, nil)
+	base := writeBaseline(t, []Result{
+		{Name: "BenchmarkRSEncode", NsPerOp: 2000, AllocsPerOp: 1}, // canned run has 2
+		{Name: "BenchmarkGone", NsPerOp: 5},
+	})
+	code, out, stderr := runCLI(t, "-compare", base)
+	if code != 1 || !strings.Contains(stderr, "2 regression(s)") {
+		t.Fatalf("exit %d, stderr %q, out:\n%s", code, stderr, out)
+	}
+	if !strings.Contains(out, "FAIL    BenchmarkRSEncode: 2 allocs/op vs 1 baseline") {
+		t.Fatalf("alloc growth not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING BenchmarkGone") {
+		t.Fatalf("missing benchmark not reported:\n%s", out)
+	}
+	// Benchmarks unknown to the baseline are informational only.
+	if !strings.Contains(out, "new     BenchmarkGF256Mul") {
+		t.Fatalf("new benchmark not reported:\n%s", out)
+	}
+}
+
+func TestCompareWithOutStillRecords(t *testing.T) {
+	withStubRunner(t, cannedBench, nil)
+	base := writeBaseline(t, []Result{{Name: "BenchmarkGF256Mul", NsPerOp: 9.0}})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, out, stderr := runCLI(t, "-compare", base, "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("out:\n%s", out)
+	}
+}
+
+func TestCompareBadBaseline(t *testing.T) {
+	withStubRunner(t, cannedBench, nil)
+	if code, _, _ := runCLI(t, "-compare", filepath.Join(t.TempDir(), "nope.json")); code != 1 {
+		t.Fatal("missing baseline must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, "-compare", bad); code != 1 {
+		t.Fatal("unparseable baseline must fail")
+	}
+}

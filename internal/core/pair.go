@@ -68,12 +68,13 @@ func BaseConfig() Config {
 
 // Scheme is the PAIR ecc.Scheme.
 type Scheme struct {
-	org  dram.Organization
-	cfg  Config
-	base *rs.Expandable // (pins+BaseParity, pins)
-	full *rs.Expandable // (pins+BaseParity+Expansion, pins)
-	name string
-	scr  sync.Pool // *pairScratch per-decode workspace
+	org   dram.Organization
+	cfg   Config
+	base  *rs.Expandable // (pins+BaseParity, pins)
+	full  *rs.Expandable // (pins+BaseParity+Expansion, pins)
+	name  string
+	scr   sync.Pool // *pairScratch per-decode workspace
+	batch sync.Pool // *pairBatch per-goroutine slab workspace
 }
 
 // pairScratch is the per-goroutine codec workspace: a reusable decoder on
@@ -82,6 +83,34 @@ type pairScratch struct {
 	dec  *rs.ExpandableDecoder
 	word []byte
 	b    *dram.Burst
+}
+
+// pairBatch is the per-goroutine slab workspace for DecodeBatchInto: the
+// batch decoder on the full code, a slab sized to the last batch width,
+// per-codeword result buffers, the column staging block for the
+// transposed gather and a burst for corrected symbols.
+type pairBatch struct {
+	ws       *rs.ExpandableBatchWorkspace
+	slab     *rs.Slab
+	nchanged []int
+	errs     []error
+	word     []byte
+	b        *dram.Burst
+	cols     [][64]byte // one staging column per codeword position
+}
+
+// ensure sizes the slab and result buffers for w codewords (a multiple
+// of 8). The slab is rebuilt only when the width changes.
+func (bb *pairBatch) ensure(n, w int) {
+	if bb.slab == nil || bb.slab.W() != w {
+		bb.slab = rs.NewSlab(n, w)
+	}
+	if cap(bb.nchanged) < w {
+		bb.nchanged = make([]int, w)
+		bb.errs = make([]error, w)
+	}
+	bb.nchanged = bb.nchanged[:w]
+	bb.errs = bb.errs[:w]
 }
 
 // New builds a PAIR scheme on the given organization.
@@ -122,6 +151,14 @@ func New(org dram.Organization, cfg Config) (*Scheme, error) {
 			dec:  s.full.NewDecoder(),
 			word: make([]byte, s.full.N()),
 			b:    dram.NewBurst(org.Pins, org.BurstLen),
+		}
+	}
+	s.batch.New = func() any {
+		return &pairBatch{
+			ws:   s.full.NewBatchWorkspace(),
+			word: make([]byte, s.full.N()),
+			b:    dram.NewBurst(org.Pins, org.BurstLen),
+			cols: make([][64]byte, s.full.N()),
 		}
 	}
 	return s, nil
@@ -289,6 +326,96 @@ func (s *Scheme) decodeInto(dst []byte, st *ecc.Stored, erasures map[int][]int) 
 	return claim
 }
 
+// EncodeBatchInto implements ecc.BatchScheme. Encoding is dominated by the
+// per-image burst split, so the batch call is the defining loop.
+func (s *Scheme) EncodeBatchInto(sts []*ecc.Stored, lines [][]byte) {
+	ecc.CheckEncodeBatchArgs(sts, lines)
+	for i, st := range sts {
+		s.EncodeInto(st, lines[i])
+	}
+}
+
+// DecodeBatchInto implements ecc.BatchScheme on the slab path: per chip,
+// the pin-aligned codewords of every image are transposed into one slab
+// and certified by a single bitsliced syndrome sweep; only dirty
+// codewords reach the scalar decoder. Results are identical to a
+// DecodeInto loop.
+func (s *Scheme) DecodeBatchInto(dst [][]byte, sts []*ecc.Stored, claims []ecc.Claim) {
+	s.decodeBatchInto(dst, sts, claims, nil)
+}
+
+// decodeBatchInto implements DecodeBatchInto with optional per-chip
+// erasure symbol lists, mirroring decodeInto. The erasure list of a chip
+// applies uniformly to every image's codeword for that chip, which is
+// exactly the per-call erasure contract of the slab decoder.
+func (s *Scheme) decodeBatchInto(dst [][]byte, sts []*ecc.Stored, claims []ecc.Claim, erasures map[int][]int) {
+	ecc.CheckDecodeBatchArgs(dst, sts, claims)
+	nimg := len(sts)
+	if nimg == 0 {
+		return
+	}
+	bb := s.batch.Get().(*pairBatch)
+	defer s.batch.Put(bb)
+	k := s.k()
+	n := s.full.N()
+	np := s.cfg.BaseParity + s.cfg.Expansion
+	bb.ensure(n, ecc.PadBatchWidth(nimg))
+	for i := 0; i < nimg; i++ {
+		claims[i] = ecc.ClaimClean
+		for j := range dst[i] {
+			dst[i][j] = 0
+		}
+	}
+	for chip := 0; chip < s.org.ChipsPerRank; chip++ {
+		// Gather: assemble each image's codeword for this chip, staging 64
+		// images per group and writing whole transposed columns.
+		for grp := 0; grp < bb.slab.Groups(); grp++ {
+			lo := grp * 64
+			hi := lo + 64
+			if hi > nimg {
+				hi = nimg
+			}
+			for j := 0; j < n; j++ {
+				bb.cols[j] = [64]byte{}
+			}
+			for i := lo; i < hi; i++ {
+				ci := sts[i].Chips[chip]
+				s.dataSymbolsInto(bb.word[:k], ci.Data)
+				for j := 0; j < np; j++ {
+					bb.word[k+j] = byte(ci.OnDie.GetBits(j*8, 8))
+				}
+				for j := 0; j < n; j++ {
+					bb.cols[j][i-lo] = bb.word[j]
+				}
+			}
+			for j := 0; j < n; j++ {
+				bb.slab.SetColumn(j, grp, &bb.cols[j])
+			}
+		}
+		bb.ws.DecodeBatch(bb.slab, erasures[chip], bb.nchanged, bb.errs)
+		// Write back: clean and errored codewords pass the raw burst
+		// through (identical bytes to the scalar paths); corrected ones
+		// read their repaired data symbols out of the slab.
+		for i := 0; i < nimg; i++ {
+			ci := sts[i].Chips[chip]
+			switch {
+			case bb.errs[i] != nil:
+				claims[i] = ecc.ClaimDetected
+				dram.OrChipInto(s.org, dst[i], chip, ci.Data)
+			case bb.nchanged[i] == 0:
+				dram.OrChipInto(s.org, dst[i], chip, ci.Data)
+			default:
+				if claims[i] != ecc.ClaimDetected {
+					claims[i] = ecc.ClaimCorrected
+				}
+				bb.slab.CodewordInto(bb.word, i)
+				s.writeDataSymbols(bb.b, bb.word[:k])
+				dram.OrChipInto(s.org, dst[i], chip, bb.b)
+			}
+		}
+	}
+}
+
 // StorageOverhead implements ecc.Scheme: parity bits per data bits.
 func (s *Scheme) StorageOverhead() float64 {
 	return float64(s.parityBits()) / float64(s.org.AccessBits())
@@ -357,6 +484,13 @@ func (s *SparedScheme) Decode(st *ecc.Stored) ([]byte, ecc.Claim) {
 // DecodeInto implements ecc.BufferedScheme with the spared pins erased.
 func (s *SparedScheme) DecodeInto(dst []byte, st *ecc.Stored) ecc.Claim {
 	return s.decodeInto(dst, st, s.erasures)
+}
+
+// DecodeBatchInto implements ecc.BatchScheme with the spared pins erased.
+// The override matters: the promoted Scheme method would decode without
+// erasures.
+func (s *SparedScheme) DecodeBatchInto(dst [][]byte, sts []*ecc.Stored, claims []ecc.Claim) {
+	s.decodeBatchInto(dst, sts, claims, s.erasures)
 }
 
 // SparedPins returns the number of pins marked bad.

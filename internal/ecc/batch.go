@@ -1,0 +1,63 @@
+package ecc
+
+import "fmt"
+
+// BatchScheme is the slab fast path a BufferedScheme may offer for
+// Monte-Carlo campaigns: encode or decode a batch of images in one call,
+// letting codec-heavy schemes amortize their work into word-parallel
+// passes (see internal/rs's slab codec). The results are defined to be
+// identical, image by image, to a loop over EncodeInto/DecodeInto —
+// schemes whose structure has nothing to batch simply implement the
+// methods as that loop.
+//
+// Ownership rules match BufferedScheme: the caller owns every buffer,
+// images and lines are overwritten entirely, and no references are
+// retained. Implementations keep their batch scratch in an internal
+// sync.Pool, so a single scheme value stays safe for concurrent use.
+type BatchScheme interface {
+	BufferedScheme
+	// EncodeBatchInto rebuilds sts[i] from lines[i] for every i.
+	// len(sts) must equal len(lines).
+	EncodeBatchInto(sts []*Stored, lines [][]byte)
+	// DecodeBatchInto recovers dst[i] (Org().LineBytes() bytes) from
+	// sts[i] and reports the decoder's claim in claims[i], for every i.
+	// dst, sts and claims must have equal lengths.
+	DecodeBatchInto(dst [][]byte, sts []*Stored, claims []Claim)
+}
+
+// CheckEncodeBatchArgs validates the length invariants of EncodeBatchInto.
+func CheckEncodeBatchArgs(sts []*Stored, lines [][]byte) {
+	if len(sts) != len(lines) {
+		panic(fmt.Sprintf("ecc: EncodeBatchInto length mismatch: %d images, %d lines", len(sts), len(lines)))
+	}
+}
+
+// CheckDecodeBatchArgs validates the length invariants of DecodeBatchInto.
+func CheckDecodeBatchArgs(dst [][]byte, sts []*Stored, claims []Claim) {
+	if len(dst) != len(sts) || len(claims) != len(sts) {
+		panic(fmt.Sprintf("ecc: DecodeBatchInto length mismatch: %d lines, %d images, %d claims", len(dst), len(sts), len(claims)))
+	}
+}
+
+// loopEncodeBatch implements EncodeBatchInto as the defining per-image
+// loop, for schemes with no cross-image work to batch.
+func loopEncodeBatch(s BufferedScheme, sts []*Stored, lines [][]byte) {
+	CheckEncodeBatchArgs(sts, lines)
+	for i, st := range sts {
+		s.EncodeInto(st, lines[i])
+	}
+}
+
+// loopDecodeBatch implements DecodeBatchInto as the defining per-image
+// loop, for schemes with no cross-image work to batch.
+func loopDecodeBatch(s BufferedScheme, dst [][]byte, sts []*Stored, claims []Claim) {
+	CheckDecodeBatchArgs(dst, sts, claims)
+	for i, st := range sts {
+		claims[i] = s.DecodeInto(dst[i], st)
+	}
+}
+
+// PadBatchWidth rounds an image count up to a valid slab width (the slab
+// layout wants a multiple of 8; padding codewords are zero and decode
+// clean).
+func PadBatchWidth(n int) int { return (n + 7) &^ 7 }

@@ -29,9 +29,10 @@ import (
 // beat — up to nine symbols — and overwhelms the decoder, while PAIR's
 // pin-aligned symbols confine the same physical event to one symbol.
 type DUO struct {
-	org  dram.Organization
-	code *rs.Code
-	scr  sync.Pool // *duoScratch per-decode workspace
+	org   dram.Organization
+	code  *rs.Code
+	scr   sync.Pool // *duoScratch per-decode workspace
+	batch sync.Pool // *duoBatch per-goroutine slab workspace
 }
 
 // duoScratch is the per-goroutine decode workspace: a reusable RS decoder
@@ -39,6 +40,32 @@ type DUO struct {
 type duoScratch struct {
 	dec  *rs.Decoder
 	word []byte
+}
+
+// duoBatch is the per-goroutine slab workspace for DecodeBatchInto: the
+// batch decoder, a slab sized to the last batch width, per-codeword
+// result buffers and the column staging block for the transposed gather.
+type duoBatch struct {
+	ws       *rs.BatchWorkspace
+	slab     *rs.Slab
+	nchanged []int
+	errs     []error
+	word     []byte
+	cols     [][64]byte // one staging column per codeword position
+}
+
+// ensure sizes the slab and result buffers for w codewords (a multiple
+// of 8). The slab is rebuilt only when the width changes.
+func (bb *duoBatch) ensure(n, w int) {
+	if bb.slab == nil || bb.slab.W() != w {
+		bb.slab = rs.NewSlab(n, w)
+	}
+	if cap(bb.nchanged) < w {
+		bb.nchanged = make([]int, w)
+		bb.errs = make([]error, w)
+	}
+	bb.nchanged = bb.nchanged[:w]
+	bb.errs = bb.errs[:w]
 }
 
 // NewDUO returns the DUO scheme on the given organization (pins must be a
@@ -54,6 +81,13 @@ func NewDUO(org dram.Organization) *DUO {
 	s := &DUO{org: org, code: rs.MustNew(k+2, k)}
 	s.scr.New = func() any {
 		return &duoScratch{dec: s.code.NewDecoder(), word: make([]byte, s.code.N)}
+	}
+	s.batch.New = func() any {
+		return &duoBatch{
+			ws:   s.code.NewBatchWorkspace(),
+			word: make([]byte, s.code.N),
+			cols: make([][64]byte, s.code.N),
+		}
 	}
 	return s
 }
@@ -158,6 +192,83 @@ func (s *DUO) DecodeInto(dst []byte, st *Stored) Claim {
 	}
 	s.scr.Put(scr)
 	return claim
+}
+
+// EncodeBatchInto implements BatchScheme. Encoding is dominated by the
+// per-image burst split, so the batch call is the defining loop.
+func (s *DUO) EncodeBatchInto(sts []*Stored, lines [][]byte) { loopEncodeBatch(s, sts, lines) }
+
+// DecodeBatchInto implements BatchScheme on the slab path: per chip, the
+// codewords of every image are transposed into one slab and certified by
+// a single bitsliced syndrome sweep; only dirty codewords reach the
+// scalar decoder. Results are identical to a DecodeInto loop.
+func (s *DUO) DecodeBatchInto(dst [][]byte, sts []*Stored, claims []Claim) {
+	CheckDecodeBatchArgs(dst, sts, claims)
+	nimg := len(sts)
+	if nimg == 0 {
+		return
+	}
+	bb := s.batch.Get().(*duoBatch)
+	defer s.batch.Put(bb)
+	n, k := s.code.N, s.code.K
+	bb.ensure(n, PadBatchWidth(nimg))
+	g := s.groups()
+	lineStride := s.org.ChipsPerRank * s.org.Pins / 8
+	for i := 0; i < nimg; i++ {
+		claims[i] = ClaimClean
+		for j := range dst[i] {
+			dst[i][j] = 0
+		}
+	}
+	for chip := 0; chip < s.org.ChipsPerRank; chip++ {
+		// Gather: assemble each image's codeword for this chip, staging
+		// 64 images per group and writing whole transposed columns.
+		for grp := 0; grp < bb.slab.Groups(); grp++ {
+			lo := grp * 64
+			hi := lo + 64
+			if hi > nimg {
+				hi = nimg
+			}
+			for j := 0; j < n; j++ {
+				bb.cols[j] = [64]byte{}
+			}
+			for i := lo; i < hi; i++ {
+				ci := sts[i].Chips[chip]
+				s.chipSymbolsInto(bb.word[:k], ci.Data)
+				for p := 0; p < 2; p++ {
+					bb.word[k+p] = byte(ci.Xfer.Bits().GetBits(8*p, 8))
+				}
+				for j := 0; j < n; j++ {
+					bb.cols[j][i-lo] = bb.word[j]
+				}
+			}
+			for j := 0; j < n; j++ {
+				bb.slab.SetColumn(j, grp, &bb.cols[j])
+			}
+		}
+		bb.ws.DecodeBatch(bb.slab, nil, bb.nchanged, bb.errs)
+		// Write back: clean and errored codewords pass the raw burst
+		// through (identical bytes to the scalar paths); corrected ones
+		// read their repaired data symbols out of the slab.
+		base := chip * (s.org.Pins / 8)
+		for i := 0; i < nimg; i++ {
+			ci := sts[i].Chips[chip]
+			switch {
+			case bb.errs[i] != nil:
+				claims[i] = ClaimDetected
+				dram.OrChipInto(s.org, dst[i], chip, ci.Data)
+			case bb.nchanged[i] == 0:
+				dram.OrChipInto(s.org, dst[i], chip, ci.Data)
+			default:
+				if claims[i] != ClaimDetected {
+					claims[i] = ClaimCorrected
+				}
+				for j := 0; j < k; j++ {
+					dst[i][(j/g)*lineStride+base+j%g] = bb.slab.At(i, j)
+				}
+			}
+		}
+	}
 }
 
 // StorageOverhead implements Scheme: 16 redundancy bits per 128 data bits.

@@ -2,6 +2,7 @@ package ecc
 
 import (
 	"bytes"
+	"sync"
 
 	"pair/internal/dram"
 	"pair/internal/rs"
@@ -30,8 +31,19 @@ import (
 // still beat-aligned) and the in-DRAM-budget adaptation the abstract's
 // comparison implies.
 type DUORank struct {
-	org  dram.Organization
-	code *rs.Code
+	org      dram.Organization
+	code     *rs.Code
+	erasures [][]int   // per-chip erasure hypothesis, built once
+	scratch  sync.Pool // *duoRankScratch
+}
+
+// duoRankScratch is the per-goroutine decode workspace: a scalar RS
+// decoder plus the assembled and corrected codeword buffers, so the retry
+// loop reuses one decode state across all chip hypotheses.
+type duoRankScratch struct {
+	dec       *rs.Decoder
+	word      []byte
+	corrected []byte
 }
 
 // NewDUORank returns the rank-level DUO scheme; the organization must be
@@ -45,7 +57,19 @@ func NewDUORank(org dram.Organization) *DUORank {
 	}
 	n := org.TotalChips()*org.BurstLen + org.TotalChips() // 72 beat symbols + 9 forwarded
 	k := org.ChipsPerRank * org.BurstLen                  // 64 data symbols
-	return &DUORank{org: org, code: rs.MustNew(n, k)}
+	s := &DUORank{org: org, code: rs.MustNew(n, k)}
+	s.erasures = make([][]int, org.TotalChips())
+	for c := range s.erasures {
+		s.erasures[c] = s.chipErasures(c)
+	}
+	s.scratch.New = func() any {
+		return &duoRankScratch{
+			dec:       s.code.NewDecoder(),
+			word:      make([]byte, s.code.N),
+			corrected: make([]byte, s.code.N),
+		}
+	}
+	return s
 }
 
 // Name implements Scheme.
@@ -88,10 +112,9 @@ func (s *DUORank) Encode(line []byte) *Stored {
 	return st
 }
 
-// assemble builds the 81-symbol received word from a stored image.
-func (s *DUORank) assemble(st *Stored) []byte {
+// assembleInto builds the 81-symbol received word from a stored image.
+func (s *DUORank) assembleInto(word []byte, st *Stored) {
 	nChips := s.org.TotalChips()
-	word := make([]byte, s.code.N)
 	for c := 0; c < s.org.ChipsPerRank; c++ {
 		for beat := 0; beat < s.org.BurstLen; beat++ {
 			word[c*s.org.BurstLen+beat] = st.Chips[c].Data.BeatByte(beat, 0)
@@ -104,7 +127,6 @@ func (s *DUORank) assemble(st *Stored) []byte {
 	for c := 0; c < nChips; c++ {
 		word[s.code.K+8+c] = st.Chips[c].Xfer.BeatByte(0, 0)
 	}
-	return word
 }
 
 // chipErasures returns the symbol positions chip c occupies in the
@@ -126,22 +148,24 @@ func (s *DUORank) chipErasures(c int) []int {
 // Decode implements Scheme: direct decode first; on failure, retry under
 // each single-chip erasure hypothesis and accept only a unanimous answer.
 func (s *DUORank) Decode(st *Stored) ([]byte, Claim) {
-	word := s.assemble(st)
-	if corrected, nerr, err := s.code.Decode(word, nil); err == nil {
+	scr := s.scratch.Get().(*duoRankScratch)
+	defer s.scratch.Put(scr)
+	word := scr.word
+	s.assembleInto(word, st)
+	if nerr, err := scr.dec.DecodeInto(scr.corrected, word, nil); err == nil {
 		claim := ClaimClean
 		if nerr > 0 {
 			claim = ClaimCorrected
 		}
-		return s.extract(corrected), claim
+		return s.extract(scr.corrected), claim
 	}
 	// Chip-erasure hypotheses (degraded mode).
 	var agreed []byte
 	for c := 0; c < s.org.TotalChips(); c++ {
-		corrected, _, err := s.code.Decode(word, s.chipErasures(c))
-		if err != nil {
+		if _, err := scr.dec.DecodeInto(scr.corrected, word, s.erasures[c]); err != nil {
 			continue
 		}
-		data := s.extract(corrected)
+		data := s.extract(scr.corrected)
 		if agreed == nil {
 			agreed = data
 		} else if !bytes.Equal(agreed, data) {

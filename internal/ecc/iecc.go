@@ -115,3 +115,13 @@ func (s *IECC) Cost() AccessCost {
 		ExtraReadsPerMaskedWrite: 1.0,
 	}
 }
+
+// EncodeBatchInto implements BatchScheme: the per-access Hamming words
+// are too short for the slab codec to pay off, so the batch calls are
+// the defining loop.
+func (s *IECC) EncodeBatchInto(sts []*Stored, lines [][]byte) { loopEncodeBatch(s, sts, lines) }
+
+// DecodeBatchInto implements BatchScheme.
+func (s *IECC) DecodeBatchInto(dst [][]byte, sts []*Stored, claims []Claim) {
+	loopDecodeBatch(s, dst, sts, claims)
+}

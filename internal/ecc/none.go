@@ -68,3 +68,12 @@ func (n *None) StorageOverhead() float64 { return 0 }
 
 // Cost implements Scheme.
 func (n *None) Cost() AccessCost { return AccessCost{} }
+
+// EncodeBatchInto implements BatchScheme: pass-through storage has no
+// codec work to batch, so the batch calls are the defining loop.
+func (n *None) EncodeBatchInto(sts []*Stored, lines [][]byte) { loopEncodeBatch(n, sts, lines) }
+
+// DecodeBatchInto implements BatchScheme.
+func (n *None) DecodeBatchInto(dst [][]byte, sts []*Stored, claims []Claim) {
+	loopDecodeBatch(n, dst, sts, claims)
+}

@@ -73,8 +73,11 @@ func (s *SECDED) Decode(st *Stored) ([]byte, Claim) {
 	for c := range out {
 		out[c] = dram.NewBurst(s.org.Pins, s.org.BurstLen)
 	}
+	// One reusable word for all beats: every position is overwritten per
+	// beat and the correction happens in place (hamming.DecodeInto), so
+	// the per-beat loop allocates nothing.
+	word := bitvec.New(s.code.N)
 	for beat := 0; beat < s.org.BurstLen; beat++ {
-		word := bitvec.New(s.code.N)
 		for c := 0; c < nData; c++ {
 			for p := 0; p < s.org.Pins; p++ {
 				word.Set(c*s.org.Pins+p, st.Chips[c].Data.Get(p, beat))
@@ -83,8 +86,7 @@ func (s *SECDED) Decode(st *Stored) ([]byte, Claim) {
 		for j := 0; j < s.code.M; j++ {
 			word.Set(s.code.K+j, eccBurst.Get(j, beat))
 		}
-		corrected, outcome := s.code.Decode(word)
-		switch outcome {
+		switch s.code.DecodeInto(word, word) {
 		case hamming.Detected:
 			claim = ClaimDetected
 		case hamming.Corrected:
@@ -94,7 +96,7 @@ func (s *SECDED) Decode(st *Stored) ([]byte, Claim) {
 		}
 		for c := 0; c < nData; c++ {
 			for p := 0; p < s.org.Pins; p++ {
-				out[c].Set(p, beat, corrected.Get(c*s.org.Pins+p))
+				out[c].Set(p, beat, word.Get(c*s.org.Pins+p))
 			}
 		}
 	}

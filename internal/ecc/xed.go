@@ -180,3 +180,13 @@ func (s *XED) Cost() AccessCost {
 		ExtraReadsPerMaskedWrite: 1.0,
 	}
 }
+
+// EncodeBatchInto implements BatchScheme: XED's per-chip parity is plain
+// XOR with no shared codec state worth batching, so the batch calls are
+// the defining loop.
+func (s *XED) EncodeBatchInto(sts []*Stored, lines [][]byte) { loopEncodeBatch(s, sts, lines) }
+
+// DecodeBatchInto implements BatchScheme.
+func (s *XED) DecodeBatchInto(dst [][]byte, sts []*Stored, claims []Claim) {
+	loopDecodeBatch(s, dst, sts, claims)
+}

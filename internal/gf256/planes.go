@@ -1,0 +1,76 @@
+// Bitsliced GF(2^8) kernels: 64 field elements packed as 8 bit-planes.
+//
+// Multiplication by a constant is GF(2)-linear in the bits of the input,
+// so over the bit-plane representation it becomes a fixed XOR network
+// across planes — every 64-bit XOR advances all 64 elements at once, and
+// no table lookups or per-byte masking survive in the inner loop. This is
+// the representation behind the slab codec in internal/rs: syndrome
+// sweeps there run the networks for multiply-by-alpha^k directly on slab
+// planes, and fall back to MulXorPlanes for arbitrary constants.
+package gf256
+
+import "encoding/binary"
+
+// Planes is the bitsliced image of 64 field elements: bit b of Planes[i]
+// is bit i of element b.
+type Planes [8]uint64
+
+const (
+	packLo     = 0x0101010101010101 // one bit per byte lane
+	packGather = 0x0102040810204080 // folds the 8 spread bits into the top byte
+)
+
+// PackPlanes transposes the 64 elements of col into their bitsliced
+// image, overwriting dst.
+func PackPlanes(dst *Planes, col *[64]byte) {
+	*dst = Planes{}
+	for w := 0; w < 8; w++ {
+		lane := binary.LittleEndian.Uint64(col[w*8:])
+		sh := uint(8 * w)
+		for i := 0; i < 8; i++ {
+			dst[i] |= ((lane >> uint(i) & packLo) * packGather >> 56) << sh
+		}
+	}
+}
+
+// UnpackPlanes transposes the bitsliced image back into 64 elements,
+// overwriting col. It is the inverse of PackPlanes.
+func UnpackPlanes(col *[64]byte, src *Planes) {
+	for w := 0; w < 8; w++ {
+		sh := uint(8 * w)
+		var t uint64
+		for i := 0; i < 8; i++ {
+			t |= (src[i] >> sh & 0xff) << uint(8*i)
+		}
+		for b := 0; b < 8; b++ {
+			col[w*8+b] = byte((t >> uint(b) & packLo) * packGather >> 56)
+		}
+	}
+}
+
+// MulXorPlanes accumulates dst ^= c*src over the 64 packed elements.
+// The multiplication matrix of c is applied column by column as
+// branch-free masked XORs. dst and src must not overlap.
+func MulXorPlanes(dst, src *Planes, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	for j := 0; j < 8; j++ {
+		col := Mul(c, 1<<j) // image of input bit j under multiply-by-c
+		v := src[j]
+		dst[0] ^= v & -uint64(col&1)
+		dst[1] ^= v & -uint64(col>>1&1)
+		dst[2] ^= v & -uint64(col>>2&1)
+		dst[3] ^= v & -uint64(col>>3&1)
+		dst[4] ^= v & -uint64(col>>4&1)
+		dst[5] ^= v & -uint64(col>>5&1)
+		dst[6] ^= v & -uint64(col>>6&1)
+		dst[7] ^= v & -uint64(col>>7&1)
+	}
+}

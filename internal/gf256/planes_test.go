@@ -1,0 +1,56 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randElems draws 64 pseudo-random field elements.
+func randElems(rng *rand.Rand) [64]byte {
+	var col [64]byte
+	rng.Read(col[:])
+	return col
+}
+
+func TestPackUnpackPlanesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		col := randElems(rng)
+		var p Planes
+		PackPlanes(&p, &col)
+		// Bit-level definition: bit b of plane i is bit i of element b.
+		for b := 0; b < 64; b++ {
+			for i := 0; i < 8; i++ {
+				want := uint64(col[b] >> i & 1)
+				if got := p[i] >> b & 1; got != want {
+					t.Fatalf("plane %d bit %d = %d, want %d", i, b, got, want)
+				}
+			}
+		}
+		var back [64]byte
+		UnpackPlanes(&back, &p)
+		if back != col {
+			t.Fatalf("round trip mismatch:\n got %x\nwant %x", back, col)
+		}
+	}
+}
+
+func TestMulXorPlanesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < 256; c++ {
+		src := randElems(rng)
+		acc := randElems(rng)
+		var ps, pd Planes
+		PackPlanes(&ps, &src)
+		PackPlanes(&pd, &acc)
+		MulXorPlanes(&pd, &ps, byte(c))
+		var got [64]byte
+		UnpackPlanes(&got, &pd)
+		for b := 0; b < 64; b++ {
+			want := acc[b] ^ Mul(byte(c), src[b])
+			if got[b] != want {
+				t.Fatalf("c=%#x element %d: got %#x, want %#x", c, b, got[b], want)
+			}
+		}
+	}
+}

@@ -246,6 +246,20 @@ func (c *Code) Decode(word *bitvec.Vec) (*bitvec.Vec, Outcome) {
 	return out, outcome
 }
 
+// DecodeInto is Decode into a caller-owned destination vector (length N;
+// dst may be word itself for in-place correction). Allocates nothing, so
+// per-access decode loops can run at a zero-allocation steady state.
+func (c *Code) DecodeInto(dst, word *bitvec.Vec) Outcome {
+	pos, outcome := c.DecodeSyndrome(c.Syndrome(word))
+	if dst != word {
+		dst.CopyFrom(word)
+	}
+	if outcome == Corrected {
+		dst.Flip(pos)
+	}
+	return outcome
+}
+
 // Data extracts the data bits from a codeword.
 func (c *Code) Data(cw *bitvec.Vec) *bitvec.Vec {
 	if cw.Len() != c.N {

@@ -264,3 +264,45 @@ func TestDecodePreservesInput(t *testing.T) {
 		t.Fatal("Decode mutated its input")
 	}
 }
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	// DecodeInto is Decode without the clone: identical outcome and bits
+	// for clean, single-error and double-error words, for a separate
+	// destination and for in-place correction.
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range []*Code{MustSEC(128), MustSECDED(64)} {
+		dst := bitvec.New(c.N)
+		for trial := 0; trial < 200; trial++ {
+			cw := c.Encode(randData(rng, c.K))
+			rx := cw.Clone()
+			for f := 0; f < trial%3; f++ {
+				rx.Flip(rng.Intn(c.N))
+			}
+			want, wantOutcome := c.Decode(rx)
+			if got := c.DecodeInto(dst, rx); got != wantOutcome || !dst.Equal(want) {
+				t.Fatalf("(%d,%d): DecodeInto outcome %v bits-match %v, Decode outcome %v",
+					c.N, c.K, got, dst.Equal(want), wantOutcome)
+			}
+			inPlace := rx.Clone()
+			if got := c.DecodeInto(inPlace, inPlace); got != wantOutcome || !inPlace.Equal(want) {
+				t.Fatalf("(%d,%d): in-place DecodeInto diverged", c.N, c.K)
+			}
+		}
+	}
+}
+
+func TestDecodeIntoAllocs(t *testing.T) {
+	// The per-access decode loops of the on-die schemes lean on DecodeInto
+	// being allocation-free (Decode clones: 2 allocs, 56 B for (136,128)).
+	c := MustSEC(128)
+	cw := c.Encode(randData(rand.New(rand.NewSource(10)), c.K))
+	cw.Flip(40)
+	dst := bitvec.New(c.N)
+	if n := testing.AllocsPerRun(100, func() {
+		if c.DecodeInto(dst, cw) != Corrected {
+			t.Fatal("unexpected outcome")
+		}
+	}); n != 0 {
+		t.Fatalf("DecodeInto allocates %v objects per run, want 0", n)
+	}
+}

@@ -62,11 +62,16 @@ func ratesFromCounts(counts [4]int64, trials int) OutcomeRates {
 }
 
 // runTrials executes n encode/inject/decode trials with the given RNG and
-// returns the outcome counts. When the scheme implements ecc.BufferedScheme
-// the stored image and both line buffers are reused across trials
-// (allocation-free steady state); the RNG draw order is identical on both
-// paths, so results do not depend on which path ran.
+// returns the outcome counts. Schemes offering the slab fast path
+// (ecc.BatchScheme) decode in chunks of up to 64 trials per call; plain
+// buffered schemes reuse the stored image and both line buffers across
+// trials (allocation-free steady state). The RNG draw order is identical
+// on every path — encode and injection consume the stream in trial order
+// and decoding draws nothing — so counts do not depend on which path ran.
 func runTrials(scheme ecc.Scheme, rng *rand.Rand, n int, inject func(*rand.Rand, *ecc.Stored)) (counts [4]int64) {
+	if bs, ok := scheme.(ecc.BatchScheme); ok {
+		return runTrialsBatch(bs, rng, n, inject)
+	}
 	line := make([]byte, scheme.Org().LineBytes())
 	if buf, ok := scheme.(ecc.BufferedScheme); ok {
 		st := buf.NewStored()
@@ -86,6 +91,48 @@ func runTrials(scheme ecc.Scheme, rng *rand.Rand, n int, inject func(*rand.Rand,
 		inject(rng, st)
 		decoded, claim := scheme.Decode(st)
 		counts[ecc.Classify(line, decoded, claim)]++
+	}
+	return counts
+}
+
+// trialChunk is how many trials runTrialsBatch hands to one
+// DecodeBatchInto call: one slab group, so the bitsliced syndrome sweep
+// certifies a whole chunk of clean trials in a single pass.
+const trialChunk = 64
+
+// runTrialsBatch is the slab inner loop: per chunk, the trials are
+// encoded and injected one at a time in trial order (preserving the RNG
+// stream of the scalar path exactly), then the whole chunk is decoded
+// with one DecodeBatchInto call and classified.
+func runTrialsBatch(scheme ecc.BatchScheme, rng *rand.Rand, n int, inject func(*rand.Rand, *ecc.Stored)) (counts [4]int64) {
+	width := trialChunk
+	if n < width {
+		width = n
+	}
+	lineBytes := scheme.Org().LineBytes()
+	lines := make([][]byte, width)
+	decoded := make([][]byte, width)
+	sts := make([]*ecc.Stored, width)
+	claims := make([]ecc.Claim, width)
+	for i := 0; i < width; i++ {
+		lines[i] = make([]byte, lineBytes)
+		decoded[i] = make([]byte, lineBytes)
+		sts[i] = scheme.NewStored()
+	}
+	for done := 0; done < n; done += width {
+		m := width
+		if n-done < m {
+			m = n - done
+		}
+		for i := 0; i < m; i++ {
+			rng.Read(lines[i])
+			scheme.EncodeInto(sts[i], lines[i])
+			inject(rng, sts[i])
+		}
+		scheme.DecodeBatchInto(decoded[:m], sts[:m], claims[:m])
+		for i := 0; i < m; i++ {
+			counts[ecc.Classify(lines[i], decoded[i], claims[i])]++
+		}
 	}
 	return counts
 }

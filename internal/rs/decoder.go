@@ -12,8 +12,7 @@ import (
 // detected-uncorrectable patterns alike — performs zero heap allocations.
 //
 // A Decoder is NOT safe for concurrent use; give each goroutine its own
-// (NewDecoder is cheap) or go through Code.Decode, which draws from an
-// internal pool.
+// (NewDecoder is cheap).
 type Decoder struct {
 	c *Code
 
@@ -97,9 +96,12 @@ func (d *Decoder) SyndromesInto(word []byte) ([]byte, bool) {
 
 // DecodeInto corrects errors and erasures in received (length N) into dst
 // (length N, may alias received) and returns the number of symbol
-// positions changed. On error dst's contents are unspecified. The
-// correction guarantee and failure semantics are identical to Code.Decode;
-// the steady-state path allocates nothing.
+// positions changed. On error dst's contents are unspecified. erasures
+// lists symbol positions known to be unreliable (each in [0,N)); the
+// pattern is guaranteed correctable when 2*errors + erasures <= N-K, and
+// beyond that the decoder either returns ErrUncorrectable or — for some
+// patterns, as with any bounded-distance decoder — miscorrects. The
+// steady-state path allocates nothing.
 func (d *Decoder) DecodeInto(dst, received []byte, erasures []int) (int, error) {
 	c := d.c
 	if len(received) != c.N {

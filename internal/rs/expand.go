@@ -39,10 +39,15 @@ type Expandable struct {
 	// (1 - x_j z), so fastOK requires every point to be nonzero; the
 	// canonical DefaultPoints always qualify.
 	fastOK    bool
-	dualV     []byte        // v_j, the dual column multipliers
-	xInv      []byte        // 1/x_j, the candidate locator roots
-	pointRows []*[256]byte  // multiplication row of x_j
-	pool      sync.Pool     // *ExpandableDecoder, backing Decode
+	dualV     []byte       // v_j, the dual column multipliers
+	xInv      []byte       // 1/x_j, the candidate locator roots
+	pointRows []*[256]byte // multiplication row of x_j
+	pool      sync.Pool    // *ExpandableDecoder, backing Decode
+
+	// Batch (slab) path, see expandbatch.go: the fused bitsliced sweep
+	// needs the canonical geometric points, detected once.
+	batchSynOnce sync.Once
+	geometric    bool // points are alpha^0, alpha^1, ...
 }
 
 // NewExpandable builds an expandable code with the given message length and

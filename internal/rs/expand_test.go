@@ -193,7 +193,7 @@ func TestExpandableAgreesWithBCHViewOnCorrectionPower(t *testing.T) {
 		if out, _, err := ev.Decode(rxE, nil); err != nil || !bytes.Equal(out, cwE) {
 			t.Fatalf("evaluation view failed on double error: %v", err)
 		}
-		if out, _, err := bch.Decode(rxB, nil); err != nil || !bytes.Equal(out, cwB) {
+		if out, _, err := decodeAlloc(bch, rxB, nil); err != nil || !bytes.Equal(out, cwB) {
 			t.Fatalf("BCH view failed on double error: %v", err)
 		}
 	}

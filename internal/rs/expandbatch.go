@@ -1,0 +1,231 @@
+// Batch (slab) path for the expandable (GRS evaluation) view — the PAIR
+// codes. The dual syndromes S_i = sum_j v_j r_j x_j^i become, on the
+// canonical geometric points x_j = alpha^j, a Horner recurrence over
+// descending positions with the SAME multiply-by-alpha^i step kernels the
+// BCH slab sweep uses: S_i = sum_j (v_j r_j) (alpha^i)^j. The batch sweep
+// therefore scales each position's planes by its dual multiplier once
+// (one bitsliced constant multiply into a scratch block) and then folds
+// the scratch into all n-k accumulators with the straight-line XOR
+// chains. Non-geometric point sets keep correctness through a
+// per-codeword sweep with the scalar syndrome tables; only the canonical
+// points get the bitsliced kernels, and every PAIR operating point uses
+// the canonical points.
+package rs
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pair/internal/gf256"
+)
+
+// ExpandableBatchWorkspace is the Expandable counterpart of
+// BatchWorkspace: scalar fallback decoder, gather buffer, dirty mask,
+// the erasure-validation scratch and the scaled-plane block the geometric
+// sweep stages into. NOT safe for concurrent use.
+type ExpandableBatchWorkspace struct {
+	e     *Expandable
+	dec   *ExpandableDecoder
+	word  []byte
+	dirty []uint64
+	syn   []byte   // scalar syndrome scratch for the non-geometric sweep
+	tl    []uint64 // n plane blocks: position lanes scaled by dualV
+
+	erased    []bool // erasure deduplication, mirroring ExpandableDecoder
+	erasedPos []int
+}
+
+// NewBatchWorkspace returns a fresh batch workspace for the code. The code
+// must have all-nonzero evaluation points (the same restriction as
+// NewDecoder).
+func (e *Expandable) NewBatchWorkspace() *ExpandableBatchWorkspace {
+	n := e.N()
+	return &ExpandableBatchWorkspace{
+		e:         e,
+		dec:       e.NewDecoder(),
+		word:      make([]byte, n),
+		syn:       make([]byte, n-e.K),
+		tl:        make([]uint64, n*8),
+		erased:    make([]bool, n),
+		erasedPos: make([]int, 0, n),
+	}
+}
+
+// Code returns the code this workspace serves.
+func (ws *ExpandableBatchWorkspace) Code() *Expandable { return ws.e }
+
+// EncodeBatch overwrites the parity positions [K,N) of every codeword in s
+// from its data positions [0,K), applying the cached parity-generator
+// matrix as bitsliced constant multiplies.
+func (ws *ExpandableBatchWorkspace) EncodeBatch(s *Slab) {
+	e := ws.e
+	if s.n != e.N() {
+		panic(fmt.Sprintf("rs: slab codeword length %d, want %d", s.n, e.N()))
+	}
+	encodeSlab(s, e.K, e.parityGen)
+}
+
+// ensureBatchSyndromes lazily detects whether the points are the canonical
+// alpha^0, alpha^1, ... sequence, which is what lets the sweep run the
+// geometric Horner recurrence.
+func (e *Expandable) ensureBatchSyndromes() {
+	e.batchSynOnce.Do(func() {
+		for j, p := range e.Points {
+			if p != gf256.Exp(j) {
+				return // non-geometric points: no bitsliced sweep
+			}
+		}
+		e.geometric = true
+	})
+}
+
+// dirtyMask grows (if needed) and returns the dirty-mask buffer.
+func (ws *ExpandableBatchWorkspace) dirtyMask(g int) []uint64 {
+	if cap(ws.dirty) < g {
+		ws.dirty = make([]uint64, g)
+	}
+	return ws.dirty[:g]
+}
+
+// DecodeBatch corrects every codeword of s in place, with per-codeword
+// results defined to be identical to an ExpandableDecoder.DecodeInto loop:
+// erasures apply uniformly to every codeword, nchanged[i]/errs[i] report
+// codeword i, and on error a codeword's slab contents stay the received
+// word. Returns the number of dirty codewords handed to the scalar
+// fallback (0 = whole slab clean in one sweep).
+func (ws *ExpandableBatchWorkspace) DecodeBatch(s *Slab, erasures []int, nchanged []int, errs []error) int {
+	e := ws.e
+	n := e.N()
+	if s.n != n {
+		panic(fmt.Sprintf("rs: slab codeword length %d, want %d", s.n, n))
+	}
+	if len(nchanged) < s.w || len(errs) < s.w {
+		panic(fmt.Sprintf("rs: result buffers length %d/%d, want >= %d", len(nchanged), len(errs), s.w))
+	}
+	for i := 0; i < s.w; i++ {
+		nchanged[i], errs[i] = 0, nil
+	}
+	if !e.fastOK {
+		err := fmt.Errorf("rs: code has a zero evaluation point; use Expandable.Decode")
+		for i := 0; i < s.w; i++ {
+			errs[i] = err
+		}
+		return s.w
+	}
+
+	// Replicate the scalar decoder's pre-syndrome erasure handling — it
+	// validates and deduplicates, then budget-checks, before the clean
+	// fast path — so the batch path fails the same way it does.
+	for i := range ws.erased {
+		ws.erased[i] = false
+	}
+	erasedPos := ws.erasedPos[:0]
+	for _, pos := range erasures {
+		if pos < 0 || pos >= n {
+			err := fmt.Errorf("rs: erasure position %d out of range [0,%d)", pos, n)
+			for i := 0; i < s.w; i++ {
+				errs[i] = err
+			}
+			return s.w
+		}
+		if !ws.erased[pos] {
+			ws.erased[pos] = true
+			erasedPos = append(erasedPos, pos)
+		}
+	}
+	ws.erasedPos = erasedPos // keep any growth for reuse
+	if n-len(erasedPos) < e.K {
+		for i := 0; i < s.w; i++ {
+			errs[i] = ErrUncorrectable
+		}
+		return s.w
+	}
+
+	dirty := ws.dirtyMask(s.g)
+	if !ws.syndromeSweep(s, dirty) {
+		return 0
+	}
+
+	ndirty := 0
+	for grp, dw := range dirty {
+		for dw != 0 {
+			cw := grp<<6 + bits.TrailingZeros64(dw)
+			dw &= dw - 1
+			s.CodewordInto(ws.word, cw)
+			nc, err := ws.dec.DecodeInto(ws.word, ws.word, erasures)
+			if err != nil {
+				errs[cw] = err
+			} else if nc > 0 {
+				nchanged[cw] = nc
+				s.SetCodeword(cw, ws.word)
+			}
+			ndirty++
+		}
+	}
+	return ndirty
+}
+
+// syndromeSweep folds the dual syndromes of every codeword into dirty and
+// reports whether any codeword is dirty. On the canonical geometric points
+// it is the fused bitsliced sweep; otherwise each codeword is swept with
+// the scalar syndrome tables (correct everywhere, word-parallel nowhere).
+func (ws *ExpandableBatchWorkspace) syndromeSweep(s *Slab, dirty []uint64) bool {
+	e := ws.e
+	e.ensureBatchSyndromes()
+	if e.geometric {
+		return ws.geometricSweep(s, dirty)
+	}
+	for grp := range dirty {
+		dirty[grp] = 0
+	}
+	var any uint64
+	for cw := 0; cw < s.w; cw++ {
+		s.CodewordInto(ws.word, cw)
+		if !e.syndromesInto(ws.syn, ws.word) {
+			d := uint64(1) << (cw & 63)
+			dirty[cw>>6] |= d
+			any |= d
+		}
+	}
+	return any != 0
+}
+
+// geometricSweep runs the bitsliced sweep on canonical points: per
+// position j (descending, matching the Horner order of the dual
+// syndromes) the position's planes are scaled by v_j into the staging
+// block once, then every syndrome accumulator folds the staged block with
+// its alpha-power chain.
+func (ws *ExpandableBatchWorkspace) geometricSweep(s *Slab, dirty []uint64) bool {
+	e := ws.e
+	n, np := e.N(), e.N()-e.K
+	var any uint64
+	for grp := 0; grp < s.g; grp++ {
+		// Stage: tl[pos] = dualV[pos] * planes(pos). The chains then walk
+		// tl from the last position down (off = (n-1)*8, stride -8).
+		for pos := 0; pos < n; pos++ {
+			dst := (*gf256.Planes)(ws.tl[pos*8 : pos*8+8])
+			*dst = gf256.Planes{}
+			gf256.MulXorPlanes(dst, s.planes(pos, grp), e.dualV[pos])
+		}
+		d := foldChain0(ws.tl, (n-1)*8, -8, n)
+		j := 1
+		if np > 1 {
+			d |= foldChainX(ws.tl, (n-1)*8, -8, n)
+			j = 2
+		}
+		if np > 2 {
+			d |= foldChainX2(ws.tl, (n-1)*8, -8, n)
+			j = 3
+		}
+		if np > 3 {
+			d |= foldChainX3(ws.tl, (n-1)*8, -8, n)
+			j = 4
+		}
+		for ; j < np; j++ {
+			d |= foldChainGen(ws.tl, (n-1)*8, -8, n, gf256.Exp(j))
+		}
+		dirty[grp] = d
+		any |= d
+	}
+	return any != 0
+}

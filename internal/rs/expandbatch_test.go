@@ -1,0 +1,137 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// checkExpandableBatchAgainstScalar asserts the expandable DecodeBatch is
+// extensionally equal to an ExpandableDecoder.DecodeInto loop.
+func checkExpandableBatchAgainstScalar(t *testing.T, e *Expandable, ws *ExpandableBatchWorkspace, rxs [][]byte, erasures []int) {
+	t.Helper()
+	n := e.N()
+	s := loadSlab(n, rxs)
+	nchanged := make([]int, s.W())
+	errs := make([]error, s.W())
+	ws.DecodeBatch(s, erasures, nchanged, errs)
+
+	dec := e.NewDecoder()
+	got := make([]byte, n)
+	want := make([]byte, n)
+	for i, rx := range rxs {
+		s.CodewordInto(got, i)
+		wantN, wantErr := dec.DecodeInto(want, rx, erasures)
+		if (errs[i] == nil) != (wantErr == nil) {
+			t.Fatalf("codeword %d: batch err %v, scalar err %v", i, errs[i], wantErr)
+		}
+		if wantErr != nil {
+			if errs[i].Error() != wantErr.Error() {
+				t.Fatalf("codeword %d: batch err %q, scalar err %q", i, errs[i], wantErr)
+			}
+			if !bytes.Equal(got, rx) {
+				t.Fatalf("codeword %d: slab modified on error", i)
+			}
+			continue
+		}
+		if nchanged[i] != wantN {
+			t.Fatalf("codeword %d: batch nchanged %d, scalar %d", i, nchanged[i], wantN)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("codeword %d: batch %x, scalar %x", i, got, want)
+		}
+	}
+}
+
+func TestExpandableDecodeBatchMatchesScalar(t *testing.T) {
+	codes := []*Expandable{}
+	for _, sh := range []struct{ n, k int }{{20, 16}, {18, 16}, {26, 16}} {
+		e, err := NewExpandableDefault(sh.n, sh.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, e)
+	}
+	// Non-geometric (but all-nonzero) points: the sweep falls back to the
+	// per-codeword scalar syndromes, results must still match.
+	rev := DefaultPoints(20)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	eRev, err := NewExpandable(16, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes = append(codes, eRev)
+
+	for _, e := range codes {
+		n, k := e.N(), e.K
+		ws := e.NewBatchWorkspace()
+		rng := rand.New(rand.NewSource(int64(n)))
+		rxs := corruptedBatch(rng, e.Encode, n, k, 13)
+		checkExpandableBatchAgainstScalar(t, e, ws, rxs, nil)
+		checkExpandableBatchAgainstScalar(t, e, ws, rxs, []int{0})
+		checkExpandableBatchAgainstScalar(t, e, ws, rxs, []int{3, 3, n - 1}) // duplicates dedup
+		over := make([]int, n-k+1)
+		for i := range over {
+			over[i] = i
+		}
+		checkExpandableBatchAgainstScalar(t, e, ws, rxs, over)
+		checkExpandableBatchAgainstScalar(t, e, ws, rxs, []int{-1})
+		checkExpandableBatchAgainstScalar(t, e, ws, rxs, []int{n})
+		// Budget exhaustion: more erasures than n-K survivors allow.
+		tooMany := make([]int, n-k+2)
+		for i := range tooMany {
+			tooMany[i] = i
+		}
+		checkExpandableBatchAgainstScalar(t, e, ws, rxs, tooMany)
+	}
+}
+
+func TestExpandableEncodeBatchMatchesScalar(t *testing.T) {
+	for _, sh := range []struct{ n, k int }{{20, 16}, {18, 16}, {26, 16}} {
+		e, err := NewExpandableDefault(sh.n, sh.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := e.NewBatchWorkspace()
+		rng := rand.New(rand.NewSource(int64(sh.k)))
+		const count = 10
+		s := NewSlab(sh.n, padW(count))
+		msgs := make([][]byte, count)
+		for i := range msgs {
+			msgs[i] = make([]byte, sh.k)
+			rng.Read(msgs[i])
+			s.SetData(i, msgs[i])
+		}
+		s.ZeroTail(count)
+		ws.EncodeBatch(s)
+		got := make([]byte, sh.n)
+		for i, msg := range msgs {
+			s.CodewordInto(got, i)
+			if want := e.Encode(msg); !bytes.Equal(got, want) {
+				t.Fatalf("(%d,%d) codeword %d: batch %x, scalar %x", sh.n, sh.k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestExpandableDecodeBatchZeroAllocSteadyState(t *testing.T) {
+	e, err := NewExpandableDefault(20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := e.NewBatchWorkspace()
+	rng := rand.New(rand.NewSource(17))
+	rxs := corruptedBatch(rng, e.Encode, 20, 16, 32)
+	s := loadSlab(20, rxs)
+	nchanged := make([]int, s.W())
+	errs := make([]error, s.W())
+	ws.DecodeBatch(s, nil, nchanged, errs) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.DecodeBatch(s, nil, nchanged, errs)
+	})
+	if allocs != 0 {
+		t.Fatalf("expandable DecodeBatch allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

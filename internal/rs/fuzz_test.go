@@ -21,7 +21,7 @@ func FuzzDecodeBCH(f *testing.F) {
 		if erasure >= 0 && erasure < 20 {
 			erasures = []int{erasure}
 		}
-		out, _, err := c.Decode(word, erasures)
+		out, _, err := decodeAlloc(c, word, erasures)
 		if err != nil {
 			return
 		}
@@ -123,7 +123,7 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 			enc func([]byte) []byte
 			dec func([]byte) ([]byte, int, error)
 		}{
-			{bch.Encode, func(w []byte) ([]byte, int, error) { return bch.Decode(w, nil) }},
+			{bch.Encode, func(w []byte) ([]byte, int, error) { return decodeAlloc(bch, w, nil) }},
 			{ev.Encode, func(w []byte) ([]byte, int, error) { return ev.Decode(w, nil) }},
 		} {
 			cw := c.enc(msg)

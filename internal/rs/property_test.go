@@ -44,7 +44,7 @@ func TestRandomShapesWithinBudget(t *testing.T) {
 		goldenB := bch.Encode(msg)
 		goldenE := ev.Encode(msg)
 
-		outB, _, errB := bch.Decode(cwB, erasures)
+		outB, _, errB := decodeAlloc(bch, cwB, erasures)
 		if errB != nil || !bytes.Equal(outB, goldenB) {
 			t.Fatalf("BCH (%d,%d) e=%d s=%d failed: %v", n, k, nerr, ners, errB)
 		}

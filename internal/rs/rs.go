@@ -45,11 +45,15 @@ type Code struct {
 	gen gf256.Polynomial
 
 	// Hot-path tables, built once at construction.
-	genRev     []byte         // gen[np-1-j]: feedback taps in parity order
-	rootRows   []*[256]byte   // multiplication row of each syndrome root
-	chienStart []byte         // xInv(pos=0)^i for the incremental Chien search
-	chienStep  []*[256]byte   // multiplication row of alpha^i (Chien stepping)
-	pool       sync.Pool      // *Decoder, backing the allocating Decode API
+	genRev     []byte       // gen[np-1-j]: feedback taps in parity order
+	rootRows   []*[256]byte // multiplication row of each syndrome root
+	chienStart []byte       // xInv(pos=0)^i for the incremental Chien search
+	chienStep  []*[256]byte // multiplication row of alpha^i (Chien stepping)
+
+	// Batch (slab) path: the lazily-built (N-K) x K parity map for
+	// EncodeBatch (see batch.go).
+	batchOnce   sync.Once
+	batchParity [][]byte
 }
 
 // New constructs an (n,k) Reed-Solomon code. n must satisfy
@@ -87,7 +91,6 @@ func New(n, k int) (*Code, error) {
 		c.chienStart[i] = gf256.Exp(startLog * i)
 		c.chienStep[i] = gf256.Row(gf256.Exp(i))
 	}
-	c.pool.New = func() any { return c.NewDecoder() }
 	return c, nil
 }
 
@@ -162,28 +165,6 @@ func (c *Code) IsCodeword(word []byte) bool {
 		}
 	}
 	return true
-}
-
-// Decode corrects errors and erasures in received (length N) in a copy and
-// returns the corrected codeword along with the number of symbols changed.
-// erasures lists symbol positions known to be unreliable (each position in
-// [0,N)). The pattern is guaranteed correctable when
-// 2*errors + erasures <= N-K; beyond that the decoder either returns
-// ErrUncorrectable or — for some patterns, as with any bounded-distance
-// decoder — miscorrects.
-//
-// Decode draws a workspace from an internal pool, so it is safe for
-// concurrent use and allocates only the returned codeword in steady state;
-// the fully allocation-free path is Decoder.DecodeInto.
-func (c *Code) Decode(received []byte, erasures []int) ([]byte, int, error) {
-	out := make([]byte, c.N)
-	d := c.pool.Get().(*Decoder)
-	nchanged, err := d.DecodeInto(out, received, erasures)
-	c.pool.Put(d)
-	if err != nil {
-		return nil, 0, err
-	}
-	return out, nchanged, nil
 }
 
 // decodeReference is the original allocating decode path, kept verbatim as

@@ -95,7 +95,7 @@ func TestDecodeNoError(t *testing.T) {
 	c := MustNew(20, 16)
 	msg := randMsg(rng, c.K)
 	cw := c.Encode(msg)
-	out, n, err := c.Decode(cw, nil)
+	out, n, err := decodeAlloc(c, cw, nil)
 	if err != nil || n != 0 || !bytes.Equal(out, cw) {
 		t.Fatalf("clean decode failed: n=%d err=%v", n, err)
 	}
@@ -111,7 +111,7 @@ func TestDecodeCorrectsUpToT(t *testing.T) {
 				cw := c.Encode(msg)
 				rx := append([]byte(nil), cw...)
 				corrupt(rng, rx, nerr)
-				out, n, err := c.Decode(rx, nil)
+				out, n, err := decodeAlloc(c, rx, nil)
 				if err != nil {
 					t.Fatalf("(%d,%d) nerr=%d: decode error: %v", c.N, c.K, nerr, err)
 				}
@@ -135,7 +135,7 @@ func TestDecodeErasuresUpToNMinusK(t *testing.T) {
 			cw := c.Encode(msg)
 			rx := append([]byte(nil), cw...)
 			pos := corrupt(rng, rx, ners)
-			out, _, err := c.Decode(rx, pos)
+			out, _, err := decodeAlloc(c, rx, pos)
 			if err != nil {
 				t.Fatalf("ners=%d: decode error: %v", ners, err)
 			}
@@ -171,7 +171,7 @@ func TestDecodeMixedErrorsAndErasures(t *testing.T) {
 						}
 					}
 				}
-				out, _, err := c.Decode(rx, erasures)
+				out, _, err := decodeAlloc(c, rx, erasures)
 				if err != nil {
 					t.Fatalf("e=%d s=%d: decode error: %v", nerr, ners, err)
 				}
@@ -196,7 +196,7 @@ func TestDecodeBeyondCapabilityNeverReturnsWrongSilently(t *testing.T) {
 		cw := c.Encode(msg)
 		rx := append([]byte(nil), cw...)
 		corrupt(rng, rx, 2+rng.Intn(3)) // 2..4 errors > t
-		out, _, err := c.Decode(rx, nil)
+		out, _, err := decodeAlloc(c, rx, nil)
 		if err != nil {
 			detected++
 			continue
@@ -223,7 +223,7 @@ func TestDecodeBeyondCapabilityNeverReturnsWrongSilently(t *testing.T) {
 func TestDecodeRejectsTooManyErasures(t *testing.T) {
 	c := MustNew(18, 16)
 	cw := c.Encode(make([]byte, 16))
-	if _, _, err := c.Decode(cw, []int{0, 1, 2}); err != ErrUncorrectable {
+	if _, _, err := decodeAlloc(c, cw, []int{0, 1, 2}); err != ErrUncorrectable {
 		t.Fatalf("3 erasures on 2-parity code: got %v", err)
 	}
 }
@@ -232,17 +232,17 @@ func TestDecodeBadErasurePosition(t *testing.T) {
 	c := MustNew(18, 16)
 	cw := c.Encode(make([]byte, 16))
 	cw[0] ^= 1
-	if _, _, err := c.Decode(cw, []int{-1}); err == nil {
+	if _, _, err := decodeAlloc(c, cw, []int{-1}); err == nil {
 		t.Fatal("negative erasure position accepted")
 	}
-	if _, _, err := c.Decode(cw, []int{18}); err == nil {
+	if _, _, err := decodeAlloc(c, cw, []int{18}); err == nil {
 		t.Fatal("out-of-range erasure position accepted")
 	}
 }
 
 func TestDecodeWrongLength(t *testing.T) {
 	c := MustNew(18, 16)
-	if _, _, err := c.Decode(make([]byte, 17), nil); err == nil {
+	if _, _, err := decodeAlloc(c, make([]byte, 17), nil); err == nil {
 		t.Fatal("wrong-length word accepted")
 	}
 }
@@ -253,7 +253,7 @@ func TestErasureFlaggedButClean(t *testing.T) {
 	c := MustNew(20, 16)
 	msg := randMsg(rng, c.K)
 	cw := c.Encode(msg)
-	out, n, err := c.Decode(cw, []int{3, 7})
+	out, n, err := decodeAlloc(c, cw, []int{3, 7})
 	if err != nil || n != 0 || !bytes.Equal(out, cw) {
 		t.Fatalf("clean word with erasure flags: n=%d err=%v", n, err)
 	}
@@ -295,4 +295,16 @@ func TestMinimumDistanceSpotCheck(t *testing.T) {
 			t.Fatalf("codeword weight %d < d=%d", w, c.N-c.K+1)
 		}
 	}
+}
+
+// decodeAlloc mirrors the retired pooled Code.Decode convenience — decode
+// into a fresh codeword with a fresh workspace — for the tests that
+// exercised that shape. Hot paths use a Decoder (or a BatchWorkspace).
+func decodeAlloc(c *Code, received []byte, erasures []int) ([]byte, int, error) {
+	out := make([]byte, c.N)
+	nchanged, err := c.NewDecoder().DecodeInto(out, received, erasures)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, nchanged, nil
 }

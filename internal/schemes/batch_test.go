@@ -1,0 +1,155 @@
+package schemes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pair/internal/ecc"
+)
+
+// batchSpecs returns every canonical (scheme, org) spec plus the spared
+// PAIR variant, so the batch suites cover each registered construction.
+func batchSpecs() []string {
+	var specs []string
+	for _, e := range All() {
+		for _, orgID := range e.Orgs {
+			specs = append(specs, CanonicalSpec(e, orgID))
+		}
+	}
+	return append(specs, "pair:spare=3.7")
+}
+
+// TestBatchSchemeCoverage pins the slab fast path to the buffered
+// schemes: every BufferedScheme must also implement BatchScheme (the
+// campaign engine dispatches on the interface, so a missing method pair
+// silently drops a scheme back to the scalar loop), and nothing else may
+// implement it half-way.
+func TestBatchSchemeCoverage(t *testing.T) {
+	batchNames := map[string]bool{}
+	for _, spec := range batchSpecs() {
+		s, err := New(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		_, buffered := s.(ecc.BufferedScheme)
+		_, batch := s.(ecc.BatchScheme)
+		if buffered != batch {
+			t.Errorf("%s: BufferedScheme=%v but BatchScheme=%v", spec, buffered, batch)
+		}
+		if batch {
+			batchNames[s.Name()] = true
+		}
+	}
+	for _, name := range []string{"none", "iecc", "xed", "duo", "pair", "pair-spared"} {
+		if !batchNames[name] {
+			t.Errorf("scheme %q lost its BatchScheme implementation", name)
+		}
+	}
+}
+
+// TestBatchDifferentialAllSchemes is the defining property of
+// BatchScheme, checked against every registered implementation on every
+// organization it supports: EncodeBatchInto/DecodeBatchInto produce
+// byte- and claim-identical results to the per-image
+// EncodeInto/DecodeInto loops. Each image carries a different injected
+// fault weight (0..4 flipped stored bits, cycling), so the slabs mix
+// clean, correctable, and beyond-bound codewords; widths 9 and 16
+// exercise both padded and exact slab layouts, and the spared-PAIR spec
+// exercises the uniform per-chip erasure path.
+func TestBatchDifferentialAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, spec := range batchSpecs() {
+		s, err := New(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		bs, ok := s.(ecc.BatchScheme)
+		if !ok {
+			continue
+		}
+		t.Run(spec, func(t *testing.T) {
+			for _, nimg := range []int{9, 16} {
+				testBatchDifferential(t, rng, bs, nimg)
+			}
+		})
+	}
+}
+
+func testBatchDifferential(t *testing.T, rng *rand.Rand, s ecc.BatchScheme, nimg int) {
+	t.Helper()
+	lineBytes := s.Org().LineBytes()
+	lines := make([][]byte, nimg)
+	sts := make([]*ecc.Stored, nimg)
+	ref := make([]*ecc.Stored, nimg)
+	for i := range sts {
+		lines[i] = make([]byte, lineBytes)
+		rng.Read(lines[i])
+		sts[i] = s.NewStored()
+		ref[i] = s.NewStored()
+	}
+
+	// Encode: the batch call must rebuild images identical to the loop.
+	s.EncodeBatchInto(sts, lines)
+	for i := range ref {
+		s.EncodeInto(ref[i], lines[i])
+		if !storedEqual(sts[i], ref[i]) {
+			t.Fatalf("nimg=%d image %d: EncodeBatchInto differs from EncodeInto", nimg, i)
+		}
+	}
+
+	// Inject: image i gets i%5 random stored-bit flips, mixing clean,
+	// correctable and beyond-bound codewords in one slab.
+	for i := range sts {
+		ecc.FlipRandomStoredBits(rng, sts[i], i%5)
+	}
+
+	// Decode both ways from the SAME images (decode does not mutate the
+	// stored image) and demand identical bytes and claims.
+	scalarDst := make([][]byte, nimg)
+	batchDst := make([][]byte, nimg)
+	scalarClaims := make([]ecc.Claim, nimg)
+	batchClaims := make([]ecc.Claim, nimg)
+	for i := range sts {
+		scalarDst[i] = make([]byte, lineBytes)
+		batchDst[i] = make([]byte, lineBytes)
+		scalarClaims[i] = s.DecodeInto(scalarDst[i], sts[i])
+	}
+	s.DecodeBatchInto(batchDst, sts, batchClaims)
+	for i := range sts {
+		if batchClaims[i] != scalarClaims[i] {
+			t.Fatalf("nimg=%d image %d: batch claim %v, scalar claim %v",
+				nimg, i, batchClaims[i], scalarClaims[i])
+		}
+		if !bytes.Equal(batchDst[i], scalarDst[i]) {
+			t.Fatalf("nimg=%d image %d (claim %v): batch bytes differ from scalar decode",
+				nimg, i, scalarClaims[i])
+		}
+	}
+}
+
+// storedEqual reports whether two stored images are bit-identical across
+// every chip region.
+func storedEqual(a, b *ecc.Stored) bool {
+	if len(a.Chips) != len(b.Chips) {
+		return false
+	}
+	for i, ca := range a.Chips {
+		cb := b.Chips[i]
+		if (ca.Data == nil) != (cb.Data == nil) ||
+			(ca.OnDie == nil) != (cb.OnDie == nil) ||
+			(ca.Xfer == nil) != (cb.Xfer == nil) {
+			return false
+		}
+		if ca.Data != nil && !ca.Data.Bits().Equal(cb.Data.Bits()) {
+			return false
+		}
+		if ca.OnDie != nil && !ca.OnDie.Equal(cb.OnDie) {
+			return false
+		}
+		if ca.Xfer != nil && !ca.Xfer.Bits().Equal(cb.Xfer.Bits()) {
+			return false
+		}
+	}
+	return true
+}

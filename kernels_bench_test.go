@@ -70,20 +70,108 @@ func BenchmarkRSDecodeTwoErrors(b *testing.B) {
 	}
 }
 
-// BenchmarkRSDecodePooled measures the compatibility path (Code.Decode)
-// that allocates the returned word but draws its workspace from a pool.
-func BenchmarkRSDecodePooled(b *testing.B) {
+// cleanSlab64 builds a 64-codeword slab of distinct clean (20,16)
+// codewords plus the per-call result buffers.
+func cleanSlab64(c *rs.Code) (*rs.Slab, []int, []error) {
+	rng := rand.New(rand.NewSource(1))
+	s := rs.NewSlab(c.N, 64)
+	msg := make([]byte, c.K)
+	for i := 0; i < 64; i++ {
+		rng.Read(msg)
+		s.SetCodeword(i, c.Encode(msg))
+	}
+	return s, make([]int, 64), make([]error, 64)
+}
+
+// BenchmarkRSBatchDecodeClean is the slab clean path: one bitsliced
+// syndrome sweep certifies all 64 codewords at once.
+func BenchmarkRSBatchDecodeClean(b *testing.B) {
 	c := rs.MustNew(20, 16)
-	msg := make([]byte, 16)
-	rand.New(rand.NewSource(1)).Read(msg)
-	cw := c.Encode(msg)
-	rx := append([]byte(nil), cw...)
-	rx[3] ^= 0x55
-	rx[17] ^= 0xAA
-	b.SetBytes(16)
+	ws := c.NewBatchWorkspace()
+	s, nchanged, errs := cleanSlab64(c)
+	b.SetBytes(16 * 64)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := c.Decode(rx, nil); err != nil {
-			b.Fatal(err)
+		if ndirty := ws.DecodeBatch(s, nil, nchanged, errs); ndirty != 0 {
+			b.Fatal("clean slab reported dirty")
+		}
+	}
+}
+
+// BenchmarkRSBatchDecodeSparse is the campaign-realistic mix: one dirty
+// codeword in the slab of 64, re-injected each iteration (DecodeBatch
+// corrects the slab in place).
+func BenchmarkRSBatchDecodeSparse(b *testing.B) {
+	c := rs.MustNew(20, 16)
+	ws := c.NewBatchWorkspace()
+	s, nchanged, errs := cleanSlab64(c)
+	v := s.At(13, 3)
+	b.SetBytes(16 * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(13, 3, v^0x55)
+		if ndirty := ws.DecodeBatch(s, nil, nchanged, errs); ndirty != 1 {
+			b.Fatal("expected exactly one dirty codeword")
+		}
+	}
+}
+
+// BenchmarkRSBatchDecodeDirty is the worst case: every codeword dirty, so
+// the sweep buys nothing and all 64 take the scalar fallback.
+func BenchmarkRSBatchDecodeDirty(b *testing.B) {
+	c := rs.MustNew(20, 16)
+	ws := c.NewBatchWorkspace()
+	s, nchanged, errs := cleanSlab64(c)
+	orig := make([]byte, 64)
+	for cw := 0; cw < 64; cw++ {
+		orig[cw] = s.At(cw, 5)
+	}
+	b.SetBytes(16 * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cw := 0; cw < 64; cw++ {
+			s.Set(cw, 5, orig[cw]^0xA5)
+		}
+		if ndirty := ws.DecodeBatch(s, nil, nchanged, errs); ndirty != 64 {
+			b.Fatal("expected all codewords dirty")
+		}
+	}
+}
+
+func BenchmarkRSBatchEncode(b *testing.B) {
+	c := rs.MustNew(20, 16)
+	ws := c.NewBatchWorkspace()
+	rng := rand.New(rand.NewSource(1))
+	s := rs.NewSlab(c.N, 64)
+	msg := make([]byte, c.K)
+	for i := 0; i < 64; i++ {
+		rng.Read(msg)
+		s.SetData(i, msg)
+	}
+	b.SetBytes(16 * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.EncodeBatch(s)
+	}
+}
+
+func BenchmarkExpandableBatchDecodeClean(b *testing.B) {
+	e, _ := rs.NewExpandableDefault(20, 16)
+	ws := e.NewBatchWorkspace()
+	rng := rand.New(rand.NewSource(1))
+	s := rs.NewSlab(e.N(), 64)
+	msg := make([]byte, e.K)
+	for i := 0; i < 64; i++ {
+		rng.Read(msg)
+		s.SetCodeword(i, e.Encode(msg))
+	}
+	nchanged := make([]int, 64)
+	errs := make([]error, 64)
+	b.SetBytes(16 * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ndirty := ws.DecodeBatch(s, nil, nchanged, errs); ndirty != 0 {
+			b.Fatal("clean slab reported dirty")
 		}
 	}
 }
@@ -129,9 +217,10 @@ func BenchmarkHammingDecode136(b *testing.B) {
 	}
 	cw := c.Encode(data)
 	cw.Flip(40)
+	dst := bitvec.New(c.N)
 	b.SetBytes(16)
 	for i := 0; i < b.N; i++ {
-		if _, outcome := c.Decode(cw); outcome != hamming.Corrected {
+		if outcome := c.DecodeInto(dst, cw); outcome != hamming.Corrected {
 			b.Fatal("unexpected outcome")
 		}
 	}
@@ -157,6 +246,45 @@ func BenchmarkSchemeEncodeDecode(b *testing.B) {
 				mk.s.EncodeInto(st, line)
 				if claim := mk.s.DecodeInto(dst, st); claim != ecc.ClaimClean {
 					b.Fatal("clean decode failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchemeBatchDecode measures the scheme-level slab path on a
+// clean batch of 64 images — the campaign steady state, where one
+// bitsliced sweep per chip certifies the whole batch.
+func BenchmarkSchemeBatchDecode(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		s    ecc.BatchScheme
+	}{
+		{"iecc", ecc.NewIECC(dram.DDR4x16())},
+		{"xed", ecc.NewXED(dram.DDR4x16())},
+		{"duo", ecc.NewDUO(dram.DDR4x16())},
+		{"pair", core.MustNew(dram.DDR4x16(), core.DefaultConfig())},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			const width = 64
+			rng := rand.New(rand.NewSource(1))
+			lines := make([][]byte, width)
+			dst := make([][]byte, width)
+			sts := make([]*ecc.Stored, width)
+			claims := make([]ecc.Claim, width)
+			for i := range lines {
+				lines[i] = make([]byte, 64)
+				rng.Read(lines[i])
+				dst[i] = make([]byte, 64)
+				sts[i] = mk.s.NewStored()
+			}
+			mk.s.EncodeBatchInto(sts, lines)
+			b.SetBytes(64 * width)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mk.s.DecodeBatchInto(dst, sts, claims)
+				if claims[0] != ecc.ClaimClean {
+					b.Fatal("clean batch decode failed")
 				}
 			}
 		})
