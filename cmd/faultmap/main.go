@@ -11,10 +11,18 @@
 //	faultmap -fault pin-burst -len 4
 //	faultmap -fault cell -seed 3
 //	faultmap -scheme pair@ddr5x16 -fault pin    # BL16 grid, expanded code
+//	faultmap -faults retention:pop=0.02        # rank-wide scenario map
+//	faultmap -list-faults                      # registered scenarios
 //
 // The -scheme spec (name[@org][:key=val,...], see -list-schemes) selects
 // the organization whose chip-access geometry the grid shows and, for
 // PAIR schemes, the correction budget t quoted in the verdict line.
+//
+// With -faults, the single-chip -fault mode is replaced by a rank-wide
+// scenario map: the registered fault scenario (see -list-faults) corrupts
+// one access of every chip in the rank, each chip's data burst is
+// rendered (or reported clean), and the verdict quotes the worst chip —
+// per-chip-access codes live or die on their single worst chip.
 package main
 
 import (
@@ -44,14 +52,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kind     = fs.String("fault", "pin", "cell|pin|lane|beat|word|pin-burst|beat-burst")
 		blen     = fs.Int("len", 4, "burst length for *-burst faults")
 		seed     = fs.Int64("seed", 1, "RNG seed")
-		spec     = fs.String("scheme", "pair", "scheme spec, name[@org][:key=val,...], selecting the organization shown")
-		listSchs = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
+		spec       = fs.String("scheme", "pair", "scheme spec, name[@org][:key=val,...], selecting the organization shown")
+		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
+		scenario   = fs.String("faults", "", "fault scenario spec (name[:key=val,...] or compose(...)): render a rank-wide scenario map instead of a single-chip -fault")
+		listFaults = fs.Bool("list-faults", false, "list registered fault scenarios, the spec grammar and options, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *listSchs {
 		fmt.Fprint(stdout, schemes.ListText())
+		return 0
+	}
+	if *listFaults {
+		fmt.Fprint(stdout, faults.ListFaultsText())
 		return 0
 	}
 
@@ -65,8 +79,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if ps, ok := scheme.(*core.Scheme); ok {
 		pairT = ps.T()
 	}
-	mask := dram.NewBurst(org.Pins, org.BurstLen)
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *scenario != "" {
+		sc, err := faults.NewScenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(stderr, "faultmap:", err)
+			return 1
+		}
+		return runScenarioMap(stdout, sc, org, pairT, rng)
+	}
+
+	mask := dram.NewBurst(org.Pins, org.BurstLen)
 
 	var flips int
 	switch *kind {
@@ -91,6 +115,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "fault %q on a x%d BL%d chip access (%d bits flipped)\n\n", *kind, org.Pins, org.BurstLen, flips)
 	fmt.Fprintf(stdout, "        beats 0..%-2d       PAIR symbol (pin-aligned)\n", org.BurstLen-1)
+	renderGrid(stdout, mask, org)
+
+	pairSyms, duoSyms := countSyms(mask, org)
+	fmt.Fprintf(stdout, "\nsymbols corrupted:  PAIR (pin-aligned) = %d   DUO (beat-aligned) = %d\n", pairSyms, duoSyms)
+	fmt.Fprintf(stdout, "correctable:        PAIR t=%d: %-5v        DUO t=1: %v\n", pairT, pairSyms <= pairT, duoSyms <= 1)
+	return 0
+}
+
+// renderGrid prints the pins x beats corruption grid of one chip access.
+func renderGrid(w io.Writer, mask *dram.Burst, org dram.Organization) {
 	for pin := 0; pin < org.Pins; pin++ {
 		var row strings.Builder
 		touched := false
@@ -106,12 +140,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if touched {
 			marker = fmt.Sprintf("  <- symbol %d corrupted", pin)
 		}
-		fmt.Fprintf(stdout, "DQ%-2d    %s%s\n", pin, row.String(), marker)
+		fmt.Fprintf(w, "DQ%-2d    %s%s\n", pin, row.String(), marker)
 	}
+}
 
-	// A BL16 pin carries BurstLen/8 symbols, so count per part — a pin
-	// fault on DDR5 touches two pin-aligned symbols, not one.
-	pairSyms := 0
+// countSyms counts the corrupted pin-aligned (PAIR) and beat-aligned
+// (DUO) symbols of one chip-access mask. A BL16 pin carries BurstLen/8
+// symbols, so PAIR counts per part — a pin fault on DDR5 touches two
+// pin-aligned symbols, not one.
+func countSyms(mask *dram.Burst, org dram.Organization) (pairSyms, duoSyms int) {
 	for pin := 0; pin < org.Pins; pin++ {
 		for part := 0; part < org.BurstLen/8; part++ {
 			if mask.PinSymbolPart(pin, part) != 0 {
@@ -119,7 +156,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	duoSyms := 0
 	for beat := 0; beat < org.BurstLen; beat++ {
 		for g := 0; g < org.Pins/8; g++ {
 			if mask.BeatByte(beat, g) != 0 {
@@ -127,7 +163,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	fmt.Fprintf(stdout, "\nsymbols corrupted:  PAIR (pin-aligned) = %d   DUO (beat-aligned) = %d\n", pairSyms, duoSyms)
-	fmt.Fprintf(stdout, "correctable:        PAIR t=%d: %-5v        DUO t=1: %v\n", pairT, pairSyms <= pairT, duoSyms <= 1)
+	return pairSyms, duoSyms
+}
+
+// runScenarioMap renders a registered fault scenario across one access of
+// every chip in the rank. Each chip exposes only its data burst — the
+// shared chip-access geometry every scheme symbolizes — so the map shows
+// the fault physics, not one scheme's redundancy layout. The verdict
+// quotes the worst corrupted chip: per-chip-access codes decode each chip
+// independently, so the rank survives only if its worst chip does.
+func runScenarioMap(stdout io.Writer, sc faults.Scenario, org dram.Organization, pairT int, rng *rand.Rand) int {
+	access := make([]faults.ChipAccess, org.ChipsPerRank)
+	for i := range access {
+		access[i] = faults.ChipAccess{Data: dram.NewBurst(org.Pins, org.BurstLen)}
+	}
+	flips := sc.Inject(rng, access)
+	fmt.Fprintf(stdout, "scenario %q on a %d-chip x%d BL%d rank access (%d bits flipped)\n",
+		sc.Spec(), org.ChipsPerRank, org.Pins, org.BurstLen, flips)
+
+	worstPair, worstDuo := 0, 0
+	for i := range access {
+		mask := access[i].Data
+		if mask.PopCount() == 0 {
+			fmt.Fprintf(stdout, "\nchip %d: clean\n", i)
+			continue
+		}
+		fmt.Fprintf(stdout, "\nchip %d:\n", i)
+		fmt.Fprintf(stdout, "        beats 0..%-2d       PAIR symbol (pin-aligned)\n", org.BurstLen-1)
+		renderGrid(stdout, mask, org)
+		pairSyms, duoSyms := countSyms(mask, org)
+		fmt.Fprintf(stdout, "symbols corrupted:  PAIR (pin-aligned) = %d   DUO (beat-aligned) = %d\n", pairSyms, duoSyms)
+		if pairSyms > worstPair {
+			worstPair = pairSyms
+		}
+		if duoSyms > worstDuo {
+			worstDuo = duoSyms
+		}
+	}
+	fmt.Fprintf(stdout, "\nworst chip:         PAIR (pin-aligned) = %d   DUO (beat-aligned) = %d\n", worstPair, worstDuo)
+	fmt.Fprintf(stdout, "correctable:        PAIR t=%d: %-5v        DUO t=1: %v\n", pairT, worstPair <= pairT, worstDuo <= 1)
 	return 0
 }

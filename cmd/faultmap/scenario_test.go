@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pair/internal/faults"
+)
+
+var update = flag.Bool("update", false, "rewrite the scenario golden files")
+
+// TestScenarioMapGoldens renders one scenario map per registered fault
+// scenario at a fixed seed and compares it byte-for-byte against the
+// checked-in golden files. The goldens pin both the renderer and each
+// scenario's RNG draw order: any change to either shows up as a diff
+// here before it silently re-seeds a published campaign. Regenerate
+// deliberately with: go test ./cmd/faultmap -run ScenarioMapGoldens -update
+func TestScenarioMapGoldens(t *testing.T) {
+	for _, id := range faults.ScenarioIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			code, out, stderr := runCLI(t, "-faults", id, "-seed", "7")
+			if code != 0 {
+				t.Fatalf("exit %d, stderr %q", code, stderr)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if out != string(want) {
+				t.Fatalf("scenario map for %q diverged from golden %s\n--- got ---\n%s--- want ---\n%s",
+					id, path, out, want)
+			}
+		})
+	}
+}
+
+// TestScenarioMapStructure checks invariants no golden can pin: every
+// chip of the rank is accounted for (rendered or reported clean) and the
+// verdict lines quote the worst chip.
+func TestScenarioMapStructure(t *testing.T) {
+	code, out, stderr := runCLI(t, "-faults", "compose(pin,vrt:flicker=1)", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"chip 0", "chip 1", "chip 2", "chip 3", "worst chip:", "correctable:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario map missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `scenario "compose(pin,vrt:flicker=1)"`) {
+		t.Fatalf("header must quote the canonical spec:\n%s", out)
+	}
+}
+
+// TestScenarioMapRejectsBadSpec: a malformed -faults spec is a clean
+// error, not a panic or a silent fallback to -fault mode.
+func TestScenarioMapRejectsBadSpec(t *testing.T) {
+	code, _, stderr := runCLI(t, "-faults", "nosuch:k=v")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "nosuch") {
+		t.Fatalf("stderr must name the unknown scenario: %q", stderr)
+	}
+}
+
+// TestListFaults: -list-faults prints the registry listing and exits 0.
+func TestListFaults(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-faults")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out != faults.ListFaultsText() {
+		t.Fatal("-list-faults must print faults.ListFaultsText() verbatim")
+	}
+}

@@ -45,12 +45,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		checkFlag  = fs.Bool("check", false, "audit the run against the JEDEC timing constraints; violations exit nonzero")
 		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace to this file (- for stdout)")
 		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
+		listFaults = fs.Bool("list-faults", false, "list registered fault scenarios (the reliability campaigns' -faults specs), then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *listSchs {
 		fmt.Fprint(stdout, pair.SchemeSpecHelp())
+		return 0
+	}
+	if *listFaults {
+		fmt.Fprint(stdout, pair.FaultSpecHelp())
 		return 0
 	}
 	if fs.NArg() != 1 {

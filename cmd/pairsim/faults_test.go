@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pair/internal/faults"
+)
+
+func TestListFaultsOutput(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-faults")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out != faults.ListFaultsText() {
+		t.Fatal("-list-faults must print faults.ListFaultsText() verbatim")
+	}
+	for _, want := range []string{"name[:key=val,...]", "compose(", "pinburst", "chipkill", "retention"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list-faults missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF13DefaultRoster(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "f13", "-trials", "40")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "F13: outcome by fault scenario (40 trials each") {
+		t.Fatalf("f13 table missing or trials override ignored:\n%s", out)
+	}
+	// Default roster = every registered scenario, one row each.
+	for _, id := range faults.ScenarioIDs() {
+		if !strings.Contains(out, "\n"+id) {
+			t.Fatalf("f13 default roster missing scenario %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestF13FaultsRoster(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "f13", "-trials", "40", "-faults", "pin,pinburst:b=4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"\npin ", "\npinburst:b=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("f13 roster row %q missing:\n%s", want, out)
+		}
+	}
+	// No row for any unrequested scenario (the note line still mentions
+	// chipkill, so match at start-of-row only).
+	if strings.Contains(out, "\nchipkill") {
+		t.Fatalf("-faults roster must replace the default roster:\n%s", out)
+	}
+}
+
+func TestAmbientFaultsTagTheT2Title(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "t2", "-trials", "30", "-faults", "vrt:flicker=0.5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "under ambient vrt:flicker=0.5") {
+		t.Fatalf("ambient -faults must tag the t2 title:\n%s", out)
+	}
+}
+
+func TestBadFaultSpecIsUsageError(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "f13", "-faults", "nosuch:x=1")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "nosuch") {
+		t.Fatalf("stderr must name the unknown scenario: %q", stderr)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"pair/internal/campaign"
 	"pair/internal/ecc"
 	"pair/internal/experiments"
+	"pair/internal/faults"
 	"pair/internal/schemes"
 )
 
@@ -72,6 +73,7 @@ F12 lifetime with post-package repair (DUE-only repairability)
 T5  PAIR design space across device widths (x4/x8/x16/DDR5)
 T2X coverage incl. rank-level schemes (secded, duo-rank)
 F3X lifetime incl. rank-level schemes
+F13 fault-scenario differential table (scenarios x schemes)
 `
 
 // run is the testable entry point: it parses args, executes the selected
@@ -81,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pairsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment id (t1|f1|f2|t2|f3|f4|f5|f6|f7|t3|f8|f9|f10|t2x|f3x|all)")
+		exp        = fs.String("exp", "all", "experiment id (t1|f1|f2|t2|f3|f4|f5|f6|f7|t3|f8|f9|f10|t2x|f3x|f13|all)")
 		quick      = fs.Bool("quick", false, "CI-scale trial counts")
 		trials     = fs.Int("trials", 0, "override Monte-Carlo trials per point")
 		devices    = fs.Int("devices", 0, "override lifetime population size")
@@ -94,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace of every timing simulation to this file (- for stdout)")
 		schemeList = fs.String("schemes", "", "comma/space-separated scheme specs (name[@org][:key=val,...]) overriding the default set of set-driven experiments")
 		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
+		faultList  = fs.String("faults", "", "comma/space-separated fault scenario specs (name[:key=val,...] or compose(...)): the f13 roster, and an ambient fault layer for f1/f2/f1f2/t2/t2x")
+		listFaults = fs.Bool("list-faults", false, "list registered fault scenarios, the spec grammar and options, then exit")
 		retries    = fs.Int("retries", 1, "extra attempts for a shard whose function panics, errors, or times out (0 disables)")
 		shardTO    = fs.Duration("shard-timeout", 0, "watchdog: abandon and retry a shard running longer than this (0 disables)")
 		salvage    = fs.Bool("salvage", false, "with -resume: recover every intact shard from a corrupted or truncated checkpoint instead of aborting")
@@ -127,10 +131,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, schemes.ListText())
 		return 0
 	}
+	if *listFaults {
+		fmt.Fprint(stdout, faults.ListFaultsText())
+		return 0
+	}
 	var override []ecc.Scheme
 	if *schemeList != "" {
 		var err error
 		if override, err = schemes.ParseSpecList(*schemeList); err != nil {
+			fmt.Fprintln(stderr, "pairsim:", err)
+			return 2
+		}
+	}
+	var scenarios []faults.Scenario
+	if *faultList != "" {
+		var err error
+		if scenarios, err = faults.ParseFaultSpecList(*faultList); err != nil {
 			fmt.Fprintln(stderr, "pairsim:", err)
 			return 2
 		}
@@ -172,10 +188,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	scale := scaleFor(*quick, *trials, *devices, *requests)
 	scale.schemes = override
+	scale.faults = scenarios
+	// For the ambient experiments (f1/f2/f1f2/t2/t2x) several -faults specs
+	// fold into one composed scenario; f13 keeps them as separate rows.
+	scale.sweep.Faults = faults.Compose(scenarios...)
 	ids := strings.Split(strings.ToLower(*exp), ",")
 	if *exp == "all" {
 		// f1f2 runs both sweeps off one set of conditional profiles.
-		ids = []string{"t1", "f1f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12"}
+		ids = []string{"t1", "f1f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12", "f13"}
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -224,7 +244,23 @@ type scale struct {
 	// schemes, when non-nil, overrides the default registry set of every
 	// set-driven experiment (-schemes flag: any specs the registry builds).
 	schemes []ecc.Scheme
+	// faults, when non-nil, is the -faults roster: f13's scenario rows, and
+	// (composed) the ambient layer carried by sweep.Faults.
+	faults []faults.Scenario
 }
+
+// scenarioSet returns the -faults roster when given, else every
+// registered scenario at default options.
+func (s scale) scenarioSet() []faults.Scenario {
+	if s.faults != nil {
+		return s.faults
+	}
+	return experiments.FaultScenarios()
+}
+
+// ambient is the composed -faults scenario for the ambient experiments
+// (nil when -faults was not given).
+func (s scale) ambient() faults.Scenario { return s.sweep.Faults }
 
 // set returns the -schemes override when given, else the named default.
 func (s scale) set(def func() []ecc.Scheme) []ecc.Scheme {
@@ -287,7 +323,7 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		}
 		return r.RenderF1() + "\n" + r.RenderF2(), nil
 	case "t2":
-		t, err := experiments.T2CoverageCtx(ctx, sc.set(experiments.CommoditySchemes), sc.coverage, 1, opts)
+		t, err := experiments.T2CoverageEnvCtx(ctx, sc.set(experiments.CommoditySchemes), sc.coverage, 1, sc.ambient(), opts)
 		if err != nil {
 			return "", err
 		}
@@ -351,7 +387,7 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		}
 		return t.Render(), nil
 	case "t2x":
-		t, err := experiments.T2CoverageCtx(ctx, sc.set(experiments.ExtendedSchemes), sc.coverage, 1, opts)
+		t, err := experiments.T2CoverageEnvCtx(ctx, sc.set(experiments.ExtendedSchemes), sc.coverage, 1, sc.ambient(), opts)
 		if err != nil {
 			return "", err
 		}
@@ -378,6 +414,12 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		return t.Render(), nil
 	case "f12":
 		t, err := experiments.F12RepairCtx(ctx, sc.set(experiments.CommoditySchemes), sc.devices, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	case "f13":
+		t, err := experiments.F13ScenariosCtx(ctx, sc.set(experiments.CommoditySchemes), sc.scenarioSet(), sc.coverage, 1, opts)
 		if err != nil {
 			return "", err
 		}

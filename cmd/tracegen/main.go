@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pair/internal/faults"
 	"pair/internal/schemes"
 	"pair/internal/trace"
 )
@@ -43,13 +44,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		masked   = fs.Float64("masked", 0.2, "masked fraction of writes")
 		window   = fs.Int("window", 8, "MLP window hint (emitted as a header comment)")
 		seed     = fs.Int64("seed", 1, "generator seed")
-		listSchs = fs.Bool("list-schemes", false, "list the scheme registry the traces feed into (memrun/pairsim specs), then exit")
+		listSchs   = fs.Bool("list-schemes", false, "list the scheme registry the traces feed into (memrun/pairsim specs), then exit")
+		listFaults = fs.Bool("list-faults", false, "list the fault-scenario registry the reliability campaigns inject (pairsim -faults specs), then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *listSchs {
 		fmt.Fprint(stdout, schemes.ListText())
+		return 0
+	}
+	if *listFaults {
+		fmt.Fprint(stdout, faults.ListFaultsText())
 		return 0
 	}
 

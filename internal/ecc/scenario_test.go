@@ -1,0 +1,133 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pair/internal/dram"
+	"pair/internal/faults"
+)
+
+// regionPops sums the per-region population counts of a stored image.
+func regionPops(st *Stored) (data, onDie, xfer int) {
+	for _, ci := range st.Chips {
+		if ci.Data != nil {
+			data += ci.Data.PopCount()
+		}
+		if ci.OnDie != nil {
+			onDie += ci.OnDie.PopCount()
+		}
+		if ci.Xfer != nil {
+			xfer += ci.Xfer.PopCount()
+		}
+	}
+	return
+}
+
+// diffPops returns the per-region corruption a scenario injected into an
+// encoded image, by XOR-comparing against a clean encode of the same
+// line.
+func diffPops(t *testing.T, scheme BufferedScheme, sc faults.Scenario, seed int64) (data, onDie, xfer int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	line := make([]byte, scheme.Org().LineBytes())
+	rng.Read(line)
+	clean := scheme.Encode(line)
+	dirty := clean.Clone()
+	ScenarioInjector(sc)(rng, dirty)
+	for c := range dirty.Chips {
+		d, cl := dirty.Chips[c], clean.Chips[c]
+		if d.Data != nil {
+			d.Data.Xor(cl.Data)
+		}
+		if d.OnDie != nil {
+			d.OnDie.Xor(cl.OnDie)
+		}
+		if d.Xfer != nil {
+			d.Xfer.Xor(cl.Xfer)
+		}
+	}
+	return regionPops(dirty)
+}
+
+// TestScenarioInjectorRegionReach verifies the bridge exposes the right
+// physical regions: a pin fault corrupts DUO's transferred redundancy
+// but never IECC's on-die check bits, while inherent noise reaches every
+// region including the on-die bits.
+func TestScenarioInjectorRegionReach(t *testing.T) {
+	org := dram.DDR4x16()
+	pin := faults.MustScenario("pin")
+
+	duo := NewDUO(org)
+	sawXfer := false
+	for seed := int64(0); seed < 50; seed++ {
+		data, onDie, xfer := diffPops(t, duo, pin, seed)
+		if onDie != 0 {
+			t.Fatalf("pin scenario reached DUO's on-die region (seed %d)", seed)
+		}
+		if data+xfer == 0 {
+			t.Fatalf("pin scenario flipped nothing (seed %d)", seed)
+		}
+		if xfer > 0 {
+			sawXfer = true
+		}
+	}
+	if !sawXfer {
+		t.Fatal("pin scenario never corrupted DUO's transferred redundancy in 50 trials")
+	}
+
+	iecc := NewIECC(org)
+	for seed := int64(0); seed < 50; seed++ {
+		if _, onDie, _ := diffPops(t, iecc, pin, seed); onDie != 0 {
+			t.Fatalf("pin scenario reached IECC's on-die check bits (seed %d)", seed)
+		}
+	}
+
+	sawOnDie := false
+	inherent := faults.MustScenario("inherent:ber=0.05")
+	for seed := int64(0); seed < 20; seed++ {
+		if _, onDie, _ := diffPops(t, iecc, inherent, seed); onDie > 0 {
+			sawOnDie = true
+			break
+		}
+	}
+	if !sawOnDie {
+		t.Fatal("inherent scenario never reached the on-die region")
+	}
+}
+
+// TestScenarioInjectorChipkillSpansAllImages: the chipkill scenario must
+// be able to land on every chip image the scheme stores — including
+// XED's appended parity image, which exists beyond the rank's data
+// chips.
+func TestScenarioInjectorChipkillSpansAllImages(t *testing.T) {
+	org := dram.DDR4x16()
+	xed := NewXED(org)
+	nChips := len(xed.Encode(make([]byte, org.LineBytes())).Chips)
+	if nChips <= org.ChipsPerRank {
+		t.Fatalf("XED stores %d chip images; expected an appended parity image", nChips)
+	}
+	kill := faults.MustScenario("chipkill")
+	hit := make([]bool, nChips)
+	rng := rand.New(rand.NewSource(9))
+	line := make([]byte, org.LineBytes())
+	for trial := 0; trial < 200; trial++ {
+		rng.Read(line)
+		clean := xed.Encode(line)
+		dirty := clean.Clone()
+		ScenarioInjector(kill)(rng, dirty)
+		for c := range dirty.Chips {
+			d, cl := dirty.Chips[c], clean.Chips[c]
+			if (d.Data != nil && !d.Data.Equal(cl.Data)) ||
+				(d.OnDie != nil && !d.OnDie.Equal(cl.OnDie)) ||
+				(d.Xfer != nil && !d.Xfer.Equal(cl.Xfer)) {
+				hit[c] = true
+			}
+		}
+	}
+	for c, ok := range hit {
+		if !ok {
+			t.Fatalf("chipkill never landed on chip image %d of %d in 200 trials", c, nChips)
+		}
+	}
+}

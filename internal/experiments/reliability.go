@@ -76,6 +76,9 @@ type SweepSettings struct {
 	BERHi  float64
 	Points int
 	Seed   int64
+	// Faults optionally layers an ambient fault scenario over every sweep
+	// trial (the -faults flag); nil reproduces the frozen default sweeps.
+	Faults faults.Scenario
 }
 
 // DefaultSweep returns publication-scale settings.
@@ -109,7 +112,7 @@ func F1F2Ctx(ctx context.Context, schemes []ecc.Scheme, st SweepSettings, opts c
 	bers := reliability.LogspaceBERs(st.BERLo, st.BERHi, st.Points)
 	res := &SweepResult{BERs: bers}
 	for _, s := range schemes {
-		prof, err := reliability.BuildProfileCtx(ctx, s, reliability.SweepConfig{MaxK: st.MaxK, Trials: st.Trials, Seed: st.Seed}, opts)
+		prof, err := reliability.BuildProfileCtx(ctx, s, reliability.SweepConfig{MaxK: st.MaxK, Trials: st.Trials, Seed: st.Seed, Faults: st.Faults}, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -200,8 +203,20 @@ func T2Coverage(schemes []ecc.Scheme, trials int, seed int64) *Table {
 // T2CoverageCtx runs the fault-type coverage table as cancellable,
 // checkpointable campaigns (one per scheme per fault pattern).
 func T2CoverageCtx(ctx context.Context, schemes []ecc.Scheme, trials int, seed int64, opts campaign.Options) (*Table, error) {
+	return T2CoverageEnvCtx(ctx, schemes, trials, seed, nil, opts)
+}
+
+// T2CoverageEnvCtx is T2CoverageCtx with an optional ambient fault
+// scenario corrupting every trial on top of each row's pattern. A nil
+// env reproduces the frozen default table (same campaign labels and
+// checkpoints); a non-nil env tags the title with its canonical spec.
+func T2CoverageEnvCtx(ctx context.Context, schemes []ecc.Scheme, trials int, seed int64, env faults.Scenario, opts campaign.Options) (*Table, error) {
+	title := fmt.Sprintf("T2: outcome by injected fault pattern (%d trials each; CE/DUE/SDC shares)", trials)
+	if env != nil {
+		title = fmt.Sprintf("T2: outcome by injected fault pattern under ambient %s (%d trials each; CE/DUE/SDC shares)", env.Spec(), trials)
+	}
 	t := &Table{
-		Title:  fmt.Sprintf("T2: outcome by injected fault pattern (%d trials each; CE/DUE/SDC shares)", trials),
+		Title:  title,
 		Header: []string{"pattern"},
 	}
 	for _, s := range schemes {
@@ -210,7 +225,7 @@ func T2CoverageCtx(ctx context.Context, schemes []ecc.Scheme, trials int, seed i
 	for _, l := range reliability.StandardCoverageLabels() {
 		row := []string{l.Label}
 		for _, s := range schemes {
-			r, err := reliability.CoverageCtx(ctx, s, l.Label, trials, seed, l.Inject, opts)
+			r, err := reliability.CoverageEnvCtx(ctx, s, l.Label, trials, seed, l.Inject, env, opts)
 			if err != nil {
 				return nil, err
 			}

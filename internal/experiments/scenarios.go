@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"pair/internal/campaign"
+	"pair/internal/ecc"
+	"pair/internal/faults"
+	"pair/internal/reliability"
+)
+
+// FaultScenarios builds every registered fault scenario at its default
+// options, in registration (presentation) order — the default roster for
+// the F13 differential table.
+func FaultScenarios() []faults.Scenario {
+	ids := faults.ScenarioIDs()
+	out := make([]faults.Scenario, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, faults.MustScenario(id))
+	}
+	return out
+}
+
+// F13Scenarios runs the scenario-vs-scheme differential table. It is the
+// blocking wrapper around F13ScenariosCtx.
+func F13Scenarios(schemes []ecc.Scheme, scenarios []faults.Scenario, trials int, seed int64) *Table {
+	return must(F13ScenariosCtx(context.Background(), schemes, scenarios, trials, seed, campaign.Options{}))
+}
+
+// F13ScenariosCtx sweeps the registered fault scenarios across the
+// scheme set as cancellable, checkpointable campaigns — one per
+// (scenario, scheme) cell, labelled by the scenario's canonical spec.
+// This is the strength/weakness matrix: each scheme's niche shows up as
+// a column of 100/0/0 cells on the scenario family its geometry covers.
+func F13ScenariosCtx(ctx context.Context, schemes []ecc.Scheme, scenarios []faults.Scenario, trials int, seed int64, opts campaign.Options) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("F13: outcome by fault scenario (%d trials each; CE/DUE/SDC shares)", trials),
+		Header: []string{"scenario"},
+	}
+	for _, s := range schemes {
+		t.Header = append(t.Header, s.Name())
+	}
+	for _, sc := range scenarios {
+		row := []string{sc.Spec()}
+		for _, s := range schemes {
+			r, err := reliability.ScenarioCoverageCtx(ctx, s, sc, trials, seed, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f/%.0f/%.0f", r.Rates.CE*100, r.Rates.DUE*100, r.Rates.SDC*100))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"cells are CE/DUE/SDC percentages; 100/0/0 = always corrected",
+		"pin/pinburst are PAIR's aligned axis; beatburst is DUO's; chipkill:chips=1 is XED's rank-XOR niche")
+	return t, nil
+}

@@ -184,7 +184,9 @@ func InjectBeat(rng *rand.Rand, mask *dram.Burst) int {
 }
 
 // InjectWord replaces the whole access with random corruption: every bit
-// flips with probability 1/2 (at least one flip guaranteed).
+// flips with probability 1/2 (at least one flip guaranteed). The
+// returned count is exact: the retry loop only repeats after a pass that
+// flipped nothing, which leaves both the mask and the count untouched.
 func InjectWord(rng *rand.Rand, mask *dram.Burst) int {
 	n := 0
 	for n == 0 {
@@ -217,6 +219,8 @@ func ApplyLocalWordline(rng *rand.Rand, mask *dram.Burst, mat int) int {
 	return injectLocalWordlineAt(rng, mask, mat%(mask.Pins/MatPins))
 }
 
+// injectLocalWordlineAt corrupts the mat's pins; as in InjectWord, the
+// zero-flip retry keeps the returned count equal to the bits flipped.
 func injectLocalWordlineAt(rng *rand.Rand, mask *dram.Burst, mat int) int {
 	base := mat * MatPins
 	n := 0
@@ -235,8 +239,13 @@ func injectLocalWordlineAt(rng *rand.Rand, mask *dram.Burst, mat int) int {
 
 // InjectPinBurst flips b consecutive beats of one random pin — a burst
 // error along the pin's serial line, the pattern PAIR's pin alignment
-// confines to one symbol. Returns b.
+// confines to one symbol. The length clamps to [0, mask.Beats]; like
+// every injector it returns the actual number of flipped bits, so a
+// non-positive b flips nothing, returns 0 and draws no randomness.
 func InjectPinBurst(rng *rand.Rand, mask *dram.Burst, b int) int {
+	if b <= 0 {
+		return 0
+	}
 	if b > mask.Beats {
 		b = mask.Beats
 	}
@@ -250,8 +259,13 @@ func InjectPinBurst(rng *rand.Rand, mask *dram.Burst, b int) int {
 
 // InjectBeatBurst flips one beat's bit on b consecutive pins — a burst
 // across the bus width (crosstalk), the pattern beat-aligned symbols
-// confine but pin-aligned symbols spread. Returns b.
+// confine but pin-aligned symbols spread. The length clamps to
+// [0, mask.Pins] and the return value is the actual flip count, exactly
+// as for InjectPinBurst.
 func InjectBeatBurst(rng *rand.Rand, mask *dram.Burst, b int) int {
+	if b <= 0 {
+		return 0
+	}
 	if b > mask.Pins {
 		b = mask.Pins
 	}

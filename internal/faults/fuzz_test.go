@@ -1,0 +1,49 @@
+package faults
+
+import "testing"
+
+// FuzzParseFaultSpec is the parse-or-reject property of the fault-spec
+// grammar: no input may panic the parser, and any accepted spec must
+// satisfy parse∘canonical = identity — the canonical form reparses to
+// the same canonical form, since campaign labels embed it. Rebuilding
+// through the registry must also never panic (errors are fine: most
+// random IDs are unregistered).
+func FuzzParseFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		"pin",
+		"pinburst:b=4",
+		"retention:pop=1e-6,cluster=2.5",
+		"rowhammer:radius=1,rate=0.3",
+		"vrt:flicker=0.2",
+		"chipkill:chips=2",
+		"inherent:ber=1e-4",
+		"compose(pin,inherent:ber=1e-5)",
+		"compose(compose(pin,lane),vrt)",
+		"compose(retention:pop=1e-6,cluster=2.5,pin)",
+		"compose",
+		"compose()",
+		"a:k=v:w",
+		"a,b",
+		"x:=",
+		"((((",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseFaultSpec(spec)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		canon := s.String()
+		again, err := ParseFaultSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical %q of accepted spec %q fails to reparse: %v", canon, spec, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("parse∘canonical not identity: %q reparsed to %q", canon, got)
+		}
+		if sc, err := s.Build(); err == nil && sc.Spec() != canon {
+			t.Fatalf("built scenario spec %q != canonical %q", sc.Spec(), canon)
+		}
+	})
+}

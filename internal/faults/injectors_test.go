@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"pair/internal/dram"
+)
+
+// TestInjectorFlipCountsExact audits every access-level injector against
+// the shared contract: the return value equals the number of bits set in
+// a fresh mask, for every injector, shape and trial. This pins the
+// subtle retry-loop invariant of InjectWord/InjectLocalWordline (a
+// zero-flip pass leaves mask and count untouched) and the burst
+// injectors' clamped lengths.
+func TestInjectorFlipCountsExact(t *testing.T) {
+	shapes := []struct{ pins, beats int }{{16, 8}, {16, 16}, {8, 8}, {4, 8}}
+	injectors := []struct {
+		name   string
+		inject func(*rand.Rand, *dram.Burst) int
+	}{
+		{"InjectInherent(0.1)", func(r *rand.Rand, m *dram.Burst) int { return InjectInherent(r, m, 0.1) }},
+		{"InjectNCells(3)", func(r *rand.Rand, m *dram.Burst) int { return InjectNCells(r, m, 3) }},
+		{"InjectPin", InjectPin},
+		{"InjectLane", InjectLane},
+		{"InjectBeat", InjectBeat},
+		{"InjectWord", InjectWord},
+		{"InjectLocalWordline", InjectLocalWordline},
+		{"InjectPinBurst(4)", func(r *rand.Rand, m *dram.Burst) int { return InjectPinBurst(r, m, 4) }},
+		{"InjectPinBurst(64)", func(r *rand.Rand, m *dram.Burst) int { return InjectPinBurst(r, m, 64) }},
+		{"InjectBeatBurst(2)", func(r *rand.Rand, m *dram.Burst) int { return InjectBeatBurst(r, m, 2) }},
+		{"InjectBeatBurst(64)", func(r *rand.Rand, m *dram.Burst) int { return InjectBeatBurst(r, m, 64) }},
+	}
+	for _, in := range injectors {
+		rng := rand.New(rand.NewSource(5))
+		for _, sh := range shapes {
+			for trial := 0; trial < 500; trial++ {
+				mask := dram.NewBurst(sh.pins, sh.beats)
+				n := in.inject(rng, mask)
+				if got := mask.PopCount(); got != n {
+					t.Fatalf("%s on %dx%d trial %d: returned %d, mask has %d bits",
+						in.name, sh.pins, sh.beats, trial, n, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBurstInjectorDegenerateLengths is the regression for the raw-b
+// return: non-positive lengths must flip nothing, return 0 and consume
+// no randomness (a caller-visible -len value reaches these via the
+// faultmap CLI).
+func TestBurstInjectorDegenerateLengths(t *testing.T) {
+	for _, b := range []int{0, -1, -3} {
+		rng := rand.New(rand.NewSource(1))
+		before := rng.Int63()
+		rng.Seed(1)
+		mask := dram.NewBurst(16, 8)
+		if n := InjectPinBurst(rng, mask, b); n != 0 || mask.PopCount() != 0 {
+			t.Fatalf("InjectPinBurst(b=%d) = %d with %d bits set", b, n, mask.PopCount())
+		}
+		if n := InjectBeatBurst(rng, mask, b); n != 0 || mask.PopCount() != 0 {
+			t.Fatalf("InjectBeatBurst(b=%d) = %d with %d bits set", b, n, mask.PopCount())
+		}
+		if got := rng.Int63(); got != before {
+			t.Fatalf("degenerate burst length b=%d consumed randomness", b)
+		}
+	}
+}
+
+// TestInjectorSpatialFootprints pins each injector's spatial signature
+// on a 16x8 access: the axes it may spread along and the regions of the
+// grid it must stay inside.
+func TestInjectorSpatialFootprints(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		pinMask := dram.NewBurst(16, 8)
+		InjectPin(rng, pinMask)
+		assertPinsSpanned(t, "InjectPin", pinMask, 1)
+
+		laneMask := dram.NewBurst(16, 8)
+		InjectLane(rng, laneMask)
+		if laneMask.PopCount() != 1 {
+			t.Fatal("InjectLane must flip exactly one bit")
+		}
+
+		beatMask := dram.NewBurst(16, 8)
+		InjectBeat(rng, beatMask)
+		assertBeatsSpanned(t, "InjectBeat", beatMask, 1)
+
+		lwlMask := dram.NewBurst(16, 8)
+		InjectLocalWordline(rng, lwlMask)
+		assertPinsSpanned(t, "InjectLocalWordline", lwlMask, MatPins)
+
+		pbMask := dram.NewBurst(16, 8)
+		InjectPinBurst(rng, pbMask, 4)
+		assertPinsSpanned(t, "InjectPinBurst", pbMask, 1)
+
+		bbMask := dram.NewBurst(16, 8)
+		InjectBeatBurst(rng, bbMask, 4)
+		assertBeatsSpanned(t, "InjectBeatBurst", bbMask, 1)
+	}
+}
+
+// assertPinsSpanned fails when the mask's flips span more than width
+// adjacent pins.
+func assertPinsSpanned(t *testing.T, name string, m *dram.Burst, width int) {
+	t.Helper()
+	first, last := -1, -1
+	for pin := 0; pin < m.Pins; pin++ {
+		for beat := 0; beat < m.Beats; beat++ {
+			if m.Get(pin, beat) {
+				if first == -1 {
+					first = pin
+				}
+				last = pin
+				break
+			}
+		}
+	}
+	if first == -1 {
+		t.Fatalf("%s flipped nothing", name)
+	}
+	if last-first+1 > width {
+		t.Fatalf("%s spans %d pins, want <= %d", name, last-first+1, width)
+	}
+}
+
+// assertBeatsSpanned fails when the mask's flips span more than width
+// beats.
+func assertBeatsSpanned(t *testing.T, name string, m *dram.Burst, width int) {
+	t.Helper()
+	first, last := -1, -1
+	for beat := 0; beat < m.Beats; beat++ {
+		for pin := 0; pin < m.Pins; pin++ {
+			if m.Get(pin, beat) {
+				if first == -1 {
+					first = beat
+				}
+				last = beat
+				break
+			}
+		}
+	}
+	if first == -1 {
+		t.Fatalf("%s flipped nothing", name)
+	}
+	if last-first+1 > width {
+		t.Fatalf("%s spans %d beats, want <= %d", name, last-first+1, width)
+	}
+}

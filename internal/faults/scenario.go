@@ -1,0 +1,245 @@
+package faults
+
+// This file is the scenario registry: field-realistic fault scenarios as
+// self-registering entries, mirroring the scheme registry in
+// internal/schemes. A scenario is a seeded per-trial corruption of one
+// rank access — from inherent weak-cell noise through retention-failure
+// clusters, row-hammer disturbance and variable-retention-time flicker up
+// to whole-chip kills — addressable by a spec string (see
+// scenariospec.go) so the -faults flag, the F13 experiment table and the
+// differential strength/weakness suite all draw from one source of truth.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pair/internal/bitvec"
+	"pair/internal/dram"
+)
+
+// ChipAccess is a scenario's view of one chip's contribution to a
+// protected access, mirroring the three storage regions of ecc.ChipImage
+// (which this package cannot import without a cycle):
+//
+//   - Data: the bits that cross the DQ pins during the burst.
+//   - OnDie: redundancy that never leaves the die (in-DRAM check bits).
+//     Array faults reach it; interface faults never do.
+//   - Xfer: redundancy that crosses the pins on extension beats.
+//
+// Unused regions are nil; scenarios must tolerate any of the three being
+// absent (the faultmap CLI renders Data-only accesses).
+type ChipAccess struct {
+	Data  *dram.Burst
+	OnDie *bitvec.Vec
+	Xfer  *dram.Burst
+}
+
+// TotalBits returns the number of stored bits the access exposes.
+func (a *ChipAccess) TotalBits() int {
+	n := 0
+	if a.Data != nil {
+		n += a.Data.Pins * a.Data.Beats
+	}
+	if a.OnDie != nil {
+		n += a.OnDie.Len()
+	}
+	if a.Xfer != nil {
+		n += a.Xfer.Pins * a.Xfer.Beats
+	}
+	return n
+}
+
+// flipBit flips stored bit idx, indexing Data, then OnDie, then Xfer —
+// the same region order ecc uses for its global stored-bit indices.
+func (a *ChipAccess) flipBit(idx int) {
+	if a.Data != nil {
+		n := a.Data.Pins * a.Data.Beats
+		if idx < n {
+			a.Data.Flip(idx%a.Data.Pins, idx/a.Data.Pins)
+			return
+		}
+		idx -= n
+	}
+	if a.OnDie != nil {
+		if idx < a.OnDie.Len() {
+			a.OnDie.Flip(idx)
+			return
+		}
+		idx -= a.OnDie.Len()
+	}
+	a.Xfer.Flip(idx%a.Xfer.Pins, idx/a.Xfer.Pins)
+}
+
+// Scenario is one registered fault scenario instance. Inject corrupts a
+// rank access (one ChipAccess per chip, data chips first) using only the
+// given RNG, and returns the number of bit positions it XORed. An
+// instance holds no per-trial state, so one Scenario value is safe for
+// concurrent use from campaign shard workers, and equal (spec, RNG
+// stream) always produce the same corruption — the determinism contract
+// the campaign engine extends down to the fault layer.
+type Scenario interface {
+	// Spec returns the canonical spec string that rebuilds this scenario
+	// (parse∘canonical = identity); campaign labels embed it.
+	Spec() string
+	// Inject applies one trial's corruption and returns the flip count.
+	Inject(rng *rand.Rand, access []ChipAccess) int
+}
+
+// InjectFunc is the corruption hook a scenario constructor returns.
+type InjectFunc func(rng *rand.Rand, access []ChipAccess) int
+
+// ScenarioEntry is one registered scenario: identity, documentation and
+// the constructor hook that validates options and builds the injector.
+type ScenarioEntry struct {
+	// ID is the canonical scenario identifier ("retention", "pin", ...).
+	ID string
+	// Description is a one-line summary for listings.
+	Description string
+	// Options documents the option keys the hook accepts; specs using
+	// any other key are rejected before the hook runs.
+	Options []OptionDoc
+	// New builds the injector from the spec's validated options.
+	New func(opts map[string]string) (InjectFunc, error)
+}
+
+// OptionDoc documents one option key a scenario's constructor accepts.
+type OptionDoc struct {
+	Key string
+	Doc string
+}
+
+// optionKeys returns the documented option keys.
+func (e *ScenarioEntry) optionKeys() []string {
+	keys := make([]string, len(e.Options))
+	for i, o := range e.Options {
+		keys[i] = o.Key
+	}
+	return keys
+}
+
+var (
+	scenarioRegistry = map[string]*ScenarioEntry{}
+	scenarioOrder    []string // registration (presentation) order
+)
+
+// RegisterScenario adds a scenario to the registry. It panics on a
+// duplicate or malformed entry — registration happens in init functions,
+// where a panic is a build-time error. IDs must stay inside the spec
+// grammar's name alphabet (lowercase letters, digits, '-') so every
+// registered scenario remains addressable by spec.
+func RegisterScenario(e ScenarioEntry) {
+	if e.ID == "" || e.New == nil {
+		panic("faults: scenario entry needs an ID and a constructor")
+	}
+	if e.ID == composeID {
+		panic(fmt.Sprintf("faults: scenario ID %q is reserved by the spec grammar", composeID))
+	}
+	for _, r := range e.ID {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+			panic(fmt.Sprintf("faults: scenario ID %q outside the spec name alphabet [a-z0-9-]", e.ID))
+		}
+	}
+	if _, dup := scenarioRegistry[e.ID]; dup {
+		panic(fmt.Sprintf("faults: duplicate scenario %q", e.ID))
+	}
+	cp := e
+	scenarioRegistry[e.ID] = &cp
+	scenarioOrder = append(scenarioOrder, e.ID)
+}
+
+// LookupScenario returns the entry registered under id.
+func LookupScenario(id string) (*ScenarioEntry, bool) {
+	e, ok := scenarioRegistry[id]
+	return e, ok
+}
+
+// ScenarioIDs returns every registered scenario ID in registration order.
+func ScenarioIDs() []string {
+	return append([]string(nil), scenarioOrder...)
+}
+
+// AllScenarios returns every registered entry in registration order.
+func AllScenarios() []*ScenarioEntry {
+	out := make([]*ScenarioEntry, len(scenarioOrder))
+	for i, id := range scenarioOrder {
+		out[i] = scenarioRegistry[id]
+	}
+	return out
+}
+
+// unknownScenarioError builds the error for an unregistered scenario ID;
+// the valid-ID list is generated from the registry so it cannot drift.
+func unknownScenarioError(id string) error {
+	return fmt.Errorf("faults: unknown scenario %q (valid: %s)", id, strings.Join(scenarioOrder, "|"))
+}
+
+// validateScenarioOptions checks that every option key of a spec is
+// documented by the entry.
+func validateScenarioOptions(e *ScenarioEntry, opts map[string]string) error {
+	if len(opts) == 0 {
+		return nil
+	}
+	allowed := map[string]bool{}
+	for _, k := range e.optionKeys() {
+		allowed[k] = true
+	}
+	var bad []string
+	for k := range opts {
+		if !allowed[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	keys := e.optionKeys()
+	if len(keys) == 0 {
+		return fmt.Errorf("faults: scenario %q takes no options, got %s", e.ID, strings.Join(bad, ","))
+	}
+	return fmt.Errorf("faults: scenario %q does not accept option(s) %s (valid: %s)",
+		e.ID, strings.Join(bad, ","), strings.Join(keys, "|"))
+}
+
+// scenarioFunc is the Scenario implementation every registry build
+// returns: a canonical spec string plus the constructor's injector.
+type scenarioFunc struct {
+	spec   string
+	inject InjectFunc
+}
+
+func (s *scenarioFunc) Spec() string { return s.spec }
+
+func (s *scenarioFunc) Inject(rng *rand.Rand, access []ChipAccess) int {
+	return s.inject(rng, access)
+}
+
+// Compose combines scenarios into one that injects each in order per
+// trial — the programmatic form of the compose(a,b,...) spec. A single
+// scenario is returned unchanged; an empty list composes to nil (no
+// ambient corruption).
+func Compose(scs ...Scenario) Scenario {
+	switch len(scs) {
+	case 0:
+		return nil
+	case 1:
+		return scs[0]
+	}
+	spec := composeID + "("
+	for i, sc := range scs {
+		if i > 0 {
+			spec += ","
+		}
+		spec += sc.Spec()
+	}
+	spec += ")"
+	return &scenarioFunc{spec: spec, inject: func(rng *rand.Rand, access []ChipAccess) int {
+		n := 0
+		for _, sc := range scs {
+			n += sc.Inject(rng, access)
+		}
+		return n
+	}}
+}

@@ -167,6 +167,12 @@ type SweepConfig struct {
 	MaxK   int   // largest conditioned flip count (default 16)
 	Trials int   // Monte-Carlo trials per k (default 20000)
 	Seed   int64 // base RNG seed
+	// Faults, when non-nil, is an ambient fault scenario corrupting every
+	// trial's image after the conditioned weak-cell flips. The campaign
+	// label then gains a "faults=<spec>" component; nil is the frozen
+	// default whose labels (and therefore seed streams and checkpoint
+	// files) stay byte-identical to the pre-scenario engine.
+	Faults faults.Scenario
 }
 
 func (c *SweepConfig) setDefaults() {
@@ -207,17 +213,45 @@ func BuildProfileCtx(ctx context.Context, scheme ecc.Scheme, cfg SweepConfig, op
 	}
 	prof.PerK[0] = OutcomeRates{OK: 1}
 
-	for k := 1; k <= cfg.MaxK; k++ {
-		k := k
+	var ambient func(*rand.Rand, *ecc.Stored)
+	if cfg.Faults != nil {
+		ambient = ecc.ScenarioInjector(cfg.Faults)
+		// The ambient scenario corrupts even the k=0 row: the sweep's
+		// baseline is no longer a guaranteed-clean access.
 		spec := campaign.Spec{
-			Label:  campaign.JoinLabel("profile", schemes.CampaignID(scheme), fmt.Sprintf("k=%d", k)),
+			Label:  campaign.JoinLabel("profile", schemes.CampaignID(scheme), "k=0", "faults="+cfg.Faults.Spec()),
 			Trials: cfg.Trials,
 			Seed:   cfg.Seed,
 		}
 		counts, err := campaign.Run(ctx, spec, opts, func(rng *rand.Rand, n int) [4]int64 {
-			return runTrials(scheme, rng, n, func(r *rand.Rand, st *ecc.Stored) {
+			return runTrials(scheme, rng, n, ambient)
+		}, mergeCounts)
+		if err != nil {
+			return nil, err
+		}
+		prof.PerK[0] = ratesFromCounts(counts, cfg.Trials)
+	}
+
+	for k := 1; k <= cfg.MaxK; k++ {
+		k := k
+		label := campaign.JoinLabel("profile", schemes.CampaignID(scheme), fmt.Sprintf("k=%d", k))
+		inject := func(r *rand.Rand, st *ecc.Stored) {
+			ecc.FlipRandomStoredBits(r, st, k)
+		}
+		if ambient != nil {
+			label = campaign.JoinLabel(label, "faults="+cfg.Faults.Spec())
+			inject = func(r *rand.Rand, st *ecc.Stored) {
 				ecc.FlipRandomStoredBits(r, st, k)
-			})
+				ambient(r, st)
+			}
+		}
+		spec := campaign.Spec{
+			Label:  label,
+			Trials: cfg.Trials,
+			Seed:   cfg.Seed,
+		}
+		counts, err := campaign.Run(ctx, spec, opts, func(rng *rand.Rand, n int) [4]int64 {
+			return runTrials(scheme, rng, n, inject)
 		}, mergeCounts)
 		if err != nil {
 			return nil, err
@@ -344,6 +378,65 @@ func CoverageCtx(ctx context.Context, scheme ecc.Scheme, label string, trials in
 	return CoverageResult{
 		Scheme: scheme.Name(),
 		Label:  label,
+		Trials: trials,
+		Rates:  ratesFromCounts(counts, trials),
+	}, nil
+}
+
+// CoverageEnvCtx is CoverageCtx with an optional ambient fault scenario
+// layered on top of the per-label injector. A nil env delegates to
+// CoverageCtx unchanged — same label, same seed streams, same checkpoint
+// identity as before scenarios existed. A non-nil env appends
+// ",faults=<spec>" to the campaign label (a distinct checkpoint
+// namespace) and corrupts each trial's image with the scenario after the
+// label's own injector runs.
+func CoverageEnvCtx(ctx context.Context, scheme ecc.Scheme, label string, trials int, seed int64, inject func(*rand.Rand, *ecc.Stored), env faults.Scenario, opts campaign.Options) (CoverageResult, error) {
+	if env == nil {
+		return CoverageCtx(ctx, scheme, label, trials, seed, inject, opts)
+	}
+	ambient := ecc.ScenarioInjector(env)
+	wrapped := func(rng *rand.Rand, st *ecc.Stored) {
+		inject(rng, st)
+		ambient(rng, st)
+	}
+	return CoverageCtx(ctx, scheme, label+",faults="+env.Spec(), trials, seed, wrapped, opts)
+}
+
+// ScenarioCoverage measures outcome rates when a registered fault
+// scenario is the sole corruption applied to every trial's image. It is
+// the blocking wrapper around ScenarioCoverageCtx.
+func ScenarioCoverage(scheme ecc.Scheme, sc faults.Scenario, trials int, seed int64) CoverageResult {
+	r, err := ScenarioCoverageCtx(context.Background(), scheme, sc, trials, seed, campaign.Options{})
+	if err != nil {
+		panic(fmt.Sprintf("reliability: ScenarioCoverage: %v", err)) // only reachable if the shard fn itself fails
+	}
+	return r
+}
+
+// ScenarioCoverageCtx runs one sharded campaign decoding images
+// corrupted only by the given scenario. The campaign label is
+// "scenario/<campaign-id>/<canonical spec>" — the "scenario" prefix
+// keeps these campaigns in their own checkpoint namespace, away from
+// the frozen "coverage" labels (whose short names, e.g. "pin", collide
+// with scenario IDs). The canonical spec in the label means equal specs
+// written in different option orders share one checkpoint and one seed
+// stream.
+func ScenarioCoverageCtx(ctx context.Context, scheme ecc.Scheme, sc faults.Scenario, trials int, seed int64, opts campaign.Options) (CoverageResult, error) {
+	spec := campaign.Spec{
+		Label:  campaign.JoinLabel("scenario", schemes.CampaignID(scheme), sc.Spec()),
+		Trials: trials,
+		Seed:   seed,
+	}
+	inject := ecc.ScenarioInjector(sc)
+	counts, err := campaign.Run(ctx, spec, opts, func(rng *rand.Rand, n int) [4]int64 {
+		return runTrials(scheme, rng, n, inject)
+	}, mergeCounts)
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	return CoverageResult{
+		Scheme: scheme.Name(),
+		Label:  sc.Spec(),
 		Trials: trials,
 		Rates:  ratesFromCounts(counts, trials),
 	}, nil

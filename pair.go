@@ -19,6 +19,7 @@ import (
 	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/ecc"
+	"pair/internal/faults"
 	"pair/internal/schemes"
 )
 
@@ -134,4 +135,25 @@ func SchemeBySpec(spec string) (Scheme, error) {
 // cmd binaries print for -list-schemes.
 func SchemeSpecHelp() string {
 	return schemes.ListText()
+}
+
+// FaultScenario is a registered field-fault scenario — a seeded,
+// composable per-trial corruption model from the fault-scenario registry
+// (internal/faults).
+type FaultScenario = faults.Scenario
+
+// ScenarioBySpec builds a fault scenario from a registry spec string,
+//
+//	name[:key=val,...] or compose(spec,spec,...)
+//
+// e.g. "pinburst:b=4" (a four-beat burst on one DQ pin) or
+// "compose(pin,inherent:ber=1e-5)" (a pin fault over ambient weak cells).
+func ScenarioBySpec(spec string) (FaultScenario, error) {
+	return faults.NewScenario(spec)
+}
+
+// FaultSpecHelp returns the full fault-scenario listing the cmd binaries
+// print for -list-faults.
+func FaultSpecHelp() string {
+	return faults.ListFaultsText()
 }
