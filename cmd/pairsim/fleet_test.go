@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pair/internal/fleet"
+)
+
+// startTestFleet boots an in-process coordinator and workers for the
+// -fleet CLI tests, returning the coordinator's base URL.
+func startTestFleet(t *testing.T, workers int) string {
+	t.Helper()
+	coord := fleet.NewCoordinator(fleet.CoordinatorOptions{})
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := fleet.NewWorker(srv.URL, fleet.WorkerOptions{Poll: 5 * time.Millisecond, Retries: 1})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+	return srv.URL
+}
+
+// TestFleetFlagMatchesLocalRun: `pairsim -exp f13 -fleet <url>` renders
+// the identical table (timing line aside) to the same invocation
+// without -fleet.
+func TestFleetFlagMatchesLocalRun(t *testing.T) {
+	args := []string{"-exp", "f13", "-trials", "120", "-schemes", "none secded", "-faults", "cell pin"}
+
+	code, localOut, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("local run: exit %d, stderr %q", code, stderr)
+	}
+
+	base := startTestFleet(t, 2)
+	code, fleetOut, stderr := runCLI(t, append(args, "-fleet", base, "-progress")...)
+	if code != 0 {
+		t.Fatalf("fleet run: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "submitted job") {
+		t.Errorf("fleet run did not report its job submission; stderr %q", stderr)
+	}
+	if !strings.Contains(stderr, "progress: ") {
+		t.Errorf("-progress produced no progress lines; stderr %q", stderr)
+	}
+
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "[F13 done in") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(fleetOut) != strip(localOut) {
+		t.Errorf("fleet table differs from local table\n--- local ---\n%s\n--- fleet ---\n%s", localOut, fleetOut)
+	}
+}
+
+// TestFleetFlagValidation: -fleet rejects local-checkpoint flags and
+// non-f13 experiments before talking to any coordinator.
+func TestFleetFlagValidation(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-exp", "f13", "-fleet", "http://127.0.0.1:1", "-checkpoint", t.TempDir()); code != 2 ||
+		!strings.Contains(stderr, "-fleet is incompatible") {
+		t.Errorf("-fleet with -checkpoint: exit %d, stderr %q; want 2 and incompatibility error", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-exp", "t2", "-fleet", "http://127.0.0.1:1"); code != 2 ||
+		!strings.Contains(stderr, "only the f13 experiment") {
+		t.Errorf("-fleet with t2: exit %d, stderr %q; want 2 and f13-only error", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-exp", "f13", "-fleet", "http://127.0.0.1:1", "-schemes", "no-such-scheme:::"); code != 2 ||
+		stderr == "" {
+		t.Errorf("-fleet with malformed scheme spec: exit %d, stderr %q; want 2 and parse error", code, stderr)
+	}
+}

@@ -101,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retries    = fs.Int("retries", 1, "extra attempts for a shard whose function panics, errors, or times out (0 disables)")
 		shardTO    = fs.Duration("shard-timeout", 0, "watchdog: abandon and retry a shard running longer than this (0 disables)")
 		salvage    = fs.Bool("salvage", false, "with -resume: recover every intact shard from a corrupted or truncated checkpoint instead of aborting")
+		fleetURL   = fs.String("fleet", "", "submit campaigns to a pairserve coordinator at this URL instead of running locally (f13 only; checkpoints live on the coordinator)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -163,6 +164,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pairsim: -retries must be >= 0")
 		return 2
 	}
+	if *fleetURL != "" && (*checkpoint != "" || *resume) {
+		fmt.Fprintln(stderr, "pairsim: -fleet is incompatible with -checkpoint/-resume (the coordinator owns the checkpoint directory; resume with pairserve -resume)")
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -196,6 +201,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *exp == "all" {
 		// f1f2 runs both sweeps off one set of conditional profiles.
 		ids = []string{"t1", "f1f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12", "f13"}
+	}
+	if *fleetURL != "" {
+		return runFleetExperiments(ctx, *fleetURL, ids, *schemeList, *faultList, scale, *progress, stdout, stderr)
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)

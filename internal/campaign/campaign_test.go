@@ -246,6 +246,39 @@ func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
 	}
 }
 
+// Distinct labels must never share a checkpoint file. (Regression:
+// sanitization used to be lossy — "a/b" and "a_b" both mapped to
+// "a_b.json" — so a fresh run of one campaign silently overwrote a
+// sibling's checkpoint and a later resume aborted on a label mismatch.)
+func TestCheckpointPathCollisions(t *testing.T) {
+	if CheckpointPath("d", "a/b") == CheckpointPath("d", "a_b") {
+		t.Fatal(`labels "a/b" and "a_b" map to the same checkpoint file`)
+	}
+	if CheckpointPath("d", "a/b") == CheckpointPath("d", "a:b") {
+		t.Fatal(`lossy labels "a/b" and "a:b" map to the same checkpoint file`)
+	}
+	// Lossless labels keep their historical stems: no hash suffix.
+	if got := filepath.Base(CheckpointPath("d", "a_b")); got != "a_b.json" {
+		t.Fatalf("lossless label stem changed: %q", got)
+	}
+
+	dir := t.TempDir()
+	ctx := context.Background()
+	slash := Spec{Label: "a/b", Trials: 100, ShardSize: 50, Seed: 1}
+	under := Spec{Label: "a_b", Trials: 60, ShardSize: 20, Seed: 7}
+	if _, err := Run(ctx, slash, Options{CheckpointDir: dir}, sumFn, sumMerge); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh (non-resume) run of the sibling label must not clobber the
+	// first campaign's checkpoint.
+	if _, err := Run(ctx, under, Options{CheckpointDir: dir}, sumFn, sumMerge); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ctx, slash, Options{CheckpointDir: dir, Resume: true}, sumFn, sumMerge); err != nil {
+		t.Fatalf("resume after sibling fresh run: %v", err)
+	}
+}
+
 func TestCheckpointPathSanitizes(t *testing.T) {
 	p := CheckpointPath("dir", "t2/coverage/pair x16:bl8/pin")
 	base := filepath.Base(p)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -54,9 +55,16 @@ func CheckpointPath(dir, label string) string {
 	return filepath.Join(dir, sanitizeLabel(label)+".json")
 }
 
-// sanitizeLabel maps a campaign label to a safe file stem.
+// sanitizeLabel maps a campaign label to a safe file stem. Replacing
+// unsafe runes with '_' alone is lossy — distinct labels like "a/b" and
+// "a_b" would share a stem, and a fresh (non-resume) run of one would
+// silently overwrite the other's checkpoint — so whenever any rune was
+// replaced, a short FNV-1a hash of the raw label is appended to keep
+// stems collision-free. Labels that need no replacement (and therefore
+// never collided) keep their historical stems.
 func sanitizeLabel(label string) string {
 	out := make([]rune, 0, len(label))
+	lossy := false
 	for _, r := range label {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
@@ -64,12 +72,18 @@ func sanitizeLabel(label string) string {
 			out = append(out, r)
 		default:
 			out = append(out, '_')
+			lossy = true
 		}
 	}
 	if len(out) == 0 {
 		return "campaign"
 	}
-	return string(out)
+	if !lossy {
+		return string(out)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(label))
+	return fmt.Sprintf("%s-%08x", string(out), h.Sum32())
 }
 
 // openCheckpoint binds a checkpoint to dir for the given spec. With

@@ -127,6 +127,21 @@ func (r *Report) warnf(sink func(string, ...any), format string, args ...any) {
 	}
 }
 
+// AddShardError records one permanent shard failure. Exported for
+// remote executors (fleet coordinators) recording failures reported by
+// worker processes; local runs record through Run.
+func (r *Report) AddShardError(e *ShardError) { r.addShardError(e) }
+
+// AddShardRetry counts one re-attempt of a failed shard (exported for
+// remote executors; a re-issued lease is a retry).
+func (r *Report) AddShardRetry() { r.addShardRetry() }
+
+// Warningf records a warning line and forwards it to sink if non-nil
+// (exported for remote executors sharing a Report with the engine).
+func (r *Report) Warningf(sink func(string, ...any), format string, args ...any) {
+	r.warnf(sink, format, args...)
+}
+
 // addShardError records one permanent shard failure.
 func (r *Report) addShardError(e *ShardError) {
 	if r == nil {

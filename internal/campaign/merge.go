@@ -1,0 +1,150 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Merge folds shard fragments computed elsewhere (fleet workers holding
+// shard leases) into the standard campaign checkpoint. It reuses the
+// Checkpoint machinery verbatim — same file format, same atomic
+// write/fsync/rename discipline, same retry/backoff and memory-only
+// degradation — so a directory a coordinator merged into is
+// indistinguishable from one a local Run wrote, and `pairsim -resume`
+// picks a fleet run up exactly where the fleet left it.
+//
+// Duplicate completions are the normal case in a fleet (an expired lease
+// is re-issued while the original worker may still finish): Record
+// deduplicates by shard index, keeping the first fragment. Results are
+// derived from (label, seed, shard index) alone, so first-wins and
+// last-wins are byte-identical anyway.
+type Merge struct {
+	mu    sync.Mutex
+	spec  Spec
+	n     int
+	frags map[int]json.RawMessage
+	ckpt  *Checkpoint // nil when merging in memory only
+}
+
+// OpenMerge prepares a merge target for one campaign. With a checkpoint
+// directory every recorded fragment is mirrored to the campaign's
+// checkpoint file; with opts.Resume fragments already on disk are loaded
+// (and reported by Done/NumDone) so a restarted coordinator re-issues
+// only the missing shards. An empty dir merges in memory. The namespace
+// is joined onto the label exactly as Run does.
+func OpenMerge(dir string, spec Spec, opts Options) (*Merge, error) {
+	if spec.Trials < 0 {
+		return nil, fmt.Errorf("campaign %q: negative trial count %d", spec.Label, spec.Trials)
+	}
+	spec.Label = JoinLabel(opts.Namespace, spec.Label)
+	m := &Merge{spec: spec, n: spec.NumShards(), frags: map[int]json.RawMessage{}}
+	if dir == "" {
+		return m, nil
+	}
+	ckpt, err := openCheckpoint(dir, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.ckpt = ckpt
+	for i, raw := range ckpt.shards() {
+		if i >= 0 && i < m.n {
+			m.frags[i] = raw
+		}
+	}
+	return m, nil
+}
+
+// Label returns the full (namespaced) campaign label.
+func (m *Merge) Label() string { return m.spec.Label }
+
+// Spec returns the namespaced campaign spec the merge was opened with.
+func (m *Merge) Spec() Spec { return m.spec }
+
+// NumShards returns the campaign's shard count.
+func (m *Merge) NumShards() int { return m.n }
+
+// Done reports whether shard i's fragment has been recorded.
+func (m *Merge) Done(i int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.frags[i]
+	return ok
+}
+
+// NumDone returns how many fragments have been recorded.
+func (m *Merge) NumDone() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.frags)
+}
+
+// Complete reports whether every shard has a fragment.
+func (m *Merge) Complete() bool { return m.NumDone() == m.n }
+
+// Record merges shard i's raw JSON fragment. It returns fresh=false for
+// a duplicate completion (the fragment is discarded; determinism makes
+// it byte-identical to the recorded one) and an error for an
+// out-of-range index or a fragment that is not valid JSON. A fresh
+// fragment is persisted to the checkpoint before Record returns.
+func (m *Merge) Record(i int, frag json.RawMessage) (fresh bool, err error) {
+	if i < 0 || i >= m.n {
+		return false, fmt.Errorf("campaign %q: shard %d out of range [0,%d)", m.spec.Label, i, m.n)
+	}
+	if !json.Valid(frag) || isNullJSON(frag) {
+		return false, fmt.Errorf("campaign %q: shard %d fragment is not a JSON value", m.spec.Label, i)
+	}
+	cp := append(json.RawMessage(nil), frag...)
+	m.mu.Lock()
+	if _, dup := m.frags[i]; dup {
+		m.mu.Unlock()
+		return false, nil
+	}
+	m.frags[i] = cp
+	m.mu.Unlock()
+	if m.ckpt != nil {
+		m.ckpt.record(i, cp)
+	}
+	return true, nil
+}
+
+// Fragment returns the recorded fragment of shard i, if any.
+func (m *Merge) Fragment(i int) (json.RawMessage, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	raw, ok := m.frags[i]
+	return raw, ok
+}
+
+// Fold visits every recorded fragment in ascending shard order — the
+// same order Run merges in, so an aggregate folded here is
+// byte-identical to a local run's.
+func (m *Merge) Fold(visit func(i int, frag json.RawMessage) error) error {
+	for i := 0; i < m.n; i++ {
+		raw, ok := m.Fragment(i)
+		if !ok {
+			continue
+		}
+		if err := visit(i, raw); err != nil {
+			return fmt.Errorf("campaign %q: shard %d: %w", m.spec.Label, i, err)
+		}
+	}
+	return nil
+}
+
+// Degraded reports whether the underlying checkpoint fell back to
+// memory-only mode (always false for an in-memory merge).
+func (m *Merge) Degraded() bool {
+	return m.ckpt != nil && m.ckpt.isDegraded()
+}
+
+// shards returns a copy of the checkpoint's shard map.
+func (c *Checkpoint) shards() map[int]json.RawMessage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]json.RawMessage, len(c.file.Shards))
+	for i, raw := range c.file.Shards {
+		out[i] = raw
+	}
+	return out
+}

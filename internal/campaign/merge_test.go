@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// A checkpoint assembled out of order from ExecShard fragments (the
+// fleet path) must be byte-identical to the one a local Run writes, and
+// a local Run must resume from it.
+func TestMergeMatchesLocalRunByteForByte(t *testing.T) {
+	spec := Spec{Label: "merge/byte-id", Trials: 500, ShardSize: 100, Seed: 42}
+	ctx := context.Background()
+
+	localDir := t.TempDir()
+	want, err := Run(ctx, spec, Options{CheckpointDir: localDir}, sumFn, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleetDir := t.TempDir()
+	m, err := OpenMerge(fleetDir, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers complete shards in arbitrary order; the duplicate of shard 2
+	// (a re-issued lease whose original worker also finished) is dropped.
+	for _, i := range []int{3, 0, 2, 4, 2, 1} {
+		res, err := ExecShard(spec, i, Options{}, sumFn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := m.Record(i, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if was := m.Done(i); !was {
+			t.Fatalf("shard %d not recorded", i)
+		}
+		_ = fresh
+	}
+	if !m.Complete() {
+		t.Fatalf("merge incomplete: %d/%d", m.NumDone(), m.NumShards())
+	}
+
+	var got sumShard
+	if err := m.Fold(func(i int, frag json.RawMessage) error {
+		var s sumShard
+		if err := json.Unmarshal(frag, &s); err != nil {
+			return err
+		}
+		sumMerge(&got, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fleet aggregate %+v != local %+v", got, want)
+	}
+
+	localBytes, err := os.ReadFile(CheckpointPath(localDir, spec.Label))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetBytes, err := os.ReadFile(CheckpointPath(fleetDir, spec.Label))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(localBytes) != string(fleetBytes) {
+		t.Fatalf("checkpoint bytes differ:\nlocal: %s\nfleet: %s", localBytes, fleetBytes)
+	}
+
+	// And the local engine resumes from the merged checkpoint: every
+	// shard loads (a recompute would change the aggregate via the
+	// tripwire fn below), identical aggregate.
+	resumed, err := Run(ctx, spec, Options{CheckpointDir: fleetDir, Resume: true},
+		func(rng *rand.Rand, trials int) sumShard {
+			return sumShard{N: -1 << 40} // tripwire: resumed runs must not recompute
+		}, sumMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != want {
+		t.Fatalf("resume from merged checkpoint = %+v, want %+v", resumed, want)
+	}
+}
+
+// A restarted coordinator re-opens its merge with Resume and sees the
+// fragments already on disk, so only missing shards are re-leased.
+func TestMergeResumeLoadsFragments(t *testing.T) {
+	spec := Spec{Label: "merge/resume", Trials: 300, ShardSize: 100, Seed: 7}
+	dir := t.TempDir()
+	m, err := OpenMerge(dir, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err := m.Record(1, json.RawMessage(`{"n":100,"sum":1}`)); err != nil || !fresh {
+		t.Fatalf("record: fresh=%v err=%v", fresh, err)
+	}
+
+	re, err := OpenMerge(dir, spec, Options{Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Done(1) || re.Done(0) || re.NumDone() != 1 {
+		t.Fatalf("resumed merge state wrong: done(1)=%v done(0)=%v n=%d", re.Done(1), re.Done(0), re.NumDone())
+	}
+}
+
+func TestMergeRejectsBadFragments(t *testing.T) {
+	m, err := OpenMerge("", Spec{Label: "merge/bad", Trials: 100, ShardSize: 100, Seed: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Record(5, json.RawMessage(`1`)); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := m.Record(0, json.RawMessage(`{"n":`)); err == nil {
+		t.Fatal("truncated JSON fragment accepted")
+	}
+	if _, err := m.Record(0, json.RawMessage(`null`)); err == nil {
+		t.Fatal("null fragment accepted")
+	}
+	if fresh, err := m.Record(0, json.RawMessage(`1`)); err != nil || !fresh {
+		t.Fatalf("valid fragment rejected: fresh=%v err=%v", fresh, err)
+	}
+	if fresh, err := m.Record(0, json.RawMessage(`2`)); err != nil || fresh {
+		t.Fatalf("duplicate completion not deduplicated: fresh=%v err=%v", fresh, err)
+	}
+	if raw, _ := m.Fragment(0); string(raw) != "1" {
+		t.Fatalf("dedup must keep the first fragment, got %s", raw)
+	}
+}
+
+// ExecShard surfaces the engine's failure machinery: a shard whose
+// attempts all fail returns the same *ShardError a local Run records.
+func TestExecShardFailure(t *testing.T) {
+	spec := Spec{Label: "merge/fail", Trials: 100, ShardSize: 100, Seed: 1}
+	boom := func(rng *rand.Rand, trials int) sumShard { panic("shard bug") }
+	_, err := ExecShard(spec, 0, Options{Retries: 1}, boom)
+	serr, ok := err.(*ShardError)
+	if !ok {
+		t.Fatalf("want *ShardError, got %v", err)
+	}
+	if serr.Attempts != 2 || serr.Shard != 0 {
+		t.Fatalf("ShardError = %+v, want 2 attempts on shard 0", serr)
+	}
+}

@@ -25,6 +25,7 @@ type Progress struct {
 	resumedTrials atomic.Int64
 	retriedShards atomic.Int64
 	failedShards  atomic.Int64
+	failedTrials  atomic.Int64
 }
 
 // NewProgress returns a Progress anchored at the current time.
@@ -68,13 +69,37 @@ func (p *Progress) shardRetried() {
 	p.retriedShards.Add(1)
 }
 
-// shardFailed records one shard whose retry budget was exhausted.
-func (p *Progress) shardFailed() {
+// shardFailed records one shard whose retry budget was exhausted. Its
+// trials are accounted separately so the remaining-work estimate (and
+// therefore the ETA) converges even when shards are lost for good.
+func (p *Progress) shardFailed(trials int) {
 	if p == nil {
 		return
 	}
 	p.failedShards.Add(1)
+	p.failedTrials.Add(int64(trials))
 }
+
+// AddCampaign registers a campaign's shard/trial totals. Exported for
+// remote executors (fleet coordinators) that account work completed by
+// other processes; local runs feed these counters through Run.
+func (p *Progress) AddCampaign(shards, trials int) { p.addCampaign(shards, trials) }
+
+// ShardDone records one freshly computed shard (exported for remote
+// executors).
+func (p *Progress) ShardDone(trials int) { p.shardDone(trials) }
+
+// ShardResumed records one shard loaded from a checkpoint (exported for
+// remote executors).
+func (p *Progress) ShardResumed(trials int) { p.shardResumed(trials) }
+
+// ShardRetried records one re-attempt of a failed shard (exported for
+// remote executors; a re-issued lease is a retry).
+func (p *Progress) ShardRetried() { p.shardRetried() }
+
+// ShardFailed records one shard whose retry budget was exhausted
+// (exported for remote executors).
+func (p *Progress) ShardFailed(trials int) { p.shardFailed(trials) }
 
 // Snapshot is a point-in-time view of campaign progress.
 type Snapshot struct {
@@ -85,6 +110,7 @@ type Snapshot struct {
 	ShardsTotal   int64
 	TrialsDone    int64
 	TrialsResumed int64
+	TrialsFailed  int64 // trials lost to failed shards (no longer remaining work)
 	TrialsTotal   int64
 	Elapsed       time.Duration
 	TrialsPerSec  float64       // fresh trials per wall second
@@ -101,21 +127,28 @@ func (p *Progress) Snapshot() Snapshot {
 		ShardsTotal:   p.totalShards.Load(),
 		TrialsDone:    p.doneTrials.Load(),
 		TrialsResumed: p.resumedTrials.Load(),
+		TrialsFailed:  p.failedTrials.Load(),
 		TrialsTotal:   p.totalTrials.Load(),
 		Elapsed:       time.Since(p.start),
 	}
 	if sec := s.Elapsed.Seconds(); sec > 0 {
 		s.TrialsPerSec = float64(s.TrialsDone) / sec
 	}
-	if remaining := s.TrialsTotal - s.TrialsDone - s.TrialsResumed; remaining > 0 && s.TrialsPerSec > 0 {
+	// A failed shard's trials will never complete: they leave the
+	// remaining-work pool, else the ETA never converges on a run with
+	// exhausted retry budgets. Clamp at zero — counters race only in the
+	// direction of transient over-counting.
+	if remaining := s.TrialsTotal - s.TrialsDone - s.TrialsResumed - s.TrialsFailed; remaining > 0 && s.TrialsPerSec > 0 {
 		s.ETA = time.Duration(float64(remaining) / s.TrialsPerSec * float64(time.Second)).Round(time.Second)
 	}
 	return s
 }
 
-// String renders the snapshot as a one-line status.
+// String renders the snapshot as a one-line status. Failed shards count
+// as accounted-for in the shards column (the FAILED annotation carries
+// the caveat), so the line converges on runs that lose shards for good.
 func (s Snapshot) String() string {
-	out := fmt.Sprintf("shards %d/%d  trials %d/%d", s.ShardsDone+s.ShardsResumed, s.ShardsTotal, s.TrialsDone+s.TrialsResumed, s.TrialsTotal)
+	out := fmt.Sprintf("shards %d/%d  trials %d/%d", s.ShardsDone+s.ShardsResumed+s.ShardsFailed, s.ShardsTotal, s.TrialsDone+s.TrialsResumed, s.TrialsTotal)
 	if s.ShardsResumed > 0 {
 		out += fmt.Sprintf(" (%d shards resumed)", s.ShardsResumed)
 	}
@@ -136,22 +169,29 @@ func (s Snapshot) String() string {
 
 // Report starts a goroutine that writes a snapshot line to w every
 // interval until ctx is done or the returned stop function is called.
-// Stop is idempotent and also emits one final snapshot, so short runs
-// still produce at least one line.
+// Either way the reporter emits one final snapshot before exiting, so
+// short and cancelled runs alike still produce at least one line. Every
+// write — ticks and the final line — happens on the reporter goroutine,
+// so output never interleaves; stop is idempotent and returns only once
+// the final line has been written.
 func (p *Progress) Report(ctx context.Context, w io.Writer, every time.Duration) (stop func()) {
 	if every <= 0 {
 		every = 2 * time.Second
 	}
 	done := make(chan struct{})
+	finished := make(chan struct{})
 	var once sync.Once
 	go func() {
+		defer close(finished)
 		t := time.NewTicker(every)
 		defer t.Stop()
 		for {
 			select {
 			case <-ctx.Done():
+				fmt.Fprintf(w, "progress: %s\n", p.Snapshot())
 				return
 			case <-done:
+				fmt.Fprintf(w, "progress: %s\n", p.Snapshot())
 				return
 			case <-t.C:
 				fmt.Fprintf(w, "progress: %s\n", p.Snapshot())
@@ -159,9 +199,7 @@ func (p *Progress) Report(ctx context.Context, w io.Writer, every time.Duration)
 		}
 	}()
 	return func() {
-		once.Do(func() {
-			close(done)
-			fmt.Fprintf(w, "progress: %s\n", p.Snapshot())
-		})
+		once.Do(func() { close(done) })
+		<-finished
 	}
 }

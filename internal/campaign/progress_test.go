@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -89,5 +90,105 @@ func TestNilProgressIsSafe(t *testing.T) {
 	p.shardDone(1)
 	p.shardResumed(1)
 	p.shardRetried()
-	p.shardFailed()
+	p.shardFailed(1)
+}
+
+// A shard whose retry budget was exhausted will never contribute its
+// trials, so the remaining-work estimate must drop them: the ETA has to
+// reach zero and the shards line has to converge on d == t. (Regression:
+// failed trials used to stay in "remaining" forever, so the ETA and the
+// "shards d/t" counter never converged on runs that lost shards.)
+func TestSnapshotConvergesWithFailedShards(t *testing.T) {
+	p := NewProgress()
+	p.start = time.Now().Add(-2 * time.Second)
+	p.addCampaign(4, 400)
+	p.shardDone(100)
+	p.shardDone(100)
+	p.shardDone(100)
+	p.shardFailed(100) // retry budget exhausted: these trials are gone
+	s := p.Snapshot()
+	if s.TrialsFailed != 100 {
+		t.Fatalf("TrialsFailed = %d, want 100", s.TrialsFailed)
+	}
+	if s.ETA != 0 {
+		t.Fatalf("ETA = %v, want 0: no remaining work once failed trials are discounted", s.ETA)
+	}
+	line := s.String()
+	if !strings.Contains(line, "shards 4/4") {
+		t.Fatalf("shards counter did not converge with a failed shard: %q", line)
+	}
+	if !strings.Contains(line, "(1 FAILED)") {
+		t.Fatalf("failed-shard annotation missing: %q", line)
+	}
+}
+
+// Failed trials clamp the remaining-work estimate at zero rather than
+// producing a negative ETA when counters transiently over-count.
+func TestSnapshotClampsNegativeRemaining(t *testing.T) {
+	p := NewProgress()
+	p.start = time.Now().Add(-time.Second)
+	p.addCampaign(2, 200)
+	p.shardDone(150)
+	p.shardFailed(100) // done+failed > total
+	if eta := p.Snapshot().ETA; eta != 0 {
+		t.Fatalf("ETA = %v, want 0 when accounted trials exceed the total", eta)
+	}
+}
+
+// Context cancellation must still emit the final snapshot line.
+// (Regression: the reporter goroutine used to exit on ctx-done without
+// writing anything, so an interrupted run ended with no final status.)
+func TestProgressReporterFinalLineOnContextCancel(t *testing.T) {
+	p := NewProgress()
+	p.addCampaign(2, 200)
+	p.shardDone(100)
+	w := &syncWriter{}
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := p.Report(ctx, w, time.Hour) // interval long enough that no tick fires
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(w.String(), "progress:") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no final snapshot line after ctx cancel; output %q", w.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop() // idempotent: must not write a second final line
+	if n := strings.Count(w.String(), "progress:"); n != 1 {
+		t.Fatalf("want exactly 1 final line after cancel+stop, got %d: %q", n, w.String())
+	}
+}
+
+// overlapWriter fails the test if two Write calls ever overlap — the
+// interleaved-output defect stop() used to cause by writing the final
+// snapshot from the caller's goroutine while a ticker write was in
+// flight.
+type overlapWriter struct {
+	t       *testing.T
+	writing atomic.Bool
+	lines   atomic.Int64
+}
+
+func (w *overlapWriter) Write(b []byte) (int, error) {
+	if !w.writing.CompareAndSwap(false, true) {
+		w.t.Error("concurrent Write calls: reporter output can interleave")
+		return len(b), nil
+	}
+	time.Sleep(100 * time.Microsecond) // widen the race window
+	w.lines.Add(1)
+	w.writing.Store(false)
+	return len(b), nil
+}
+
+func TestProgressReporterSerializesWrites(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		p := NewProgress()
+		w := &overlapWriter{t: t}
+		stop := p.Report(context.Background(), w, 200*time.Microsecond)
+		time.Sleep(time.Millisecond) // let a few ticks land
+		stop()
+		if w.lines.Load() < 1 {
+			t.Fatal("stop returned before the final line was written")
+		}
+	}
 }

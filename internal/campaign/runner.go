@@ -133,7 +133,7 @@ func Run[T any](ctx context.Context, spec Spec, opts Options, fn func(rng *rand.
 					res, serr := runShard(spec.Label, sh, opts, fn)
 					if serr != nil {
 						opts.Report.addShardError(serr)
-						opts.Progress.shardFailed()
+						opts.Progress.shardFailed(sh.Trials)
 						mu.Lock()
 						failures = append(failures, serr)
 						mu.Unlock()
@@ -182,6 +182,29 @@ func Run[T any](ctx context.Context, spec Spec, opts Options, fn func(rng *rand.
 		return agg, &RunError{Label: spec.Label, Failed: failures, Completed: completed, Total: n}
 	}
 	return agg, nil
+}
+
+// ExecShard runs exactly one shard of a campaign through the engine's
+// failure machinery — panic isolation, the watchdog, the per-shard retry
+// budget and the FailpointShard hook — and returns its result. It is the
+// remote-execution entry point: a fleet worker holding a shard lease
+// executes it through this path, so the result (and the RNG stream that
+// produced it) is byte-identical to the same shard run locally by Run.
+// Options.Namespace is joined onto the label exactly as Run does;
+// checkpointing options are ignored (the lease's coordinator owns the
+// merged checkpoint).
+func ExecShard[T any](spec Spec, index int, opts Options, fn func(rng *rand.Rand, trials int) T) (T, error) {
+	spec.Label = JoinLabel(opts.Namespace, spec.Label)
+	sh := spec.Shard(index)
+	res, serr := runShard(spec.Label, sh, opts, fn)
+	if serr != nil {
+		opts.Report.addShardError(serr)
+		opts.Progress.shardFailed(sh.Trials)
+		var zero T
+		return zero, serr
+	}
+	opts.Progress.shardDone(sh.Trials)
+	return res, nil
 }
 
 // runShard executes one shard with panic isolation, the watchdog, and

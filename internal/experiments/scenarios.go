@@ -34,6 +34,22 @@ func F13Scenarios(schemes []ecc.Scheme, scenarios []faults.Scenario, trials int,
 // This is the strength/weakness matrix: each scheme's niche shows up as
 // a column of 100/0/0 cells on the scenario family its geometry covers.
 func F13ScenariosCtx(ctx context.Context, schemes []ecc.Scheme, scenarios []faults.Scenario, trials int, seed int64, opts campaign.Options) (*Table, error) {
+	return F13ScenariosCells(schemes, scenarios, trials, func(s ecc.Scheme, sc faults.Scenario) (reliability.OutcomeRates, error) {
+		r, err := reliability.ScenarioCoverageCtx(ctx, s, sc, trials, seed, opts)
+		if err != nil {
+			return reliability.OutcomeRates{}, err
+		}
+		return r.Rates, nil
+	})
+}
+
+// F13ScenariosCells renders the differential table from a cell supplier,
+// decoupling the table from where the campaigns ran: F13ScenariosCtx
+// plugs in local campaign runs, pairsim's -fleet mode plugs in a lookup
+// over a fleet job's merged shard counts. Cells are visited row-major
+// (scenario outer, scheme inner) in presentation order, so a supplier
+// that runs campaigns lazily reproduces the local execution order.
+func F13ScenariosCells(schemes []ecc.Scheme, scenarios []faults.Scenario, trials int, cell func(s ecc.Scheme, sc faults.Scenario) (reliability.OutcomeRates, error)) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("F13: outcome by fault scenario (%d trials each; CE/DUE/SDC shares)", trials),
 		Header: []string{"scenario"},
@@ -44,11 +60,11 @@ func F13ScenariosCtx(ctx context.Context, schemes []ecc.Scheme, scenarios []faul
 	for _, sc := range scenarios {
 		row := []string{sc.Spec()}
 		for _, s := range schemes {
-			r, err := reliability.ScenarioCoverageCtx(ctx, s, sc, trials, seed, opts)
+			rates, err := cell(s, sc)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.0f/%.0f/%.0f", r.Rates.CE*100, r.Rates.DUE*100, r.Rates.SDC*100))
+			row = append(row, fmt.Sprintf("%.0f/%.0f/%.0f", rates.CE*100, rates.DUE*100, rates.SDC*100))
 		}
 		t.AddRow(row...)
 	}

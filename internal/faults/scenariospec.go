@@ -216,6 +216,18 @@ func BuildScenarios(specs []string) ([]Scenario, error) {
 // or directly follows an option list with another key=val; otherwise it
 // separates specs. Whitespace always separates specs.
 func ParseFaultSpecList(list string) ([]Scenario, error) {
+	specs, err := SplitFaultSpecList(list)
+	if err != nil {
+		return nil, err
+	}
+	return BuildScenarios(specs)
+}
+
+// SplitFaultSpecList splits a comma/whitespace-separated scenario spec
+// list into its individual spec strings, validating only the syntax of
+// each — the wire-format helper mirroring schemes.SplitSpecList for
+// remote submission.
+func SplitFaultSpecList(list string) ([]string, error) {
 	var specs []string
 	for _, f := range strings.FieldsFunc(list, func(r rune) bool { return r == ' ' || r == '\t' }) {
 		parts, err := splitFaultSpecs(f)
@@ -224,7 +236,12 @@ func ParseFaultSpecList(list string) ([]Scenario, error) {
 		}
 		specs = append(specs, parts...)
 	}
-	return BuildScenarios(specs)
+	for _, spec := range specs {
+		if _, err := ParseFaultSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
 }
 
 // splitFaultSpecs splits one whitespace-free token into specs on the

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrLeaseGone marks a renewal or completion whose lease the
+// coordinator no longer recognizes as held — it expired and was
+// re-issued, the job was cancelled, or the shard already finished.
+var ErrLeaseGone = errors.New("fleet: lease gone")
+
+// Client talks to a coordinator. The zero HTTP client is replaced by
+// http.DefaultClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Submit registers a job and returns its ID.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/api/jobs", spec, &st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// Status fetches a job's live status.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	st := &JobStatus{}
+	if err := c.do(ctx, http.MethodGet, "/api/jobs/"+id, nil, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Cancel cancels a running job (terminal states are left untouched).
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/api/jobs/"+id+"/cancel", struct{}{}, nil)
+}
+
+// Result fetches the merged result of a finished job; the coordinator
+// answers 409 while the job still runs.
+func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
+	res := &JobResult{}
+	if err := c.do(ctx, http.MethodGet, "/api/jobs/"+id+"/result", nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Lease asks for one shard of work; nil without error when the
+// coordinator has nothing to hand out right now.
+func (c *Client) Lease(ctx context.Context, worker string) (*Lease, error) {
+	req := map[string]string{"worker": worker}
+	body, status, err := c.roundTrip(ctx, http.MethodPost, "/api/lease", req)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, apiError(status, body)
+	}
+	l := &Lease{}
+	if err := json.Unmarshal(body, l); err != nil {
+		return nil, fmt.Errorf("fleet: decoding lease: %w", err)
+	}
+	return l, nil
+}
+
+// Renew extends a lease's deadline; ErrLeaseGone when the coordinator
+// re-issued or retired it.
+func (c *Client) Renew(ctx context.Context, leaseID string) error {
+	body, status, err := c.roundTrip(ctx, http.MethodPost, "/api/lease/"+leaseID+"/renew", struct{}{})
+	if err != nil {
+		return err
+	}
+	switch status {
+	case http.StatusOK:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseGone
+	default:
+		return apiError(status, body)
+	}
+}
+
+// Complete reports a leased shard's outcome.
+func (c *Client) Complete(ctx context.Context, leaseID string, req CompleteRequest) (*CompleteResponse, error) {
+	res := &CompleteResponse{}
+	if err := c.do(ctx, http.MethodPost, "/api/lease/"+leaseID+"/complete", req, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Watch follows a job's SSE stream, invoking onEvent for each event,
+// until the stream delivers the terminal "done" event, the context is
+// cancelled, or the connection drops (returned as an error; the caller
+// may reconnect or fall back to polling).
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return apiError(resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	ev := Event{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.Name != "" || len(ev.Data) > 0 {
+				if onEvent != nil {
+					onEvent(ev)
+				}
+				if ev.Name == "done" {
+					return nil
+				}
+			}
+			ev = Event{}
+		case strings.HasPrefix(line, "event: "):
+			ev.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = append(ev.Data, []byte(strings.TrimPrefix(line, "data: "))...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("fleet: event stream for job %s ended before the job finished", id)
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// result. Progress lines (the campaign.Snapshot one-liner prefixed with
+// "progress: ", exactly like a local run's reporter) are written to
+// progress when non-nil. SSE is the primary transport; if the stream
+// drops, Wait falls back to polling Status once a second.
+func (c *Client) Wait(ctx context.Context, id string, progress io.Writer) (*JobResult, error) {
+	emit := func(line string) {
+		if progress != nil {
+			fmt.Fprintf(progress, "progress: %s\n", line)
+		}
+	}
+	err := c.Watch(ctx, id, func(ev Event) {
+		if ev.Name == "progress" || ev.Name == "done" {
+			var st JobStatus
+			if json.Unmarshal(ev.Data, &st) == nil && st.Progress != "" {
+				emit(st.Progress)
+			}
+		}
+	})
+	if err != nil && ctx.Err() == nil {
+		// Stream dropped mid-job: poll until terminal.
+		for {
+			st, serr := c.Status(ctx, id)
+			if serr != nil {
+				return nil, serr
+			}
+			emit(st.Progress)
+			if st.State != "running" {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Second):
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return c.Result(ctx, id)
+}
+
+// do round-trips a JSON request and decodes a 2xx response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	body, status, err := c.roundTrip(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	if status < 200 || status > 299 {
+		return apiError(status, body)
+	}
+	if out == nil || len(body) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("fleet: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, in any) ([]byte, int, error) {
+	var rd io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// apiError surfaces the coordinator's {"error": ...} body.
+func apiError(status int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("fleet: %s (HTTP %d)", e.Error, status)
+	}
+	return fmt.Errorf("fleet: HTTP %d: %s", status, strings.TrimSpace(string(body)))
+}

@@ -50,6 +50,19 @@ func mergeCounts(agg *[4]int64, s [4]int64) {
 	}
 }
 
+// MergeCounts is the exported shard-count fold for callers assembling
+// campaign aggregates outside this package (the fleet coordinator folds
+// worker fragments with it, in ascending shard order, so its aggregate
+// is byte-identical to a local campaign.Run).
+func MergeCounts(agg *[4]int64, s [4]int64) { mergeCounts(agg, s) }
+
+// RatesFromCounts normalizes outcome counts by the campaign trial
+// count — the exported form of the per-campaign rate derivation, so
+// remote executors reproduce local rates from merged counts exactly.
+func RatesFromCounts(counts [4]int64, trials int) OutcomeRates {
+	return ratesFromCounts(counts, trials)
+}
+
 // ratesFromCounts normalizes outcome counts by the campaign trial count.
 func ratesFromCounts(counts [4]int64, trials int) OutcomeRates {
 	n := float64(trials)
@@ -413,6 +426,32 @@ func ScenarioCoverage(scheme ecc.Scheme, sc faults.Scenario, trials int, seed in
 	return r
 }
 
+// ScenarioCampaignSpec returns the campaign identity of a scenario
+// coverage run: the spec ScenarioCoverageCtx executes and the one a
+// fleet coordinator shards into leases. Keeping the label derivation in
+// one place is what makes remote execution provably byte-identical —
+// every shard seed is FNV(label, seed, index), so agreeing on the spec
+// means agreeing on every RNG stream.
+func ScenarioCampaignSpec(scheme ecc.Scheme, sc faults.Scenario, trials int, seed int64) campaign.Spec {
+	return campaign.Spec{
+		Label:  campaign.JoinLabel("scenario", schemes.CampaignID(scheme), sc.Spec()),
+		Trials: trials,
+		Seed:   seed,
+	}
+}
+
+// ScenarioShardFn returns the shard kernel of a scenario coverage
+// campaign: n trials corrupted only by the scenario, tallied by outcome.
+// It is the function a fleet worker runs a leased shard through
+// (campaign.ExecShard), identical to the one ScenarioCoverageCtx hands
+// campaign.Run locally.
+func ScenarioShardFn(scheme ecc.Scheme, sc faults.Scenario) func(rng *rand.Rand, trials int) [4]int64 {
+	inject := ecc.ScenarioInjector(sc)
+	return func(rng *rand.Rand, n int) [4]int64 {
+		return runTrials(scheme, rng, n, inject)
+	}
+}
+
 // ScenarioCoverageCtx runs one sharded campaign decoding images
 // corrupted only by the given scenario. The campaign label is
 // "scenario/<campaign-id>/<canonical spec>" — the "scenario" prefix
@@ -422,15 +461,8 @@ func ScenarioCoverage(scheme ecc.Scheme, sc faults.Scenario, trials int, seed in
 // written in different option orders share one checkpoint and one seed
 // stream.
 func ScenarioCoverageCtx(ctx context.Context, scheme ecc.Scheme, sc faults.Scenario, trials int, seed int64, opts campaign.Options) (CoverageResult, error) {
-	spec := campaign.Spec{
-		Label:  campaign.JoinLabel("scenario", schemes.CampaignID(scheme), sc.Spec()),
-		Trials: trials,
-		Seed:   seed,
-	}
-	inject := ecc.ScenarioInjector(sc)
-	counts, err := campaign.Run(ctx, spec, opts, func(rng *rand.Rand, n int) [4]int64 {
-		return runTrials(scheme, rng, n, inject)
-	}, mergeCounts)
+	spec := ScenarioCampaignSpec(scheme, sc, trials, seed)
+	counts, err := campaign.Run(ctx, spec, opts, ScenarioShardFn(scheme, sc), mergeCounts)
 	if err != nil {
 		return CoverageResult{}, err
 	}

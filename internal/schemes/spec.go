@@ -157,11 +157,29 @@ func Build(specs []string) ([]ecc.Scheme, error) {
 // accepted and a comma directly following a key=val option continues the
 // same spec's option list.
 func ParseSpecList(list string) ([]ecc.Scheme, error) {
+	specs, err := SplitSpecList(list)
+	if err != nil {
+		return nil, err
+	}
+	return Build(specs)
+}
+
+// SplitSpecList splits a comma/whitespace-separated spec list into its
+// individual spec strings, validating only the syntax of each. It is the
+// wire-format helper for remote submission: a fleet client ships the
+// spec strings and the coordinator and every worker build them against
+// their own registries.
+func SplitSpecList(list string) ([]string, error) {
 	var specs []string
 	for _, f := range strings.FieldsFunc(list, func(r rune) bool { return r == ' ' || r == '\t' }) {
 		specs = append(specs, splitSpecs(f)...)
 	}
-	return Build(specs)
+	for _, spec := range specs {
+		if _, err := ParseSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
 }
 
 // splitSpecs splits one whitespace-free token into specs on the commas
