@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"pair/internal/faults"
+	"pair/internal/memsim"
 	"pair/internal/schemes"
 )
 
@@ -47,6 +48,7 @@ type Result struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	ReqPerS     float64 `json:"req_per_s,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
@@ -84,7 +86,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	bench := fs.String("bench", "^Benchmark(GF256|RS|Expandable|Hamming|SchemeEncodeDecode|SchemeBatchDecode)", "benchmark regex passed to go test -bench")
+	bench := fs.String("bench", "^Benchmark(GF256|RS|Expandable|Hamming|SchemeEncodeDecode|SchemeBatchDecode|SimThroughput)", "benchmark regex passed to go test -bench")
 	pkg := fs.String("pkg", ".", "comma-separated packages to benchmark")
 	out := fs.String("out", "", "output path (default: next free BENCH_<n>.json in repo root)")
 	label := fs.String("label", "", "free-form label recorded in the file")
@@ -94,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 2.0, "with -compare, fail when ns/op exceeds threshold x the baseline")
 	listSchs := fs.Bool("list-schemes", false, "list the scheme registry behind the Scheme* benchmarks, then exit")
 	listFaults := fs.Bool("list-faults", false, "list the fault-scenario registry behind the campaign benchmarks, then exit")
+	listProfs := fs.Bool("list-profiles", false, "list the memory-profile registry behind the simulator benchmarks, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -103,6 +106,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *listFaults {
 		fmt.Fprint(stdout, faults.ListFaultsText())
+		return 0
+	}
+	if *listProfs {
+		fmt.Fprint(stdout, memsim.ListProfilesText())
 		return 0
 	}
 
@@ -201,6 +208,8 @@ func parse(out string) []Result {
 				r.NsPerOp = v
 			case "MB/s":
 				r.MBPerS = v
+			case "req/s":
+				r.ReqPerS = v
 			case "B/op":
 				r.BytesPerOp = int64(v)
 			case "allocs/op":
@@ -216,6 +225,7 @@ func parse(out string) []Result {
 		a.r.Iterations += r.Iterations
 		a.r.NsPerOp += r.NsPerOp
 		a.r.MBPerS += r.MBPerS
+		a.r.ReqPerS += r.ReqPerS
 		a.r.BytesPerOp += r.BytesPerOp
 		a.r.AllocsPerOp += r.AllocsPerOp
 		a.n++
@@ -228,6 +238,7 @@ func parse(out string) []Result {
 			r.Iterations /= int64(a.n)
 			r.NsPerOp /= float64(a.n)
 			r.MBPerS /= float64(a.n)
+			r.ReqPerS /= float64(a.n)
 			r.BytesPerOp /= int64(a.n)
 			r.AllocsPerOp /= int64(a.n)
 		}

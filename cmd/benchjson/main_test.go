@@ -271,3 +271,13 @@ func TestCompareBadBaseline(t *testing.T) {
 		t.Fatal("unparseable baseline must fail")
 	}
 }
+
+func TestListProfiles(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-profiles")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "ddr5-4800") || !strings.Contains(out, "refresh") {
+		t.Fatalf("-list-profiles output wrong:\n%s", out)
+	}
+}

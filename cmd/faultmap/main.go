@@ -36,6 +36,7 @@ import (
 	"pair/internal/core"
 	"pair/internal/dram"
 	"pair/internal/faults"
+	"pair/internal/memsim"
 	"pair/internal/schemes"
 )
 
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
 		scenario   = fs.String("faults", "", "fault scenario spec (name[:key=val,...] or compose(...)): render a rank-wide scenario map instead of a single-chip -fault")
 		listFaults = fs.Bool("list-faults", false, "list registered fault scenarios, the spec grammar and options, then exit")
+		listProfs  = fs.Bool("list-profiles", false, "list registered memory profiles (the timing simulator's -profile specs), then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,6 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *listFaults {
 		fmt.Fprint(stdout, faults.ListFaultsText())
+		return 0
+	}
+	if *listProfs {
+		fmt.Fprint(stdout, memsim.ListProfilesText())
 		return 0
 	}
 

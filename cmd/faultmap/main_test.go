@@ -138,3 +138,13 @@ func TestListSchemes(t *testing.T) {
 		t.Fatalf("exit %d, out:\n%s", code, out)
 	}
 }
+
+func TestListProfiles(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-profiles")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "lpddr5-6400") || !strings.Contains(out, "policy") {
+		t.Fatalf("-list-profiles output wrong:\n%s", out)
+	}
+}

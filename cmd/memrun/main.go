@@ -11,6 +11,7 @@
 //	memrun -scheme pair:spare=3.7 mix.trace        # spared-PAIR by spec
 //	memrun -scheme pair -check mix.trace           # JEDEC protocol audit
 //	memrun -scheme pair -cmdtrace - mix.trace      # DRAM command stream
+//	memrun -scheme pair -profile ddr5-4800 mix.trace  # DDR5 memory system
 //
 // -scheme and -compare take registry specs, name[@org][:key=val,...];
 // -list-schemes prints the registered schemes, organizations and sets.
@@ -46,6 +47,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		cmdtrace   = fs.String("cmdtrace", "", "write the DRAM command trace to this file (- for stdout)")
 		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
 		listFaults = fs.Bool("list-faults", false, "list registered fault scenarios (the reliability campaigns' -faults specs), then exit")
+		profSpec   = fs.String("profile", "", "memory profile spec, name[:key=val,...] (default: the scheme org on DDR4-2400 timing; see -list-profiles)")
+		listProfs  = fs.Bool("list-profiles", false, "list registered memory profiles, the spec grammar and options, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +60,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *listFaults {
 		fmt.Fprint(stdout, pair.FaultSpecHelp())
 		return 0
+	}
+	if *listProfs {
+		fmt.Fprint(stdout, pair.ProfileSpecHelp())
+		return 0
+	}
+	var profile *memsim.Profile
+	if *profSpec != "" {
+		var err error
+		if profile, err = memsim.NewProfile(*profSpec); err != nil {
+			fmt.Fprintln(stderr, "memrun:", err)
+			return 2
+		}
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: memrun [flags] <trace-file>  (use - for stdin)")
@@ -102,14 +117,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "memrun:", err)
 			return 1
 		}
-		cfg := memsim.DefaultConfig()
-		cfg.Org = scheme.Org()
+		var cfg memsim.Config
+		if profile != nil {
+			// The profile defines the memory system; the scheme only
+			// contributes its access-cost model.
+			cfg = profile.Config()
+		} else {
+			cfg = memsim.DefaultConfig()
+			cfg.Org = scheme.Org()
+		}
 		cfg.Ranks = *ranks
 		cfg.Cost = scheme.Cost()
 		var chk *check.Checker
 		var obs []memsim.Observer
 		if *checkFlag {
-			chk = check.New(cfg.Timing)
+			if profile != nil {
+				chk = check.ForProfile(profile)
+			} else {
+				chk = check.New(cfg.Timing)
+			}
 			obs = append(obs, chk)
 		}
 		if traceW != nil {

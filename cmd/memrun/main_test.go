@@ -179,3 +179,33 @@ func TestListSchemes(t *testing.T) {
 		t.Fatalf("-list-schemes output wrong:\n%s", out)
 	}
 }
+
+func TestListProfiles(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-list-profiles")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "ddr5-4800") || !strings.Contains(out, "name[:key=val,...]") {
+		t.Fatalf("-list-profiles output wrong:\n%s", out)
+	}
+}
+
+func TestProfileRunWithCheck(t *testing.T) {
+	code, out, stderr := runCLI(t, "", "-scheme", "pair", "-profile", "ddr5-4800", "-check", writeTraceFile(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "check: pair clean") {
+		t.Fatalf("profile-parameterized check line missing:\n%s", out)
+	}
+	// The DDR5 run must differ from the DDR4 default (different clock,
+	// BL16): compare the cycles column.
+	_, ddr4, _ := runCLI(t, "", "-scheme", "pair", writeTraceFile(t))
+	if out == ddr4 {
+		t.Fatal("ddr5 profile output identical to ddr4 default")
+	}
+
+	if code, _, stderr := runCLI(t, "", "-profile", "nope", writeTraceFile(t)); code != 2 || !strings.Contains(stderr, "unknown profile") {
+		t.Fatalf("bad profile spec: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"pair/internal/ecc"
 	"pair/internal/experiments"
 	"pair/internal/faults"
+	"pair/internal/memsim"
 	"pair/internal/schemes"
 )
 
@@ -74,6 +75,7 @@ T5  PAIR design space across device widths (x4/x8/x16/DDR5)
 T2X coverage incl. rank-level schemes (secded, duo-rank)
 F3X lifetime incl. rank-level schemes
 F13 fault-scenario differential table (scenarios x schemes)
+F14 tail read latency vs offered load (open-loop traffic, -profile)
 `
 
 // run is the testable entry point: it parses args, executes the selected
@@ -83,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pairsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment id (t1|f1|f2|t2|f3|f4|f5|f6|f7|t3|f8|f9|f10|t2x|f3x|f13|all)")
+		exp        = fs.String("exp", "all", "experiment id (t1|f1|f2|t2|f3|f4|f5|f6|f7|t3|f8|f9|f10|t2x|f3x|f13|f14|all)")
 		quick      = fs.Bool("quick", false, "CI-scale trial counts")
 		trials     = fs.Int("trials", 0, "override Monte-Carlo trials per point")
 		devices    = fs.Int("devices", 0, "override lifetime population size")
@@ -98,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listSchs   = fs.Bool("list-schemes", false, "list registered schemes, spec grammar, organizations and sets, then exit")
 		faultList  = fs.String("faults", "", "comma/space-separated fault scenario specs (name[:key=val,...] or compose(...)): the f13 roster, and an ambient fault layer for f1/f2/f1f2/t2/t2x")
 		listFaults = fs.Bool("list-faults", false, "list registered fault scenarios, the spec grammar and options, then exit")
+		profSpec   = fs.String("profile", "ddr5-4800", "memory profile spec, name[:key=val,...], for the profile columns of f4/f5 and the f14 traffic experiment")
+		listProfs  = fs.Bool("list-profiles", false, "list registered memory profiles, the spec grammar and options, then exit")
 		retries    = fs.Int("retries", 1, "extra attempts for a shard whose function panics, errors, or times out (0 disables)")
 		shardTO    = fs.Duration("shard-timeout", 0, "watchdog: abandon and retry a shard running longer than this (0 disables)")
 		salvage    = fs.Bool("salvage", false, "with -resume: recover every intact shard from a corrupted or truncated checkpoint instead of aborting")
@@ -135,6 +139,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *listFaults {
 		fmt.Fprint(stdout, faults.ListFaultsText())
 		return 0
+	}
+	if *listProfs {
+		fmt.Fprint(stdout, memsim.ListProfilesText())
+		return 0
+	}
+	profile, err := memsim.NewProfile(*profSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "pairsim:", err)
+		return 2
 	}
 	var override []ecc.Scheme
 	if *schemeList != "" {
@@ -194,13 +207,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := scaleFor(*quick, *trials, *devices, *requests)
 	scale.schemes = override
 	scale.faults = scenarios
+	scale.profile = profile
 	// For the ambient experiments (f1/f2/f1f2/t2/t2x) several -faults specs
 	// fold into one composed scenario; f13 keeps them as separate rows.
 	scale.sweep.Faults = faults.Compose(scenarios...)
 	ids := strings.Split(strings.ToLower(*exp), ",")
 	if *exp == "all" {
 		// f1f2 runs both sweeps off one set of conditional profiles.
-		ids = []string{"t1", "f1f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12", "f13"}
+		ids = []string{"t1", "f1f2", "t2", "f3", "f4", "f5", "f6", "f7", "t3", "t4", "t5", "f8", "f9", "f10", "f11", "f12", "f13", "f14"}
 	}
 	if *fleetURL != "" {
 		return runFleetExperiments(ctx, *fleetURL, ids, *schemeList, *faultList, scale, *progress, stdout, stderr)
@@ -255,6 +269,9 @@ type scale struct {
 	// faults, when non-nil, is the -faults roster: f13's scenario rows, and
 	// (composed) the ambient layer carried by sweep.Faults.
 	faults []faults.Scenario
+	// profile is the -profile spec: the non-DDR4 column of f4/f5 and the
+	// memory system of the f14 traffic experiment.
+	profile *memsim.Profile
 }
 
 // scenarioSet returns the -faults roster when given, else every
@@ -343,25 +360,39 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		}
 		return t.Render(), nil
 	case "f4":
-		perf, err := experiments.F4Performance(sc.set(experiments.PerfSchemes), sc.requests)
+		set := sc.set(experiments.PerfSchemes)
+		perf, err := experiments.F4Performance(set, sc.requests)
 		if err != nil {
 			return "", err
 		}
-		lat, err := experiments.F4Latency(sc.set(experiments.PerfSchemes), sc.requests)
+		lat, err := experiments.F4Latency(set, sc.requests)
 		if err != nil {
 			return "", err
 		}
-		mix, err := experiments.F4CommandMix(sc.set(experiments.PerfSchemes), sc.requests)
+		mix, err := experiments.F4CommandMix(set, sc.requests)
 		if err != nil {
 			return "", err
 		}
-		return perf.Render() + "\n" + lat.Render() + "\n" + mix.Render(), nil
+		gm, err := experiments.F4ProfileGeomeans(set, sc.requests, []string{"ddr4-2400", sc.profile.Spec()})
+		if err != nil {
+			return "", err
+		}
+		latP, err := experiments.F4LatencyOn(set, sc.requests, sc.profile)
+		if err != nil {
+			return "", err
+		}
+		return perf.Render() + "\n" + lat.Render() + "\n" + mix.Render() + "\n" +
+			gm.Render() + "\n" + latP.Render(), nil
 	case "f5":
 		t, err := experiments.F5WriteSweep(sc.set(experiments.PerfSchemes), sc.requests)
 		if err != nil {
 			return "", err
 		}
-		return t.Render(), nil
+		tp, err := experiments.F5WriteSweepOn(sc.set(experiments.PerfSchemes), sc.requests, sc.profile)
+		if err != nil {
+			return "", err
+		}
+		return t.Render() + "\n" + tp.Render(), nil
 	case "f6":
 		t, err := experiments.F6ExpandabilityCtx(ctx, sc.sweep.Trials, 1, opts)
 		if err != nil {
@@ -428,6 +459,12 @@ func runExperiment(ctx context.Context, id string, sc scale, opts campaign.Optio
 		return t.Render(), nil
 	case "f13":
 		t, err := experiments.F13ScenariosCtx(ctx, sc.set(experiments.CommoditySchemes), sc.scenarioSet(), sc.coverage, 1, opts)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	case "f14":
+		t, err := experiments.F14TailLatency(sc.set(experiments.PerfSchemes), sc.requests, sc.profile)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pair/internal/memsim"
+)
+
+func TestListProfilesOutput(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-profiles")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out != memsim.ListProfilesText() {
+		t.Fatal("-list-profiles must print memsim.ListProfilesText() verbatim")
+	}
+	for _, want := range []string{"ddr4-2400", "ddr5-4800", "lpddr5-6400", "name[:key=val,...]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list-profiles missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadProfileSpecRejected(t *testing.T) {
+	code, _, stderr := runCLI(t, "-profile", "ddr6", "-exp", "t1")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown profile") {
+		t.Fatalf("stderr %q", stderr)
+	}
+}
+
+func TestF14TailLatencyExperiment(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "f14", "-requests", "800", "-check")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "F14: tail read latency") || !strings.Contains(out, "ddr5-4800") {
+		t.Fatalf("f14 table missing:\n%s", out)
+	}
+	for _, want := range []string{"poisson@0.05", "poisson@0.35", "bursty@0.20", "diurnal@0.20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("f14 row %q missing:\n%s", want, out)
+		}
+	}
+}
+
+func TestF4ProfileColumns(t *testing.T) {
+	code, out, stderr := runCLI(t, "-exp", "f4", "-requests", "600", "-profile", "ddr5-4800:policy=closed")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "F4d: normalized performance geomean per scheme across profiles") {
+		t.Fatalf("f4d table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ddr5-4800:policy=closed") {
+		t.Fatalf("profile column missing:\n%s", out)
+	}
+	if !strings.Contains(out, "mean / p99 / p999") {
+		t.Fatalf("f4b tail columns missing:\n%s", out)
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	tracegen -suite -requests 20000 -out traces/    # the ten SPEC-like traces
 //	tracegen -name mix -pattern random -reads 0.7 -masked 0.3 > mix.trace
+//	tracegen -arrival poisson -load 0.2 -users 32 > traffic.trace  # open-loop traffic
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"path/filepath"
 
 	"pair/internal/faults"
+	"pair/internal/memsim"
 	"pair/internal/schemes"
 	"pair/internal/trace"
 )
@@ -46,6 +48,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "generator seed")
 		listSchs   = fs.Bool("list-schemes", false, "list the scheme registry the traces feed into (memrun/pairsim specs), then exit")
 		listFaults = fs.Bool("list-faults", false, "list the fault-scenario registry the reliability campaigns inject (pairsim -faults specs), then exit")
+		listProfs  = fs.Bool("list-profiles", false, "list the memory-profile registry the traces replay on (memrun/pairsim -profile specs), then exit")
+		arrival    = fs.String("arrival", "", "open-loop traffic mode: arrival process (poisson|bursty|diurnal); replaces -pattern")
+		load       = fs.Float64("load", 0.1, "with -arrival: offered load in requests per cycle")
+		users      = fs.Int("users", 32, "with -arrival: concurrent request sources (the MLP window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,6 +62,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *listFaults {
 		fmt.Fprint(stdout, faults.ListFaultsText())
+		return 0
+	}
+	if *listProfs {
+		fmt.Fprint(stdout, memsim.ListProfilesText())
+		return 0
+	}
+
+	if *arrival != "" {
+		arr, err := trace.ParseArrival(*arrival)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		wl := trace.Traffic(trace.TrafficParams{
+			Name:        *name,
+			Requests:    *requests,
+			Arrival:     arr,
+			Load:        *load,
+			Users:       *users,
+			ReadFrac:    *reads,
+			MaskedFrac:  *masked,
+			Lines:       1 << 20,
+			HotFraction: 0.3,
+			Seed:        *seed,
+		})
+		writeTrace(stdout, wl)
 		return 0
 	}
 

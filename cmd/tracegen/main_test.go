@@ -118,3 +118,40 @@ func TestListSchemes(t *testing.T) {
 		t.Fatalf("exit %d, out:\n%s", code, out)
 	}
 }
+
+func TestListProfiles(t *testing.T) {
+	code, out, _ := runCLI(t, "-list-profiles")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "ddr5-4800") || !strings.Contains(out, "lpddr5-6400") {
+		t.Fatalf("-list-profiles output wrong:\n%s", out)
+	}
+}
+
+func TestArrivalTrafficMode(t *testing.T) {
+	code, out, stderr := runCLI(t, "-arrival", "poisson", "-load", "0.2", "-users", "24",
+		"-name", "traffic", "-requests", "300", "-seed", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 301 {
+		t.Fatalf("%d lines, want header + 300 requests", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# trace traffic window=24 requests=300") {
+		t.Fatalf("header %q", lines[0])
+	}
+	// Round-trips through the parser like every other tracegen output.
+	wl, err := trace.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Window != 24 || len(wl.Reqs) != 300 {
+		t.Fatalf("parsed %d reqs window %d", len(wl.Reqs), wl.Window)
+	}
+
+	if code, _, _ := runCLI(t, "-arrival", "uniform"); code != 1 {
+		t.Fatalf("bad arrival accepted (exit %d)", code)
+	}
+}

@@ -91,6 +91,22 @@ func DDR5x16() Organization {
 	}
 }
 
+// LPDDR5x16 models one LPDDR5 x16 channel as two x16 dies sharing the
+// channel, BL16: one access moves a 64-byte line (2 dies x 16 pins x 16
+// beats). LPDDR5 has 4 bank groups of 4 banks and refreshes per bank.
+func LPDDR5x16() Organization {
+	return Organization{
+		Pins:         16,
+		BurstLen:     16,
+		ChipsPerRank: 2,
+		ECCChips:     0,
+		BankGroups:   4,
+		BanksPerGrp:  4,
+		Rows:         1 << 16,
+		Cols:         1 << 7,
+	}
+}
+
 // DDR4x8ECC is the organization rank-level baselines (SECDED, XED, DUO)
 // assume: nine x8 devices (72-bit bus), BL8.
 func DDR4x8ECC() Organization {

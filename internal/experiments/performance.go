@@ -49,7 +49,11 @@ func runSim(label string, cfg memsim.Config, wl trace.Workload) (memsim.Result, 
 	var chk *check.Checker
 	var obs []memsim.Observer
 	if simInst.Check {
-		chk = check.New(cfg.Timing)
+		if cfg.Profile != nil {
+			chk = check.ForProfile(cfg.Profile)
+		} else {
+			chk = check.New(cfg.Timing)
+		}
 		obs = append(obs, chk)
 	}
 	if simInst.CmdTrace != nil {
@@ -87,6 +91,29 @@ func F4Performance(schemes []ecc.Scheme, requests int) (*PerfResult, error) {
 }
 
 func perfOn(schemes []ecc.Scheme, suite []trace.Workload) (*PerfResult, error) {
+	return perfOnProfile(schemes, suite, nil)
+}
+
+// simConfig returns the simulator configuration of one experiment run:
+// the DDR4 default when prof is nil (the legacy golden-pinned path), the
+// profile's otherwise.
+func simConfig(prof *memsim.Profile) memsim.Config {
+	if prof == nil {
+		return memsim.DefaultConfig()
+	}
+	return prof.Config()
+}
+
+// simLabel prefixes a run label with the profile spec so -cmdtrace
+// headers and error messages identify the memory generation.
+func simLabel(prof *memsim.Profile, label string) string {
+	if prof == nil {
+		return label
+	}
+	return prof.Spec() + "/" + label
+}
+
+func perfOnProfile(schemes []ecc.Scheme, suite []trace.Workload, prof *memsim.Profile) (*PerfResult, error) {
 	res := &PerfResult{}
 	for _, s := range schemes {
 		res.Schemes = append(res.Schemes, s.Name())
@@ -94,7 +121,7 @@ func perfOn(schemes []ecc.Scheme, suite []trace.Workload) (*PerfResult, error) {
 	baseline := make([]uint64, len(suite))
 	for wi, wl := range suite {
 		res.Workloads = append(res.Workloads, wl.Name)
-		r, err := runSim("baseline/"+wl.Name, memsim.DefaultConfig(), wl)
+		r, err := runSim(simLabel(prof, "baseline/"+wl.Name), simConfig(prof), wl)
 		if err != nil {
 			return nil, err
 		}
@@ -109,9 +136,9 @@ func perfOn(schemes []ecc.Scheme, suite []trace.Workload) (*PerfResult, error) {
 			// A zero cost model is bit-identical to the baseline run —
 			// reuse it instead of simulating the workload a second time.
 			if cost != (ecc.AccessCost{}) {
-				cfg := memsim.DefaultConfig()
+				cfg := simConfig(prof)
 				cfg.Cost = cost
-				r, err := runSim(s.Name()+"/"+wl.Name, cfg, wl)
+				r, err := runSim(simLabel(prof, s.Name()+"/"+wl.Name), cfg, wl)
 				if err != nil {
 					return nil, err
 				}
@@ -175,14 +202,24 @@ func (r *PerfResult) headline() []string {
 // ablation isolating where XED's parity-write traffic and the RMW costs
 // bite (figure F5).
 func F5WriteSweep(schemes []ecc.Scheme, requests int) (*Table, error) {
+	return F5WriteSweepOn(schemes, requests, nil)
+}
+
+// F5WriteSweepOn is F5WriteSweep on a specific memory profile (nil = the
+// DDR4 default).
+func F5WriteSweepOn(schemes []ecc.Scheme, requests int, prof *memsim.Profile) (*Table, error) {
 	fracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	suite := trace.WriteSweep(requests, fracs, 0.3)
-	res, err := perfOn(schemes, suite)
+	res, err := perfOnProfile(schemes, suite, prof)
 	if err != nil {
 		return nil, err
 	}
+	title := "F5: normalized performance vs write ratio (30% of writes masked)"
+	if prof != nil {
+		title += " [" + prof.Spec() + "]"
+	}
 	t := &Table{
-		Title:  "F5: normalized performance vs write ratio (30% of writes masked)",
+		Title:  title,
 		Header: append([]string{"write ratio"}, res.Schemes...),
 	}
 	for wi := range suite {
@@ -195,14 +232,24 @@ func F5WriteSweep(schemes []ecc.Scheme, requests int) (*Table, error) {
 	return t, nil
 }
 
-// F4Latency renders the p99 read-latency companion to F4: average and
-// tail read latency per scheme on the two most latency-revealing
+// F4Latency renders the tail read-latency companion to F4: mean, p99 and
+// p999 read latency per scheme on the two most latency-revealing
 // workloads (a pointer-chaser and a masked-write-heavy mix). Companion
 // writes and RMW reads interfere with demand reads, which shows in the
 // tail long before it moves the mean.
 func F4Latency(set []ecc.Scheme, requests int) (*Table, error) {
+	return F4LatencyOn(set, requests, nil)
+}
+
+// F4LatencyOn is F4Latency on a specific memory profile (nil = the DDR4
+// default).
+func F4LatencyOn(set []ecc.Scheme, requests int, prof *memsim.Profile) (*Table, error) {
+	title := "F4b: read latency (mean / p99 / p999, ns) per scheme"
+	if prof != nil {
+		title += " [" + prof.Spec() + "]"
+	}
 	t := &Table{
-		Title:  "F4b: read latency (mean / p99, ns) per scheme",
+		Title:  title,
 		Header: []string{"workload"},
 	}
 	for _, s := range set {
@@ -215,14 +262,15 @@ func F4Latency(set []ecc.Scheme, requests int) (*Table, error) {
 		}
 		row := []string{wl.Name}
 		for _, s := range set {
-			cfg := memsim.DefaultConfig()
+			cfg := simConfig(prof)
 			cfg.Cost = s.Cost()
-			res, err := runSim(s.Name()+"/lat/"+wl.Name, cfg, wl)
+			res, err := runSim(simLabel(prof, s.Name()+"/lat/"+wl.Name), cfg, wl)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%.0f/%.0f",
-				res.AvgReadLatencyNS(cfg.Timing), res.P99ReadLatencyNS(cfg.Timing)))
+			row = append(row, fmt.Sprintf("%.0f/%.0f/%.0f",
+				res.AvgReadLatencyNS(cfg.Timing), res.P99ReadLatencyNS(cfg.Timing),
+				res.P999ReadLatencyNS(cfg.Timing)))
 		}
 		t.AddRow(row...)
 	}

@@ -5,14 +5,19 @@
 // construction of the scheduler's arithmetic; nothing there can tell you
 // when a constraint is silently missing (the class of bug where a timing
 // field is defined but never wired into schedule()). The Checker closes
-// that loop: it observes the typed ACT/PRE/RD/WR/REF command stream a
-// run emits through memsim.Config.Observer and re-derives every claimed
+// that loop: it observes the typed ACT/PRE/RD/WR/REF/REFsb command stream
+// a run emits through memsim.Config.Observer and re-derives every claimed
 // constraint from first principles — per-bank (tRC, tRCD, tRP, tRAS,
-// tWR, tRTP), per-rank (tRRD_S, tRRD_L, tFAW), channel-wide (tCCD_S,
-// tCCD_L, tWTR, tRTW, data-bus overlap) and refresh (tREFI cadence, the
-// tRFC blackout window) — reporting each violation with full command
-// context. Because the checker shares no code with the scheduler, a bug
-// must be made twice, independently, to go unseen.
+// tWR, tRTP), per-rank (tRRD_S, tRRD_L, tFAW), per-bus (tCCD_S, tCCD_L,
+// tWTR, tRTW, data-bus overlap, burst occupancy) and refresh (tREFI
+// cadence, the tRFC blackout, staggered same-bank tRFCsb windows) —
+// reporting each violation with full command context. Because the checker
+// shares no code with the scheduler, a bug must be made twice,
+// independently, to go unseen.
+//
+// New asserts a bare DDR4-style timing table over a single-bus stream;
+// ForProfile derives everything — burst occupancy, per-subchannel buses,
+// refresh mode — from a memsim.Profile instead.
 package check
 
 import (
@@ -58,7 +63,13 @@ type bankHist struct {
 	everACT bool
 }
 
-type rankGroup struct{ rank, group int }
+// Channel-qualified keys: every piece of bus-local state is tracked per
+// data bus, so independent subchannels never constrain each other while
+// commands sharing a bus still do. Legacy single-bus streams carry
+// Channel 0 everywhere and collapse to the old global behavior.
+type chanBank struct{ ch, fb int }
+type chanRank struct{ ch, rank int }
+type chanRankGroup struct{ ch, rank, group int }
 
 // Checker verifies the JEDEC timing constraints of an observed command
 // stream. Attach it via memsim.Config.Observer, run, then consult
@@ -68,15 +79,25 @@ type Checker struct {
 	t   memsim.Timing
 	max int
 
-	banks    map[int]*bankHist
-	rankACT  map[int]seen             // last ACT per rank (tRRD_S)
-	groupACT map[rankGroup]seen       // last ACT per rank+group (tRRD_L)
-	faw      map[int]*[4]seen         // last 4 ACTs per rank, oldest first
-	groupCAS map[rankGroup]seen       // last CAS per rank+group (tCCD_L)
-	lastCAS  seen                     // any CAS (tCCD_S)
-	lastWR   seen                     // last write anywhere (tWTR anchor)
-	lastRD   seen                     // last read anywhere (tRTW anchor)
-	lastData seen                     // last data burst (bus overlap)
+	// Profile-derived stream expectations. minBurst is the clean burst
+	// occupancy in cycles (4 for BL8, 8 for BL16); sameBank selects the
+	// staggered REFsb refresh discipline re-derived from slotPeriod,
+	// numBanks and banksPerGrp.
+	minBurst    int
+	sameBank    bool
+	slotPeriod  uint64
+	numBanks    int
+	banksPerGrp int
+
+	banks    map[chanBank]*bankHist
+	rankACT  map[chanRank]seen      // last ACT per bus+rank (tRRD_S)
+	groupACT map[chanRankGroup]seen // last ACT per bus+rank+group (tRRD_L)
+	faw      map[chanRank]*[4]seen  // last 4 ACTs per bus+rank, oldest first
+	groupCAS map[chanRankGroup]seen // last CAS per bus+rank+group (tCCD_L)
+	lastCAS  map[int]seen           // any CAS per bus (tCCD_S)
+	lastWR   map[int]seen           // last write per bus (tWTR anchor)
+	lastRD   map[int]seen           // last read per bus (tRTW anchor)
+	lastData map[int]seen           // last data burst per bus (overlap)
 	lastREF  seen
 	lastAt   uint64
 	started  bool
@@ -86,20 +107,45 @@ type Checker struct {
 	viol     []Violation
 }
 
-// New builds a checker asserting the given timing table. Pass the same
-// Timing the simulated controller runs with to audit the model against
-// its own claims, or a reference table to audit one model against
-// another.
-func New(t memsim.Timing) *Checker {
+func newChecker(t memsim.Timing) *Checker {
 	return &Checker{
 		t:        t,
 		max:      32,
-		banks:    map[int]*bankHist{},
-		rankACT:  map[int]seen{},
-		groupACT: map[rankGroup]seen{},
-		faw:      map[int]*[4]seen{},
-		groupCAS: map[rankGroup]seen{},
+		minBurst: 4,
+		banks:    map[chanBank]*bankHist{},
+		rankACT:  map[chanRank]seen{},
+		groupACT: map[chanRankGroup]seen{},
+		faw:      map[chanRank]*[4]seen{},
+		groupCAS: map[chanRankGroup]seen{},
+		lastCAS:  map[int]seen{},
+		lastWR:   map[int]seen{},
+		lastRD:   map[int]seen{},
+		lastData: map[int]seen{},
 	}
+}
+
+// New builds a checker asserting the given timing table over a legacy
+// single-bus BL8 stream with all-bank refresh. Pass the same Timing the
+// simulated controller runs with to audit the model against its own
+// claims, or a reference table to audit one model against another.
+func New(t memsim.Timing) *Checker {
+	return newChecker(t)
+}
+
+// ForProfile builds a checker asserting the profile's timing table with
+// the profile's burst occupancy, per-bus constraint scoping and refresh
+// mode. The REFsb stagger geometry is re-derived here, independently of
+// the scheduler's arithmetic.
+func ForProfile(p *memsim.Profile) *Checker {
+	c := newChecker(p.Timing)
+	c.minBurst = p.BurstCycles(0)
+	c.numBanks = p.NumBanks()
+	c.banksPerGrp = p.Org.BanksPerGrp
+	if p.Refresh == memsim.RefreshSameBank {
+		c.sameBank = true
+		c.slotPeriod = p.RefSlotPeriod()
+	}
+	return c
 }
 
 // Commands returns the number of commands observed.
@@ -137,11 +183,12 @@ func (c *Checker) require(rule string, prev memsim.Command, from uint64, cmd mem
 	}
 }
 
-func (c *Checker) bank(fb int) *bankHist {
-	b := c.banks[fb]
+func (c *Checker) bank(ch, fb int) *bankHist {
+	k := chanBank{ch, fb}
+	b := c.banks[k]
 	if b == nil {
 		b = &bankHist{}
-		c.banks[fb] = b
+		c.banks[k] = b
 	}
 	return b
 }
@@ -159,15 +206,8 @@ func (c *Checker) Observe(cmd memsim.Command) {
 		c.lastAt = cmd.At
 	}
 
-	// Refresh blackout: no command may issue inside [k*tREFI, k*tREFI+tRFC).
-	if cmd.Kind != memsim.CmdREF {
-		if idx := cmd.At / uint64(c.t.TREFI); idx > 0 {
-			start := idx * uint64(c.t.TREFI)
-			if cmd.At < start+uint64(c.t.TRFC) {
-				ref := memsim.Command{Kind: memsim.CmdREF, At: start, FlatBank: -1}
-				c.require("tRFC", ref, start, cmd, c.t.TRFC)
-			}
-		}
+	if cmd.Kind != memsim.CmdREF && cmd.Kind != memsim.CmdREFSB {
+		c.checkRefreshBlackout(cmd)
 	}
 
 	switch cmd.Kind {
@@ -177,13 +217,45 @@ func (c *Checker) Observe(cmd memsim.Command) {
 		c.observePRE(cmd)
 	case memsim.CmdRD, memsim.CmdWR:
 		c.observeCAS(cmd)
-	case memsim.CmdREF:
+	case memsim.CmdREF, memsim.CmdREFSB:
 		c.observeREF(cmd)
 	}
 }
 
+// checkRefreshBlackout asserts the command lies outside the refresh
+// window its mode implies. All-bank: no command may issue inside
+// [k*tREFI, k*tREFI+tRFC). Same-bank: a REFsb slot fires every
+// slotPeriod cycles rotating through the banks, and only commands to the
+// refreshing bank must stay out of [slot, slot+tRFCsb).
+func (c *Checker) checkRefreshBlackout(cmd memsim.Command) {
+	if c.sameBank {
+		bank := uint64(cmd.Addr.Group*c.banksPerGrp + cmd.Addr.Bank)
+		g := cmd.At / c.slotPeriod
+		if g < bank {
+			return
+		}
+		g -= (g - bank) % uint64(c.numBanks)
+		if g == 0 {
+			return
+		}
+		if start := g * c.slotPeriod; cmd.At < start+uint64(c.t.TRFCSB) {
+			ref := memsim.Command{Kind: memsim.CmdREFSB, At: start, FlatBank: -1, Addr: cmd.Addr}
+			c.require("tRFCsb", ref, start, cmd, c.t.TRFCSB)
+		}
+		return
+	}
+	if idx := cmd.At / uint64(c.t.TREFI); idx > 0 {
+		start := idx * uint64(c.t.TREFI)
+		if cmd.At < start+uint64(c.t.TRFC) {
+			ref := memsim.Command{Kind: memsim.CmdREF, At: start, FlatBank: -1}
+			c.require("tRFC", ref, start, cmd, c.t.TRFC)
+		}
+	}
+}
+
 func (c *Checker) observeACT(cmd memsim.Command) {
-	b := c.bank(cmd.FlatBank)
+	ch := cmd.Channel
+	b := c.bank(ch, cmd.FlatBank)
 	if b.open {
 		c.add("ACT-on-open-row", b.lastACT.cmd, cmd, 0, 0)
 	}
@@ -193,13 +265,13 @@ func (c *Checker) observeACT(cmd memsim.Command) {
 	if b.lastPRE.ok {
 		c.require("tRP", b.lastPRE.cmd, b.lastPRE.cmd.At, cmd, c.t.TRP)
 	}
-	rank := cmd.Addr.Rank
+	rank := chanRank{ch, cmd.Addr.Rank}
 	if p := c.rankACT[rank]; p.ok {
 		// Any two ACTs in a rank are at least tRRD_S apart; same bank
 		// group tightens that to tRRD_L below.
 		c.require("tRRD_S", p.cmd, p.cmd.At, cmd, c.t.TRRDS)
 	}
-	rg := rankGroup{rank, cmd.Addr.Group}
+	rg := chanRankGroup{ch, cmd.Addr.Rank, cmd.Addr.Group}
 	if p := c.groupACT[rg]; p.ok {
 		c.require("tRRD_L", p.cmd, p.cmd.At, cmd, c.t.TRRDL)
 	}
@@ -229,7 +301,7 @@ func (c *Checker) observeACT(cmd memsim.Command) {
 }
 
 func (c *Checker) observePRE(cmd memsim.Command) {
-	b := c.bank(cmd.FlatBank)
+	b := c.bank(cmd.Channel, cmd.FlatBank)
 	if !b.open {
 		c.add("PRE-on-closed-bank", b.lastPRE.cmd, cmd, 0, 0)
 	}
@@ -247,28 +319,29 @@ func (c *Checker) observePRE(cmd memsim.Command) {
 }
 
 func (c *Checker) observeCAS(cmd memsim.Command) {
-	b := c.bank(cmd.FlatBank)
+	ch := cmd.Channel
+	b := c.bank(ch, cmd.FlatBank)
 	if !b.open {
 		c.add("CAS-on-closed-bank", b.lastACT.cmd, cmd, 0, 0)
 	}
 	if b.lastACT.ok {
 		c.require("tRCD", b.lastACT.cmd, b.lastACT.cmd.At, cmd, c.t.TRCD)
 	}
-	if c.lastCAS.ok {
-		c.require("tCCD_S", c.lastCAS.cmd, c.lastCAS.cmd.At, cmd, c.t.TCCDS)
+	if p := c.lastCAS[ch]; p.ok {
+		c.require("tCCD_S", p.cmd, p.cmd.At, cmd, c.t.TCCDS)
 	}
-	rg := rankGroup{cmd.Addr.Rank, cmd.Addr.Group}
+	rg := chanRankGroup{ch, cmd.Addr.Rank, cmd.Addr.Group}
 	if p := c.groupCAS[rg]; p.ok {
 		c.require("tCCD_L", p.cmd, p.cmd.At, cmd, c.t.TCCDL)
 	}
 	isWrite := cmd.Kind == memsim.CmdWR
 	if isWrite {
-		if c.lastRD.ok {
-			c.require("tRTW", c.lastRD.cmd, c.lastRD.cmd.DataEnd, cmd, c.t.TRTW)
+		if p := c.lastRD[ch]; p.ok {
+			c.require("tRTW", p.cmd, p.cmd.DataEnd, cmd, c.t.TRTW)
 		}
 	} else {
-		if c.lastWR.ok {
-			c.require("tWTR", c.lastWR.cmd, c.lastWR.cmd.DataEnd, cmd, c.t.TWTR)
+		if p := c.lastWR[ch]; p.ok {
+			c.require("tWTR", p.cmd, p.cmd.DataEnd, cmd, c.t.TWTR)
 		}
 	}
 
@@ -284,29 +357,67 @@ func (c *Checker) observeCAS(cmd memsim.Command) {
 	}
 	if cmd.DataEnd <= cmd.DataStart {
 		c.add("empty-burst", cmd, cmd, 0, 0)
+	} else if cmd.DataEnd-cmd.DataStart < uint64(c.minBurst) {
+		// A full burst occupies BurstLen/2 cycles; a shorter window means
+		// the emitter is still assuming a shorter burst length (the BL8
+		// literal bug class).
+		c.add("burst-short", cmd, cmd, uint64(c.minBurst), int64(cmd.DataEnd)-int64(cmd.DataStart))
 	}
-	if c.lastData.ok && cmd.DataStart < c.lastData.cmd.DataEnd {
-		c.add("bus-overlap", c.lastData.cmd, cmd, 0,
-			int64(cmd.DataStart)-int64(c.lastData.cmd.DataEnd))
+	if p := c.lastData[ch]; p.ok && cmd.DataStart < p.cmd.DataEnd {
+		c.add("bus-overlap", p.cmd, cmd, 0,
+			int64(cmd.DataStart)-int64(p.cmd.DataEnd))
 	}
 
 	if isWrite {
 		b.lastWR.set(cmd)
-		c.lastWR.set(cmd)
+		w := c.lastWR[ch]
+		w.set(cmd)
+		c.lastWR[ch] = w
 	} else {
 		b.lastRD.set(cmd)
-		c.lastRD.set(cmd)
+		r := c.lastRD[ch]
+		r.set(cmd)
+		c.lastRD[ch] = r
 	}
-	c.lastCAS.set(cmd)
-	p := c.groupCAS[rg]
+	p := c.lastCAS[ch]
 	p.set(cmd)
-	c.groupCAS[rg] = p
-	c.lastData.set(cmd)
+	c.lastCAS[ch] = p
+	g := c.groupCAS[rg]
+	g.set(cmd)
+	c.groupCAS[rg] = g
+	d := c.lastData[ch]
+	d.set(cmd)
+	c.lastData[ch] = d
 }
 
 func (c *Checker) observeREF(cmd memsim.Command) {
-	if cmd.At%uint64(c.t.TREFI) != 0 {
-		c.add("tREFI-align", memsim.Command{}, cmd, 0, int64(cmd.At%uint64(c.t.TREFI)))
+	if c.sameBank {
+		if cmd.Kind == memsim.CmdREF {
+			// An all-bank REF in a same-bank profile means the emitter and
+			// the profile disagree about the refresh discipline.
+			c.add("refresh-mode", memsim.Command{}, cmd, 0, 0)
+			return
+		}
+		if cmd.At%c.slotPeriod != 0 {
+			c.add("tREFIsb-align", memsim.Command{}, cmd, 0, int64(cmd.At%c.slotPeriod))
+		} else {
+			slot := cmd.At / c.slotPeriod
+			want := int(slot % uint64(c.numBanks))
+			got := cmd.Addr.Group*c.banksPerGrp + cmd.Addr.Bank
+			if got != want {
+				// The stagger rotation is fixed: slot g refreshes bank
+				// g mod banks.
+				c.add("REFsb-bank", memsim.Command{}, cmd, uint64(want), int64(got))
+			}
+		}
+	} else {
+		if cmd.Kind == memsim.CmdREFSB {
+			c.add("refresh-mode", memsim.Command{}, cmd, 0, 0)
+			return
+		}
+		if cmd.At%uint64(c.t.TREFI) != 0 {
+			c.add("tREFI-align", memsim.Command{}, cmd, 0, int64(cmd.At%uint64(c.t.TREFI)))
+		}
 	}
 	if c.lastREF.ok && cmd.At <= c.lastREF.cmd.At {
 		c.add("tREFI-order", c.lastREF.cmd, cmd, 0, int64(cmd.At)-int64(c.lastREF.cmd.At))

@@ -28,18 +28,21 @@ func act(at uint64, rank, group, bank, fb int) memsim.Command {
 	return memsim.Command{Kind: memsim.CmdACT, At: at, Addr: addr(rank, group, bank, 7), FlatBank: fb}
 }
 
+// burstCycles is the BL8 data-bus occupancy of the synthetic streams.
+const burstCycles = 4
+
 func rd(at uint64, rank, group, bank, fb int) memsim.Command {
 	t := memsim.DDR4_2400()
 	start := at + uint64(t.CL)
 	return memsim.Command{Kind: memsim.CmdRD, At: at, Addr: addr(rank, group, bank, 7),
-		FlatBank: fb, DataStart: start, DataEnd: start + uint64(t.TBL)}
+		FlatBank: fb, DataStart: start, DataEnd: start + burstCycles}
 }
 
 func wr(at uint64, rank, group, bank, fb int) memsim.Command {
 	t := memsim.DDR4_2400()
 	start := at + uint64(t.CWL)
 	return memsim.Command{Kind: memsim.CmdWR, At: at, Addr: addr(rank, group, bank, 7),
-		FlatBank: fb, DataStart: start, DataEnd: start + uint64(t.TBL)}
+		FlatBank: fb, DataStart: start, DataEnd: start + burstCycles}
 }
 
 func pre(at uint64, rank, group, bank, fb int) memsim.Command {

@@ -21,17 +21,17 @@ type Monitor struct {
 	FirstAt  uint64
 	LastAt   uint64 // includes data tail of the last burst
 	started  bool
-	bankACTs map[int]uint64
-	bankAddr map[int]memsim.Command // a representative command per bank
-	fresh    map[int]bool           // bank was activated since its last CAS
+	bankACTs map[chanBank]uint64
+	bankAddr map[chanBank]memsim.Command // a representative command per bank
+	fresh    map[chanBank]bool           // bank was activated since its last CAS
 }
 
 // NewMonitor returns an empty monitor.
 func NewMonitor() *Monitor {
 	return &Monitor{
-		bankACTs: map[int]uint64{},
-		bankAddr: map[int]memsim.Command{},
-		fresh:    map[int]bool{},
+		bankACTs: map[chanBank]uint64{},
+		bankAddr: map[chanBank]memsim.Command{},
+		fresh:    map[chanBank]bool{},
 	}
 }
 
@@ -44,12 +44,13 @@ func (m *Monitor) Observe(c memsim.Command) {
 	if c.At > m.LastAt {
 		m.LastAt = c.At
 	}
+	key := chanBank{c.Channel, c.FlatBank}
 	switch c.Kind {
 	case memsim.CmdACT:
 		m.Counts.ACT++
-		m.bankACTs[c.FlatBank]++
-		m.bankAddr[c.FlatBank] = c
-		m.fresh[c.FlatBank] = true
+		m.bankACTs[key]++
+		m.bankAddr[key] = c
+		m.fresh[key] = true
 	case memsim.CmdPRE:
 		m.Counts.PRE++
 	case memsim.CmdRD, memsim.CmdWR:
@@ -60,9 +61,9 @@ func (m *Monitor) Observe(c memsim.Command) {
 		}
 		// The first CAS after an ACT is the miss that opened the row;
 		// every further CAS to the open row is a hit.
-		if m.fresh[c.FlatBank] {
+		if m.fresh[key] {
 			m.RowMiss++
-			m.fresh[c.FlatBank] = false
+			m.fresh[key] = false
 		} else {
 			m.RowHits++
 		}
@@ -70,7 +71,7 @@ func (m *Monitor) Observe(c memsim.Command) {
 		if c.DataEnd > m.LastAt {
 			m.LastAt = c.DataEnd
 		}
-	case memsim.CmdREF:
+	case memsim.CmdREF, memsim.CmdREFSB:
 		m.Counts.REF++
 	}
 }
@@ -103,7 +104,7 @@ func (m *Monitor) Render() string {
 		m.BusUtilization()*100, m.BusBusy, m.LastAt-m.FirstAt)
 	if len(m.bankACTs) > 0 {
 		type ba struct {
-			fb int
+			fb chanBank
 			n  uint64
 		}
 		all := make([]ba, 0, len(m.bankACTs))
@@ -114,7 +115,10 @@ func (m *Monitor) Render() string {
 			if all[i].n != all[j].n {
 				return all[i].n > all[j].n
 			}
-			return all[i].fb < all[j].fb
+			if all[i].fb.ch != all[j].fb.ch {
+				return all[i].fb.ch < all[j].fb.ch
+			}
+			return all[i].fb.fb < all[j].fb.fb
 		})
 		top := all[0]
 		a := m.bankAddr[top.fb].Addr

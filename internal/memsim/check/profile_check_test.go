@@ -1,0 +1,128 @@
+package check_test
+
+import (
+	"testing"
+
+	"pair/internal/experiments"
+	"pair/internal/memsim"
+	"pair/internal/memsim/check"
+	"pair/internal/trace"
+)
+
+// runBrokenProfile simulates with a deliberately corrupted copy of the
+// DDR5-4800 profile while the checker asserts the true profile — the
+// DDR5 counterpart of runBroken: a scheduler bug against BL16 occupancy,
+// long-CCD spacing or same-bank refresh windows cannot pass unseen.
+func runBrokenProfile(t *testing.T, mutate func(*memsim.Profile), wl trace.Workload) *check.Checker {
+	t.Helper()
+	truth := memsim.MustProfile("ddr5-4800")
+	broken := *truth
+	mutate(&broken)
+	cfg := broken.Config()
+	chk := check.ForProfile(truth)
+	cfg.Observer = chk
+	memsim.MustRun(cfg, wl)
+	return chk
+}
+
+func TestBrokenDDR5TimingIsCaught(t *testing.T) {
+	// One hot line: CAS commands pack at the bus/tCCD floor, where BL16
+	// occupancy and same-bank-group spacing bugs surface.
+	hotLine := trace.Generate(trace.Params{
+		Name: "hot", Requests: 600, Lines: 1, Pattern: trace.Sequential,
+		ReadFrac: 1, MeanGap: 0, Window: 8, Seed: 3,
+	})
+	// Dense random stream: touches every bank continuously, so an access
+	// scheduled inside another bank's REFsb blackout happens within a few
+	// refresh slots.
+	dense := trace.Generate(trace.Params{
+		Name: "dense", Requests: 2500, Lines: 1 << 16, Pattern: trace.Random,
+		ReadFrac: 0.6, MeanGap: 1, Window: 8, Seed: 4,
+	})
+	// Sparse long stream: crosses many tREFI boundaries with little load.
+	sparse := trace.Generate(trace.Params{
+		Name: "sparse", Requests: 1500, Lines: 1 << 16, Pattern: trace.Random,
+		ReadFrac: 1, MeanGap: 40, Window: 2, Seed: 5,
+	})
+	cases := []struct {
+		name string
+		rule string
+		wl   trace.Workload
+		mut  func(*memsim.Profile)
+	}{
+		// A scheduler still assuming DDR4's tCCD_L=6 under-spaces
+		// same-bank-group CAS pairs.
+		{"short-tCCDL", "tCCD_L", hotLine, func(p *memsim.Profile) { p.Timing.TCCDL = 6 }},
+		// A BL8-literal emitter under BL16 occupies the bus for half a
+		// burst — the checker's occupancy floor catches it even though
+		// the emitted data windows are self-consistent.
+		{"bl8-regression", "burst-short", hotLine, func(p *memsim.Profile) { p.Org.BurstLen = 8 }},
+		// Ignoring the per-bank refresh blackout schedules CAS/ACT inside
+		// the true tRFCsb window of the bank being refreshed.
+		{"short-tRFCsb", "tRFCsb", dense, func(p *memsim.Profile) { p.Timing.TRFCSB = 4 }},
+		// A drifted tREFI shifts every REFsb off its slot grid.
+		{"skewed-tREFI", "tREFIsb-align", dense, func(p *memsim.Profile) { p.Timing.TREFI = 9000 }},
+		// Issuing DDR4-style all-bank REFab on a same-bank-refresh part.
+		{"refab-on-refsb-part", "refresh-mode", sparse, func(p *memsim.Profile) { p.Refresh = memsim.RefreshAllBank }},
+		// Generic PRE/ACT spacing stays enforced under the profile too.
+		{"zero-tRP", "tRP", dense, func(p *memsim.Profile) { p.Timing.TRP = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chk := runBrokenProfile(t, tc.mut, tc.wl)
+			wantRule(t, chk, tc.rule)
+		})
+	}
+	// Control: the unmutated DDR5 scheduler is clean on every workload.
+	for _, wl := range []trace.Workload{hotLine, dense, sparse} {
+		chk := runBrokenProfile(t, func(*memsim.Profile) {}, wl)
+		if err := chk.Err(); err != nil {
+			t.Fatalf("control run on %s flagged: %v", wl.Name, err)
+		}
+	}
+}
+
+// TestCrossProfileSchemesProtocolClean is the cross-profile differential
+// acceptance test: every scheme cost model runs clean under the
+// profile-parameterized checker on every builtin profile (and a page-
+// policy variant), so no scheme's extra traffic depends on DDR4
+// assumptions.
+func TestCrossProfileSchemesProtocolClean(t *testing.T) {
+	profiles := []string{
+		"ddr4-2400",
+		"ddr5-4800",
+		"ddr5-4800:policy=closed",
+		"lpddr5-6400",
+	}
+	wls := []trace.Workload{
+		trace.Generate(trace.Params{
+			Name: "mix", Requests: 800, Lines: 1 << 16, Pattern: trace.Random,
+			ReadFrac: 0.55, MaskedFrac: 0.3, MeanGap: 2, Window: 12, Seed: 11,
+		}),
+		trace.Generate(trace.Params{
+			Name: "stream", Requests: 800, Lines: 1 << 18, Pattern: trace.Sequential,
+			ReadFrac: 0.8, MaskedFrac: 0.1, MeanGap: 1, Window: 16, Seed: 12,
+		}),
+	}
+	for _, spec := range profiles {
+		prof := memsim.MustProfile(spec)
+		for _, s := range experiments.PerfSchemes() {
+			for _, wl := range wls {
+				cfg := prof.Config()
+				cfg.Cost = s.Cost()
+				chk := check.ForProfile(prof)
+				cfg.Observer = chk
+				res := memsim.MustRun(cfg, wl)
+				if err := chk.Err(); err != nil {
+					t.Fatalf("%s/%s/%s: %v", spec, s.Name(), wl.Name, err)
+				}
+				if n := len(chk.Violations()); n != 0 {
+					t.Fatalf("%s/%s/%s: %d violations", spec, s.Name(), wl.Name, n)
+				}
+				if res.Reads == 0 {
+					t.Fatalf("%s/%s/%s: degenerate run", spec, s.Name(), wl.Name)
+				}
+			}
+		}
+	}
+}

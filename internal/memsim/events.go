@@ -10,11 +10,12 @@ import (
 type CmdKind int
 
 const (
-	CmdACT CmdKind = iota // row activate
-	CmdPRE                // precharge (row close)
-	CmdRD                 // read CAS
-	CmdWR                 // write CAS
-	CmdREF                // all-bank refresh
+	CmdACT   CmdKind = iota // row activate
+	CmdPRE                  // precharge (row close)
+	CmdRD                   // read CAS
+	CmdWR                   // write CAS
+	CmdREF                  // all-bank refresh (REFab)
+	CmdREFSB                // same-bank refresh (REFsb); Addr names the bank
 )
 
 // String returns the JEDEC mnemonic.
@@ -30,6 +31,8 @@ func (k CmdKind) String() string {
 		return "WR"
 	case CmdREF:
 		return "REF"
+	case CmdREFSB:
+		return "REFsb"
 	}
 	return fmt.Sprintf("CmdKind(%d)", int(k))
 }
@@ -40,10 +43,16 @@ type Command struct {
 	Kind CmdKind
 	At   uint64 // issue cycle on the command bus
 
-	// Addr and FlatBank locate the target bank (zero / -1 for REF).
+	// Addr and FlatBank locate the target bank (zero / -1 for REF; REFsb
+	// carries the refreshing bank's Group/Bank with FlatBank -1).
 	// For PRE, Addr.Row is the row being closed.
 	Addr     dram.Address
 	FlatBank int
+
+	// Channel is the data bus (channel x subchannel index) the command
+	// targets; 0 for single-bus profiles, -1 for refreshes, which apply
+	// across buses.
+	Channel int
 
 	// Line is the cache-line index of the access (RD/WR only).
 	Line uint64
@@ -52,15 +61,23 @@ type Command struct {
 	DataStart, DataEnd uint64
 }
 
-// String renders the command for traces and violation reports.
+// String renders the command for traces and violation reports. The
+// channel prefix appears only on multi-bus streams so single-channel
+// (DDR4) traces render exactly as before.
 func (c Command) String() string {
+	ch := ""
+	if c.Channel > 0 {
+		ch = fmt.Sprintf("ch%d ", c.Channel)
+	}
 	switch c.Kind {
 	case CmdREF:
 		return fmt.Sprintf("@%d REF", c.At)
+	case CmdREFSB:
+		return fmt.Sprintf("@%d REFsb bg%d ba%d", c.At, c.Addr.Group, c.Addr.Bank)
 	case CmdRD, CmdWR:
-		return fmt.Sprintf("@%d %s %s data %d..%d", c.At, c.Kind, c.Addr, c.DataStart, c.DataEnd)
+		return fmt.Sprintf("@%d %s%s %s data %d..%d", c.At, ch, c.Kind, c.Addr, c.DataStart, c.DataEnd)
 	default:
-		return fmt.Sprintf("@%d %s %s", c.At, c.Kind, c.Addr)
+		return fmt.Sprintf("@%d %s%s %s", c.At, ch, c.Kind, c.Addr)
 	}
 }
 

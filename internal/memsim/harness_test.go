@@ -9,13 +9,19 @@ import (
 // Run executes the simulation with an independent JEDEC protocol checker
 // riding the command stream. Any protocol violation panics with full
 // command context — every test in this package doubles as a
-// timing-correctness test of the scheduler.
+// timing-correctness test of the scheduler. Profile runs get the
+// profile-parameterized checker.
 func Run(cfg memsim.Config, wl trace.Workload) memsim.Result {
-	tm := cfg.Timing
-	if tm.NSPerCycle == 0 {
-		tm = memsim.DDR4_2400()
+	var chk *check.Checker
+	if cfg.Profile != nil {
+		chk = check.ForProfile(cfg.Profile)
+	} else {
+		tm := cfg.Timing
+		if tm.NSPerCycle == 0 {
+			tm = memsim.DDR4_2400()
+		}
+		chk = check.New(tm)
 	}
-	chk := check.New(tm)
 	cfg.Observer = memsim.MultiObserver(cfg.Observer, chk)
 	res := memsim.MustRun(cfg, wl)
 	if err := chk.Err(); err != nil {

@@ -1,0 +1,160 @@
+package memsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profile spec grammar, with the same canonical-form discipline as
+// schemes.ParseSpec and faults.ParseFaultSpec:
+//
+//	name[:key=val,...]
+//
+// where name is a registered profile ID and the options override the
+// builtin defaults. Examples:
+//
+//	ddr4-2400
+//	ddr5-4800:policy=closed,channels=2
+//	lpddr5-6400:refresh=all-bank
+//
+// The canonical form (ProfileSpec.String) sorts option keys and keeps the
+// raw option values; parsing the canonical form reproduces the spec
+// exactly, so experiment labels embedding a spec stay stable.
+
+// ProfileSpec is a parsed profile spec: a registered profile ID plus
+// key=val overrides.
+type ProfileSpec struct {
+	ID      string
+	Options map[string]string
+}
+
+// ParseProfileSpec parses the profile spec grammar. It only validates the
+// syntax; Build resolves the ID and options against the registry.
+func ParseProfileSpec(spec string) (ProfileSpec, error) {
+	s := ProfileSpec{}
+	head := spec
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		head = spec[:i]
+		opts := spec[i+1:]
+		if strings.IndexByte(opts, ':') >= 0 {
+			return ProfileSpec{}, fmt.Errorf("memsim: malformed profile spec %q (only one ':' allowed)", spec)
+		}
+		s.Options = map[string]string{}
+		for _, kv := range strings.Split(opts, ",") {
+			k, v, found := strings.Cut(kv, "=")
+			if !found || k == "" {
+				return ProfileSpec{}, fmt.Errorf("memsim: malformed option %q in profile spec %q (want key=val)", kv, spec)
+			}
+			if _, dup := s.Options[k]; dup {
+				return ProfileSpec{}, fmt.Errorf("memsim: duplicate option %q in profile spec %q", k, spec)
+			}
+			s.Options[k] = v
+		}
+	}
+	if head == "" {
+		return ProfileSpec{}, fmt.Errorf("memsim: empty profile name in spec %q", spec)
+	}
+	s.ID = head
+	return s, nil
+}
+
+// String renders the spec in canonical form: options sorted by key with
+// their raw values.
+func (s ProfileSpec) String() string {
+	var b strings.Builder
+	b.WriteString(s.ID)
+	if len(s.Options) > 0 {
+		keys := make([]string, 0, len(s.Options))
+		for k := range s.Options {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sep := byte(':')
+		for _, k := range keys {
+			b.WriteByte(sep)
+			sep = ','
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(s.Options[k])
+		}
+	}
+	return b.String()
+}
+
+// Build resolves the spec against the profile registry, applies the
+// option overrides and validates the result. The built profile's Spec()
+// is this spec's canonical form.
+func (s ProfileSpec) Build() (*Profile, error) {
+	e, ok := LookupProfile(s.ID)
+	if !ok {
+		return nil, fmt.Errorf("memsim: unknown profile %q (valid: %s)", s.ID, strings.Join(ProfileIDs(), ", "))
+	}
+	p := e.New()
+	for _, k := range sortedKeys(s.Options) {
+		v := s.Options[k]
+		switch k {
+		case "policy":
+			switch v {
+			case "open":
+				p.Policy = OpenPage
+			case "closed":
+				p.Policy = ClosedPage
+			default:
+				return nil, fmt.Errorf("memsim: profile option policy=%q (want open or closed)", v)
+			}
+		case "channels":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > 16 {
+				return nil, fmt.Errorf("memsim: profile option channels=%q (want 1..16)", v)
+			}
+			p.Channels = n
+		case "refresh":
+			switch v {
+			case "all-bank":
+				p.Refresh = RefreshAllBank
+			case "same-bank":
+				p.Refresh = RefreshSameBank
+			default:
+				return nil, fmt.Errorf("memsim: profile option refresh=%q (want all-bank or same-bank)", v)
+			}
+		default:
+			return nil, fmt.Errorf("memsim: unknown profile option %q (valid: channels, policy, refresh)", k)
+		}
+	}
+	p.spec = s.String()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// NewProfile parses a spec string and builds the profile it describes.
+// Errors enumerate the valid profile IDs or option keys.
+func NewProfile(spec string) (*Profile, error) {
+	s, err := ParseProfileSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build()
+}
+
+// MustProfile is NewProfile, panicking on error; for specs known at
+// compile time.
+func MustProfile(spec string) *Profile {
+	p, err := NewProfile(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -23,7 +23,7 @@ func TestIsolatedRowMissLatency(t *testing.T) {
 		reqs[i] = trace.Request{Op: trace.Read, Line: uint64(i) * 1_000_003, Gap: 2000}
 	}
 	res := Run(memsim.DefaultConfig(), isolatedTrace(reqs))
-	wantCycles := float64(tm.TRCD + tm.CL + tm.BurstCycles(0))
+	wantCycles := float64(tm.TRCD+tm.CL) + float64(memsim.MustProfile("ddr4-2400").BurstCycles(0))
 	got := float64(res.ReadLatencySum) / float64(res.Reads)
 	// Allow refresh interference and the occasional precharge.
 	if got < wantCycles || got > wantCycles+float64(tm.TRP)+20 {
@@ -43,7 +43,7 @@ func TestIsolatedRowHitLatency(t *testing.T) {
 	if res.RowHits < 190 {
 		t.Fatalf("row hits %d of 200", res.RowHits)
 	}
-	wantHit := float64(tm.CL + tm.BurstCycles(0))
+	wantHit := float64(tm.CL) + float64(memsim.MustProfile("ddr4-2400").BurstCycles(0))
 	got := float64(res.ReadLatencySum) / float64(res.Reads)
 	// One miss amortized over 200 plus refresh slack.
 	if got < wantHit || got > wantHit+10 {
@@ -90,7 +90,7 @@ func TestWriteThenReadTurnaround(t *testing.T) {
 		)
 	}
 	res := Run(memsim.DefaultConfig(), trace.Workload{Name: "wtr", Window: 2, Reqs: reqs})
-	hitLat := float64(tm.CL + tm.BurstCycles(0))
+	hitLat := float64(tm.CL) + float64(memsim.MustProfile("ddr4-2400").BurstCycles(0))
 	got := float64(res.ReadLatencySum) / float64(res.Reads)
 	if got <= hitLat {
 		t.Fatalf("post-write read latency %.1f <= pure hit %.1f: turnaround missing", got, hitLat)
@@ -99,14 +99,14 @@ func TestWriteThenReadTurnaround(t *testing.T) {
 
 func TestThroughputBoundedByBus(t *testing.T) {
 	// A fully saturated row-hit stream cannot beat one burst per
-	// tBL(+CCD) window: cycles >= reads * tCCD_S at the very least.
-	tm := memsim.DDR4_2400()
+	// burst(+CCD) window: cycles >= reads * burst at the very least.
 	reqs := make([]trace.Request, 5000)
 	for i := range reqs {
 		reqs[i] = trace.Request{Op: trace.Read, Line: uint64(i), Gap: 0}
 	}
 	res := Run(memsim.DefaultConfig(), trace.Workload{Name: "sat", Window: 32, Reqs: reqs})
-	if res.Cycles < uint64(len(reqs)*tm.TBL) {
+	burst := memsim.MustProfile("ddr4-2400").BurstCycles(0)
+	if res.Cycles < uint64(len(reqs)*burst) {
 		t.Fatalf("throughput exceeds bus capacity: %d cycles for %d bursts", res.Cycles, len(reqs))
 	}
 }

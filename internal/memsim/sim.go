@@ -1,7 +1,6 @@
 package memsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +14,12 @@ import (
 
 // Config parameterizes one simulation run.
 type Config struct {
+	// Profile, when non-nil, selects the full device profile (organization,
+	// timing, channel count, refresh mode, page policy) and overrides Org
+	// and Timing. A nil Profile preserves the legacy single-bus behavior:
+	// Org + Timing with all-bank refresh and open-page policy.
+	Profile *Profile
+
 	Org    dram.Organization
 	Ranks  int
 	Timing Timing
@@ -25,8 +30,8 @@ type Config struct {
 	// background traffic a memory-scrubbing reliability policy costs.
 	ScrubPeriod uint64
 	// Observer, when non-nil, receives every DRAM command the scheduler
-	// issues (ACT/PRE/RD/WR/REF) in non-decreasing time order. It feeds
-	// the protocol checker and observability layers in memsim/check.
+	// issues (ACT/PRE/RD/WR/REF/REFsb) in non-decreasing time order. It
+	// feeds the protocol checker and observability layers in memsim/check.
 	Observer Observer
 }
 
@@ -51,13 +56,13 @@ type Result struct {
 	ExtraWrites    uint64 // companion parity writes
 	RowHits        uint64
 	RowMisses      uint64
-	Refreshes      uint64
+	Refreshes      uint64 // REFab boundaries, or REFsb slots in same-bank mode
 	ScrubReads     uint64 // injected patrol-scrub reads
 	ReadLatencySum uint64 // sum over trace reads, in cycles
 	// Cmds is the command-bus histogram (RD/WR include scrub and
-	// ECC-cost extras; REF mirrors Refreshes).
+	// ECC-cost extras; REF mirrors Refreshes and includes REFsb).
 	Cmds CmdCounts
-	// BusBusyCycles is the total data-bus occupancy, for utilization.
+	// BusBusyCycles is the total data-bus occupancy summed over buses.
 	BusBusyCycles uint64
 	// ReadLatency holds the per-read latency distribution in cycles
 	// (tail latency is where RMW and companion-write interference show).
@@ -71,6 +76,16 @@ func (r Result) P99ReadLatencyNS(t Timing) float64 {
 		return 0
 	}
 	return r.ReadLatency.Percentile(99) * t.NSPerCycle
+}
+
+// P999ReadLatencyNS returns the 99.9th-percentile trace-read latency in
+// nanoseconds (0 when no reads were observed) — the deep-tail metric the
+// traffic experiments report.
+func (r Result) P999ReadLatencyNS(t Timing) float64 {
+	if r.ReadLatency == nil || r.ReadLatency.Count() == 0 {
+		return 0
+	}
+	return r.ReadLatency.Percentile(99.9) * t.NSPerCycle
 }
 
 // AvgReadLatencyNS returns the mean trace-read latency in nanoseconds.
@@ -94,8 +109,9 @@ func (r Result) RowHitRate() float64 {
 	return 0
 }
 
-// BusUtilization returns the fraction of run cycles the data bus was
-// transferring.
+// BusUtilization returns the fraction of run cycles the data buses were
+// transferring. Occupancy is summed over buses, so multi-bus profiles can
+// exceed 1.0 when subchannels transfer concurrently.
 func (r Result) BusUtilization() float64 {
 	if r.Cycles == 0 {
 		return 0
@@ -136,27 +152,55 @@ type completionEvent struct {
 	o      *op
 }
 
-type completionHeap []completionEvent
+// completionQueue is a typed binary min-heap on completion time. It
+// replicates container/heap's sift algorithm exactly (append + sift-up on
+// push; swap-root-to-tail + sift-down on pop), because the pop order of
+// equal-time completions determines pending-queue order and therefore the
+// golden cycle counts.
+type completionQueue []completionEvent
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completionEvent)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (q *completionQueue) push(e completionEvent) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].at <= h[i].at {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*q = h
 }
 
-// simulator carries the run state.
-type simulator struct {
-	cfg    Config
-	mapper *dram.AddressMapper
-	rng    *rand.Rand
+func (q *completionQueue) pop() completionEvent {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].at < h[l].at {
+			m = r
+		}
+		if h[i].at <= h[m].at {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e := h[n]
+	*q = h[:n]
+	return e
+}
 
-	now         uint64
+// busState is the timing state of one data bus (channel or subchannel):
+// its banks, burst timeline, CAS/ACT history and turnaround direction.
+type busState struct {
 	banks       []bankState
 	busFreeAt   uint64
 	lastCASGrp  int // bank group of the previous CAS (-1 initially)
@@ -166,9 +210,23 @@ type simulator struct {
 	fawRing     [][]uint64 // per rank, last 4 ACT times
 	lastACTRank []uint64   // per rank, last ACT time (tRRD_S)
 	lastACTGrp  [][]uint64 // per rank per bank group, last ACT time (tRRD_L)
-	lastRefresh uint64
+}
+
+// simulator carries the run state.
+type simulator struct {
+	cfg    Config
+	prof   *Profile
+	mapper *dram.AddressMapper
+	rng    *rand.Rand
+
+	now         uint64
+	buses       []busState
+	nBuses      uint64
+	totalCap    uint64 // addressable lines across all buses
+	lastRefresh uint64 // last REFab boundary or REFsb slot observed
 
 	evbuf []Command // per-schedule event batch, sorted before delivery
+	held  []Command // future-time events (closed-page auto-PRE)
 
 	res Result
 }
@@ -184,30 +242,51 @@ func Run(cfg Config, wl trace.Workload) (Result, error) {
 	if cfg.Ranks < 0 {
 		return Result{}, fmt.Errorf("memsim: invalid rank count %d", cfg.Ranks)
 	}
-	if cfg.Timing.NSPerCycle == 0 {
-		cfg.Timing = DDR4_2400()
+	prof := cfg.Profile
+	if prof != nil {
+		if err := prof.Validate(); err != nil {
+			return Result{}, err
+		}
+		cfg.Org = prof.Org
+		cfg.Timing = prof.Timing
+	} else {
+		if cfg.Timing.NSPerCycle == 0 {
+			cfg.Timing = DDR4_2400()
+		}
+		// Legacy configuration: wrap Org+Timing in an implicit single-bus,
+		// all-bank-refresh, open-page profile so every scheduling decision
+		// below is profile-derived yet bit-identical to the DDR4 era.
+		p := Profile{ID: "custom", Org: cfg.Org, Timing: cfg.Timing, Channels: 1, Subchannels: 1}
+		prof = &p
 	}
 	mapper, err := dram.NewAddressMapper(cfg.Org, cfg.Ranks)
 	if err != nil {
 		return Result{}, fmt.Errorf("memsim: %w", err)
 	}
 	s := &simulator{
-		cfg:        cfg,
-		mapper:     mapper,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		lastCASGrp: -1,
+		cfg:    cfg,
+		prof:   prof,
+		mapper: mapper,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.res.ReadLatency = stats.NewHistogram()
-	s.banks = make([]bankState, mapper.NumFlatBanks())
-	for i := range s.banks {
-		s.banks[i].openRow = -1
-	}
-	s.fawRing = make([][]uint64, cfg.Ranks)
-	s.lastACTRank = make([]uint64, cfg.Ranks)
-	s.lastACTGrp = make([][]uint64, cfg.Ranks)
-	for i := range s.fawRing {
-		s.fawRing[i] = make([]uint64, 4)
-		s.lastACTGrp[i] = make([]uint64, cfg.Org.BankGroups)
+	s.nBuses = uint64(prof.Buses())
+	s.totalCap = mapper.Capacity() * s.nBuses
+	s.buses = make([]busState, s.nBuses)
+	for bi := range s.buses {
+		bus := &s.buses[bi]
+		bus.lastCASGrp = -1
+		bus.banks = make([]bankState, mapper.NumFlatBanks())
+		for i := range bus.banks {
+			bus.banks[i].openRow = -1
+		}
+		bus.fawRing = make([][]uint64, cfg.Ranks)
+		bus.lastACTRank = make([]uint64, cfg.Ranks)
+		bus.lastACTGrp = make([][]uint64, cfg.Ranks)
+		for i := range bus.fawRing {
+			bus.fawRing[i] = make([]uint64, 4)
+			bus.lastACTGrp[i] = make([]uint64, cfg.Org.BankGroups)
+		}
 	}
 	s.run(wl)
 	return s.res, nil
@@ -223,16 +302,26 @@ func MustRun(cfg Config, wl trace.Workload) Result {
 	return res
 }
 
+// locate maps a line index to its data bus and per-bus address: lines
+// interleave across buses (bus = line mod buses), so consecutive lines
+// spread over channels/subchannels.
+func (s *simulator) locate(line uint64) (int, dram.Address) {
+	if s.nBuses == 1 {
+		return 0, s.mapper.Map(line)
+	}
+	return int(line % s.nBuses), s.mapper.Map(line / s.nBuses)
+}
+
 func (s *simulator) run(wl trace.Workload) {
 	window := wl.Window
 	if window <= 0 {
 		window = 8
 	}
-	cap64 := s.mapper.Capacity()
+	cap64 := s.totalCap
 
 	var (
 		pending     []*op // admitted, schedulable (or waiting on readyAt)
-		completions completionHeap
+		completions completionQueue
 		outstanding int
 		traceIdx    int
 		arrive      uint64 // issue-pipeline clock of the next trace request
@@ -263,7 +352,7 @@ func (s *simulator) run(wl trace.Workload) {
 	for {
 		// Retire completions up to now.
 		for len(completions) > 0 && completions[0].at <= s.now {
-			ev := heap.Pop(&completions).(completionEvent)
+			ev := completions.pop()
 			if ev.reqIdx >= 0 {
 				outstanding--
 			}
@@ -326,8 +415,9 @@ func (s *simulator) run(wl trace.Workload) {
 		if o.last {
 			reqIdx = o.reqIdx
 		}
-		heap.Push(&completions, completionEvent{at: finish, reqIdx: reqIdx, o: o})
+		completions.push(completionEvent{at: finish, reqIdx: reqIdx, o: o})
 	}
+	s.drainHeld()
 	s.res.Cycles = lastFinish
 }
 
@@ -363,7 +453,7 @@ func (s *simulator) expand(r trace.Request, line uint64, idx int) []*op {
 		if cost.ExtraWritesPerWrite > 0 && s.rng.Float64() < cost.ExtraWritesPerWrite {
 			// Companion parity-image write (posted; separate region).
 			s.res.ExtraWrites++
-			pline := (line + s.mapper.Capacity()/2) % s.mapper.Capacity()
+			pline := (line + s.totalCap/2) % s.totalCap
 			ops = append(ops, &op{kind: opWrite, line: pline, readyAt: s.now, enq: s.now, reqIdx: -1})
 		}
 		if cost.ExtraReadsPerWrite > 0 && s.rng.Float64() < cost.ExtraReadsPerWrite {
@@ -404,8 +494,8 @@ func (s *simulator) pick(pending []*op) int {
 		if (o.kind == opWrite) != preferWrites {
 			continue
 		}
-		a := s.mapper.Map(o.line)
-		hit := s.banks[s.mapper.FlatBank(a)].openRow == a.Row
+		busIdx, a := s.locate(o.line)
+		hit := s.buses[busIdx].banks[s.mapper.FlatBank(a)].openRow == a.Row
 		if best < 0 || (hit && !bestHit) || (hit == bestHit && o.enq < bestEnq) {
 			best = i
 			bestHit = hit
@@ -415,11 +505,30 @@ func (s *simulator) pick(pending []*op) int {
 	return best
 }
 
-// refreshDefer pushes a command time out of the refresh blackout window:
-// an all-bank refresh starts at every multiple of tREFI (absolute time)
-// and blocks command issue for tRFC; the window itself elapses in the
-// background, so only commands landing inside it stall.
-func refreshDefer(t Timing, x uint64) uint64 {
+// refreshDefer pushes a command time out of the refresh blackout window.
+// All-bank mode: a refresh starts at every multiple of tREFI (absolute
+// time) and blocks every bank for tRFC. Same-bank mode: REFsb slots fire
+// every tREFI/banks cycles rotating through the banks, and only commands
+// to the refreshing bank stall, for tRFCsb. The windows elapse in the
+// background; only commands landing inside them are deferred.
+func (s *simulator) refreshDefer(x uint64, bankIdx int) uint64 {
+	t := s.cfg.Timing
+	if s.prof.Refresh == RefreshSameBank {
+		period := s.prof.RefSlotPeriod()
+		nb := uint64(s.prof.NumBanks())
+		g := x / period
+		if g < uint64(bankIdx) {
+			return x
+		}
+		g -= (g - uint64(bankIdx)) % nb
+		if g == 0 {
+			return x
+		}
+		if start := g * period; x < start+uint64(t.TRFCSB) {
+			return start + uint64(t.TRFCSB)
+		}
+		return x
+	}
 	idx := x / uint64(t.TREFI)
 	if idx == 0 {
 		return x
@@ -438,11 +547,49 @@ func (s *simulator) emit(c Command) {
 	}
 }
 
-// flushEvents delivers the step's events in time order.
+// emitHeld queues a future-time command (closed-page auto-precharge) that
+// must not be delivered until the clock passes it.
+func (s *simulator) emitHeld(c Command) {
+	if s.cfg.Observer != nil {
+		s.held = append(s.held, c)
+	}
+}
+
+// flushEvents delivers the step's events in time order, merging in any
+// held events the clock has passed.
 func (s *simulator) flushEvents() {
+	if s.cfg.Observer == nil {
+		return
+	}
+	if len(s.held) > 0 {
+		kept := s.held[:0]
+		for _, c := range s.held {
+			if c.At <= s.now {
+				s.evbuf = append(s.evbuf, c)
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		s.held = kept
+	}
 	if len(s.evbuf) == 0 {
 		return
 	}
+	sort.SliceStable(s.evbuf, func(i, j int) bool { return s.evbuf[i].At < s.evbuf[j].At })
+	for _, c := range s.evbuf {
+		s.cfg.Observer.Observe(c)
+	}
+	s.evbuf = s.evbuf[:0]
+}
+
+// drainHeld delivers any still-held events at the end of the run; they
+// all lie at or beyond the final clock, so time order is preserved.
+func (s *simulator) drainHeld() {
+	if s.cfg.Observer == nil || len(s.held) == 0 {
+		return
+	}
+	s.evbuf = append(s.evbuf, s.held...)
+	s.held = s.held[:0]
 	sort.SliceStable(s.evbuf, func(i, j int) bool { return s.evbuf[i].At < s.evbuf[j].At })
 	for _, c := range s.evbuf {
 		s.cfg.Observer.Observe(c)
@@ -456,13 +603,15 @@ func (s *simulator) flushEvents() {
 // committed and emitted to the observer in time order.
 func (s *simulator) schedule(o *op) uint64 {
 	t := s.cfg.Timing
-	a := s.mapper.Map(o.line)
+	busIdx, a := s.locate(o.line)
+	bus := &s.buses[busIdx]
 	fb := s.mapper.FlatBank(a)
-	b := &s.banks[fb]
+	b := &bus.banks[fb]
+	bankIdx := a.Group*s.cfg.Org.BanksPerGrp + a.Bank
 	isWrite := o.kind == opWrite
 	miss := b.openRow != a.Row
 
-	earliest := refreshDefer(t, maxU(s.now, o.readyAt))
+	earliest := s.refreshDefer(maxU(s.now, o.readyAt), bankIdx)
 
 	// Row management plan.
 	var preAt, actAt, casAt uint64
@@ -473,58 +622,74 @@ func (s *simulator) schedule(o *op) uint64 {
 			// A row is open: precharge it first (tRAS/tWR/tRTP hold PRE
 			// back via preOK; tRP separates PRE from the next ACT).
 			needPRE = true
-			preAt = refreshDefer(t, maxU(earliest, b.preOK))
+			preAt = s.refreshDefer(maxU(earliest, b.preOK), bankIdx)
 			actFloor = preAt + uint64(t.TRP)
 		}
 		// Inter-ACT constraints within the rank: tRC on the bank, tRRD_S
 		// against the last ACT anywhere in the rank, tRRD_L against the
 		// last ACT in the same bank group, and the tFAW window.
-		ring := s.fawRing[a.Rank]
+		ring := bus.fawRing[a.Rank]
 		actAt = maxU(actFloor, b.actOK,
 			ring[0]+uint64(t.TFAW),
-			s.lastACTRank[a.Rank]+uint64(t.TRRDS),
-			s.lastACTGrp[a.Rank][a.Group]+uint64(t.TRRDL))
-		actAt = refreshDefer(t, actAt)
+			bus.lastACTRank[a.Rank]+uint64(t.TRRDS),
+			bus.lastACTGrp[a.Rank][a.Group]+uint64(t.TRRDL))
+		actAt = s.refreshDefer(actAt, bankIdx)
 		casAt = maxU(earliest, actAt+uint64(t.TRCD))
 	} else {
 		casAt = maxU(earliest, b.casOK)
 	}
 
-	// CAS-to-CAS spacing by bank group, and bus turnaround.
-	if s.lastCASGrp >= 0 {
+	// CAS-to-CAS spacing by bank group, and bus turnaround — both per
+	// data bus; independent subchannels do not constrain each other.
+	if bus.lastCASGrp >= 0 {
 		ccd := uint64(t.TCCDS)
-		if s.lastCASGrp == a.Group {
+		if bus.lastCASGrp == a.Group {
 			ccd = uint64(t.TCCDL)
 		}
-		casAt = maxU(casAt, s.lastCASAt+ccd)
+		casAt = maxU(casAt, bus.lastCASAt+ccd)
 	}
-	if s.lastDataEnd > 0 {
-		if isWrite && !s.lastWasWr {
-			casAt = maxU(casAt, s.lastDataEnd+uint64(t.TRTW))
-		} else if !isWrite && s.lastWasWr {
-			casAt = maxU(casAt, s.lastDataEnd+uint64(t.TWTR))
+	if bus.lastDataEnd > 0 {
+		if isWrite && !bus.lastWasWr {
+			casAt = maxU(casAt, bus.lastDataEnd+uint64(t.TRTW))
+		} else if !isWrite && bus.lastWasWr {
+			casAt = maxU(casAt, bus.lastDataEnd+uint64(t.TWTR))
 		}
 	}
 
-	// Data-bus occupancy.
+	// Data-bus occupancy: the burst length is profile-derived (BL8 = 4
+	// cycles, BL16 = 8), extended by the scheme's extra beats.
 	extra := s.cfg.Cost.ExtraReadBeats
 	casToData := uint64(t.CL)
 	if isWrite {
 		extra = s.cfg.Cost.ExtraWriteBeats
 		casToData = uint64(t.CWL)
 	}
-	burst := uint64(t.BurstCycles(extra))
-	if s.busFreeAt > casAt+casToData {
-		casAt = s.busFreeAt - casToData
+	burst := uint64(s.prof.BurstCycles(extra))
+	if bus.busFreeAt > casAt+casToData {
+		casAt = bus.busFreeAt - casToData
 	}
-	casAt = refreshDefer(t, casAt)
+	casAt = s.refreshDefer(casAt, bankIdx)
 
 	dataStart := casAt + casToData
 	dataEnd := dataStart + burst
 
-	// Refresh accounting: count every tREFI boundary the command clock
-	// crossed since the last one observed.
-	if refIdx := casAt / uint64(t.TREFI); refIdx > s.lastRefresh {
+	// Refresh accounting: count every refresh boundary (tREFI in all-bank
+	// mode, REFsb slot in same-bank mode) the command clock crossed since
+	// the last one observed.
+	if s.prof.Refresh == RefreshSameBank {
+		period := s.prof.RefSlotPeriod()
+		nb := uint64(s.prof.NumBanks())
+		if slot := casAt / period; slot > s.lastRefresh {
+			for g := s.lastRefresh + 1; g <= slot; g++ {
+				bank := int(g % nb)
+				s.emit(Command{Kind: CmdREFSB, At: g * period, FlatBank: -1, Channel: -1,
+					Addr: dram.Address{Group: bank / s.cfg.Org.BanksPerGrp, Bank: bank % s.cfg.Org.BanksPerGrp}})
+			}
+			s.res.Refreshes += slot - s.lastRefresh
+			s.res.Cmds.REF += slot - s.lastRefresh
+			s.lastRefresh = slot
+		}
+	} else if refIdx := casAt / uint64(t.TREFI); refIdx > s.lastRefresh {
 		for k := s.lastRefresh + 1; k <= refIdx; k++ {
 			s.emit(Command{Kind: CmdREF, At: k * uint64(t.TREFI), FlatBank: -1})
 		}
@@ -540,32 +705,32 @@ func (s *simulator) schedule(o *op) uint64 {
 			closed := a
 			closed.Row = b.openRow
 			closed.Col = 0
-			s.emit(Command{Kind: CmdPRE, At: preAt, Addr: closed, FlatBank: fb})
+			s.emit(Command{Kind: CmdPRE, At: preAt, Addr: closed, FlatBank: fb, Channel: busIdx})
 			s.res.Cmds.PRE++
 		}
-		ring := s.fawRing[a.Rank]
+		ring := bus.fawRing[a.Rank]
 		copy(ring, ring[1:])
 		ring[3] = actAt
-		s.lastACTRank[a.Rank] = actAt
-		s.lastACTGrp[a.Rank][a.Group] = actAt
+		bus.lastACTRank[a.Rank] = actAt
+		bus.lastACTGrp[a.Rank][a.Group] = actAt
 		b.actOK = actAt + uint64(t.TRC)
 		b.casOK = actAt + uint64(t.TRCD)
 		b.preOK = actAt + uint64(t.TRAS)
 		b.openRow = a.Row
 		opened := a
 		opened.Col = 0
-		s.emit(Command{Kind: CmdACT, At: actAt, Addr: opened, FlatBank: fb})
+		s.emit(Command{Kind: CmdACT, At: actAt, Addr: opened, FlatBank: fb, Channel: busIdx})
 		s.res.Cmds.ACT++
 	} else {
 		s.res.RowHits++
 	}
 
 	s.now = casAt
-	s.lastCASGrp = a.Group
-	s.lastCASAt = casAt
-	s.lastWasWr = isWrite
-	s.lastDataEnd = dataEnd
-	s.busFreeAt = dataEnd
+	bus.lastCASGrp = a.Group
+	bus.lastCASAt = casAt
+	bus.lastWasWr = isWrite
+	bus.lastDataEnd = dataEnd
+	bus.busFreeAt = dataEnd
 	b.casOK = maxU(b.casOK, casAt+uint64(t.TCCDL))
 	kind := CmdRD
 	if isWrite {
@@ -578,7 +743,21 @@ func (s *simulator) schedule(o *op) uint64 {
 	}
 	b.lastBeat = dataEnd
 	s.res.BusBusyCycles += burst
-	s.emit(Command{Kind: kind, At: casAt, Addr: a, FlatBank: fb, Line: o.line, DataStart: dataStart, DataEnd: dataEnd})
+	s.emit(Command{Kind: kind, At: casAt, Addr: a, FlatBank: fb, Channel: busIdx, Line: o.line, DataStart: dataStart, DataEnd: dataEnd})
+
+	if s.prof.Policy == ClosedPage {
+		// Auto-precharge (RDA/WRA): close the row as soon as tRAS, tRTP
+		// (reads) and tWR (writes) allow — preOK already carries all three
+		// floors — and gate the bank's next ACT on tRP after it. The PRE
+		// event lies in the future, so it is held until the clock passes.
+		preAt := s.refreshDefer(b.preOK, bankIdx)
+		closed := a
+		closed.Col = 0
+		s.emitHeld(Command{Kind: CmdPRE, At: preAt, Addr: closed, FlatBank: fb, Channel: busIdx})
+		s.res.Cmds.PRE++
+		b.openRow = -1
+		b.actOK = maxU(b.actOK, preAt+uint64(t.TRP))
+	}
 	s.flushEvents()
 
 	finish := dataEnd

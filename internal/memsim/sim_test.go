@@ -18,11 +18,16 @@ func seqReads(n int) trace.Workload {
 
 func TestTimingHelpers(t *testing.T) {
 	tm := memsim.DDR4_2400()
-	if tm.BurstCycles(0) != 4 {
-		t.Fatalf("BL8 = %d cycles", tm.BurstCycles(0))
+	ddr4 := memsim.MustProfile("ddr4-2400")
+	if ddr4.BurstCycles(0) != 4 {
+		t.Fatalf("BL8 = %d cycles", ddr4.BurstCycles(0))
 	}
-	if tm.BurstCycles(1) != 5 {
-		t.Fatalf("BL9 = %d cycles (9 beats round up)", tm.BurstCycles(1))
+	if ddr4.BurstCycles(1) != 5 {
+		t.Fatalf("BL9 = %d cycles (9 beats round up)", ddr4.BurstCycles(1))
+	}
+	ddr5 := memsim.MustProfile("ddr5-4800")
+	if ddr5.BurstCycles(0) != 8 {
+		t.Fatalf("BL16 = %d cycles", ddr5.BurstCycles(0))
 	}
 	if tm.NSToCycles(0) != 0 {
 		t.Fatal("0ns != 0 cycles")

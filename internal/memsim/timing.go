@@ -1,9 +1,11 @@
-// Package memsim is a trace-driven, command-level DDR4 timing simulator.
-// It models per-bank state machines (ACT/RD/WR/PRE with row-buffer
-// hits/misses), the shared data bus, bank-group timing (tCCD_L vs tCCD_S),
-// the tFAW activation window, periodic refresh, a FR-FCFS scheduler with
-// write draining, and a limited-outstanding-request (MLP window) processor
-// front-end.
+// Package memsim is a trace-driven, command-level DRAM timing simulator,
+// parameterized by device Profile (DDR4/DDR5/LPDDR5). It models per-bank
+// state machines (ACT/RD/WR/PRE with row-buffer hits/misses), one data
+// bus per channel/subchannel, bank-group timing (tCCD_L vs tCCD_S), the
+// tFAW activation window, periodic refresh (all-bank REFab or staggered
+// same-bank REFsb), open/closed-page policies, a FR-FCFS scheduler with
+// write draining, and a limited-outstanding-request (MLP window)
+// processor front-end.
 //
 // ECC schemes plug in through ecc.AccessCost: burst extension beats
 // (DUO), companion parity writes (XED), read-modify-write reads for
@@ -15,11 +17,13 @@
 // one at a time in global time order rather than per-cycle per-channel,
 // which slightly serializes command issue but preserves everything the
 // study measures — bus occupancy, RMW amplification, extra writes, burst
-// length and latency adders.
+// length and latency adders. Multi-bus profiles keep one burst timeline
+// per channel/subchannel, so bursts overlap across buses.
 package memsim
 
-// Timing holds DDR4 timing parameters in memory-controller clock cycles
+// Timing holds DRAM timing parameters in memory-controller clock cycles
 // (one cycle = one DRAM command clock; DDR transfers two beats per cycle).
+// Burst length lives in the Profile's Organization, not here.
 type Timing struct {
 	NSPerCycle float64 // wall-clock nanoseconds per controller cycle
 
@@ -29,7 +33,6 @@ type Timing struct {
 	TRP  int // PRE to ACT
 	TRAS int // ACT to PRE
 	TRC  int // ACT to ACT (same bank)
-	TBL  int // burst length in cycles for BL8 (8 beats / 2 per cycle)
 
 	TCCDS int // CAS to CAS, different bank group
 	TCCDL int // CAS to CAS, same bank group
@@ -42,8 +45,9 @@ type Timing struct {
 	TRTW int // read-to-write turnaround
 	TRTP int // read to PRE
 
-	TRFC  int // refresh cycle time
-	TREFI int // refresh interval
+	TRFC   int // all-bank refresh cycle time (REFab)
+	TRFCSB int // same-bank refresh cycle time (REFsb); 0 when unsupported
+	TREFI  int // refresh interval
 }
 
 // DDR4_2400 returns DDR4-2400R timing (1200 MHz command clock).
@@ -56,7 +60,6 @@ func DDR4_2400() Timing {
 		TRP:        16,
 		TRAS:       32,
 		TRC:        48,
-		TBL:        4,
 		TCCDS:      4,
 		TCCDL:      6,
 		TRRDS:      4,
@@ -71,6 +74,62 @@ func DDR4_2400() Timing {
 	}
 }
 
+// DDR5_4800 returns DDR5-4800B timing (2400 MHz command clock). Latencies
+// in nanoseconds are close to DDR4's, so at twice the clock the cycle
+// counts roughly double; tCCD_L stretches to 16 cycles (BL16 keeps the
+// bus busy 8 cycles per access) and refresh is normally issued same-bank
+// (tRFCsb) instead of the full tRFC blackout.
+func DDR5_4800() Timing {
+	return Timing{
+		NSPerCycle: 0.417,
+		CL:         40,
+		CWL:        38,
+		TRCD:       39,
+		TRP:        39,
+		TRAS:       77,
+		TRC:        116,
+		TCCDS:      8,
+		TCCDL:      16,
+		TRRDS:      8,
+		TRRDL:      12,
+		TFAW:       32,
+		TWR:        72,
+		TWTR:       24,
+		TRTW:       18,
+		TRTP:       18,
+		TRFC:       708,
+		TRFCSB:     312,
+		TREFI:      9360,
+	}
+}
+
+// LPDDR5_6400 returns LPDDR5-6400 timing (3200 MHz command-equivalent
+// clock as modeled here). Mobile parts trade higher core latencies (in
+// cycles) for lower energy; refresh is per-bank.
+func LPDDR5_6400() Timing {
+	return Timing{
+		NSPerCycle: 0.3125,
+		CL:         54,
+		CWL:        30,
+		TRCD:       58,
+		TRP:        58,
+		TRAS:       134,
+		TRC:        192,
+		TCCDS:      8,
+		TCCDL:      16,
+		TRRDS:      16,
+		TRRDL:      32,
+		TFAW:       64,
+		TWR:        109,
+		TWTR:       38,
+		TRTW:       22,
+		TRTP:       24,
+		TRFC:       672,
+		TRFCSB:     448,
+		TREFI:      12480,
+	}
+}
+
 // NSToCycles converts nanoseconds to whole cycles, rounding up.
 func (t Timing) NSToCycles(ns float64) uint64 {
 	if ns <= 0 {
@@ -82,11 +141,4 @@ func (t Timing) NSToCycles(ns float64) uint64 {
 		u++
 	}
 	return u
-}
-
-// BurstCycles returns the data-bus occupancy of a burst of 8+extra beats
-// (two beats per cycle, rounded up).
-func (t Timing) BurstCycles(extraBeats int) int {
-	beats := 8 + extraBeats
-	return (beats + 1) / 2
 }

@@ -32,7 +32,7 @@ func (h *Histogram) Percentile(p float64) float64 {
 	if len(h.samples) == 0 {
 		return math.NaN()
 	}
-	if p < 0 || p > 100 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: invalid percentile %v", p))
 	}
 	if !h.sorted {
@@ -40,8 +40,13 @@ func (h *Histogram) Percentile(p float64) float64 {
 		h.sorted = true
 	}
 	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	// Clamp both ends: p=0 maps to the first sample, and float rounding
+	// of p/100*n at p near 100 must not index past the last.
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
 	}
 	return h.samples[rank-1]
 }

@@ -35,6 +35,53 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileEdges(t *testing.T) {
+	single := NewHistogram()
+	single.Observe(7)
+	cases := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want float64
+	}{
+		{"single-p0", single, 0, 7},
+		{"single-p50", single, 50, 7},
+		{"single-p999", single, 99.9, 7},
+		{"single-p100", single, 100, 7},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Percentile(tc.p); got != tc.want {
+			t.Fatalf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// p=100 and p=99.9 must never index past the last sample, whatever
+	// rounding p/100*n does; sweep sizes around powers of ten where the
+	// ceil boundary lands exactly on n.
+	for _, n := range []int{2, 3, 10, 999, 1000, 1001} {
+		h := NewHistogram()
+		for i := 1; i <= n; i++ {
+			h.Observe(float64(i))
+		}
+		if got := h.Percentile(100); got != float64(n) {
+			t.Fatalf("n=%d p100 = %v", n, got)
+		}
+		if got := h.Percentile(99.9); got > float64(n) {
+			t.Fatalf("n=%d p99.9 = %v beyond max", n, got)
+		}
+	}
+}
+
+func TestHistogramNaNPercentilePanics(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN percentile did not panic")
+		}
+	}()
+	h.Percentile(math.NaN())
+}
+
 func TestHistogramEmptyAndInvalid(t *testing.T) {
 	h := NewHistogram()
 	if !math.IsNaN(h.Percentile(50)) || !math.IsNaN(h.Mean()) {

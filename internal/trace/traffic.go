@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Open-loop traffic front end. Generate's gaps model one core's
+// instruction stream; the tail-latency experiments instead need an
+// arrival process: many concurrent users sharing the channels, issuing
+// requests at an offered load the memory system does not back-pressure.
+// Under an open loop a saturated system grows its queues without bound,
+// which is exactly what exposes the p99/p999 knee each ECC scheme's
+// extra traffic shifts.
+
+// Arrival selects the shape of the arrival process.
+type Arrival int
+
+const (
+	// PoissonArrival draws i.i.d. exponential inter-arrival gaps: the
+	// memoryless baseline of open-loop load generators.
+	PoissonArrival Arrival = iota
+	// BurstyArrival clusters arrivals into geometric bursts (mean length
+	// BurstLen) separated by long idle gaps; offered load matches the
+	// Poisson process but variance concentrates in the bursts.
+	BurstyArrival
+	// DiurnalArrival modulates a Poisson process with a sinusoidal rate
+	// (Swing around the mean over Periods cycles of the trace): the
+	// slow-timescale load swing of user-facing fleets.
+	DiurnalArrival
+)
+
+func (a Arrival) String() string {
+	switch a {
+	case PoissonArrival:
+		return "poisson"
+	case BurstyArrival:
+		return "bursty"
+	case DiurnalArrival:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// ParseArrival parses an arrival-process name.
+func ParseArrival(s string) (Arrival, error) {
+	switch s {
+	case "poisson":
+		return PoissonArrival, nil
+	case "bursty":
+		return BurstyArrival, nil
+	case "diurnal":
+		return DiurnalArrival, nil
+	}
+	return 0, fmt.Errorf("trace: unknown arrival process %q (valid: poisson, bursty, diurnal)", s)
+}
+
+// TrafficParams parameterize an open-loop traffic workload.
+type TrafficParams struct {
+	Name     string
+	Requests int
+	Arrival  Arrival
+	// Load is the offered load in requests per front-end cycle (mean
+	// arrival rate); 0.25 on a 4-cycle-burst bus is the saturation point
+	// of a single channel.
+	Load float64
+	// Users is the number of concurrent request sources; it becomes the
+	// MLP window, so more users keep more requests in flight.
+	Users      int
+	ReadFrac   float64
+	MaskedFrac float64
+	Lines      uint64
+	// HotFraction sends that fraction of accesses to 1/32 of the lines
+	// (shared hot data); 0 is uniform.
+	HotFraction float64
+	// BurstLen is the mean burst length for BurstyArrival (default 8).
+	BurstLen float64
+	// Swing is the relative rate swing for DiurnalArrival in [0,1)
+	// (default 0.6); Periods the number of full sine periods across the
+	// trace (default 2).
+	Swing   float64
+	Periods float64
+	Seed    int64
+}
+
+// Traffic builds a deterministic open-loop workload from the parameters.
+func Traffic(p TrafficParams) Workload {
+	if p.Requests <= 0 || p.Lines == 0 {
+		panic(fmt.Sprintf("trace: invalid traffic params %+v", p))
+	}
+	if p.Load <= 0 {
+		p.Load = 0.1
+	}
+	if p.Users <= 0 {
+		p.Users = 16
+	}
+	if p.BurstLen <= 0 {
+		p.BurstLen = 8
+	}
+	if p.Swing <= 0 || p.Swing >= 1 {
+		p.Swing = 0.6
+	}
+	if p.Periods <= 0 {
+		p.Periods = 2
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	meanGap := 1 / p.Load
+	reqs := make([]Request, p.Requests)
+	hotLines := p.Lines / 32
+	if hotLines == 0 {
+		hotLines = 1
+	}
+	burstLeft := 0
+	for i := range reqs {
+		var gapF float64
+		switch p.Arrival {
+		case PoissonArrival:
+			gapF = rng.ExpFloat64() * meanGap
+		case BurstyArrival:
+			if burstLeft > 0 {
+				// Inside a burst: back-to-back arrivals.
+				burstLeft--
+				gapF = 0
+			} else {
+				// Burst leader: the idle gap carries the whole burst's
+				// share of the mean, preserving offered load.
+				gapF = rng.ExpFloat64() * meanGap * p.BurstLen
+				for rng.Float64() < 1-1/p.BurstLen {
+					burstLeft++
+				}
+			}
+		case DiurnalArrival:
+			phase := 2 * math.Pi * p.Periods * float64(i) / float64(p.Requests)
+			// The sqrt(1-s^2) factor corrects Jensen's gap between mean
+			// rate and mean inter-arrival time, so the sinusoidal rate
+			// still realizes the requested offered load.
+			rate := p.Load / math.Sqrt(1-p.Swing*p.Swing) * (1 + p.Swing*math.Sin(phase))
+			gapF = rng.ExpFloat64() / rate
+		default:
+			panic(fmt.Sprintf("trace: unknown arrival %v", p.Arrival))
+		}
+		gap := uint32(gapF)
+		if gap > 100000 {
+			gap = 100000
+		}
+		var line uint64
+		if p.HotFraction > 0 && rng.Float64() < p.HotFraction {
+			line = uint64(rng.Int63n(int64(hotLines)))
+		} else {
+			line = uint64(rng.Int63n(int64(p.Lines)))
+		}
+		op := Read
+		if rng.Float64() >= p.ReadFrac {
+			op = Write
+			if rng.Float64() < p.MaskedFrac {
+				op = MaskedWrite
+			}
+		}
+		reqs[i] = Request{Op: op, Line: line, Gap: gap}
+	}
+	name := p.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%.2f", p.Arrival, p.Load)
+	}
+	return Workload{Name: name, Window: p.Users, Reqs: reqs}
+}
+
+// OfferedLoad returns a workload's mean arrival rate in requests per
+// front-end cycle (requests divided by the sum of gaps).
+func (w Workload) OfferedLoad() float64 {
+	var total uint64
+	for _, r := range w.Reqs {
+		total += uint64(r.Gap)
+	}
+	if total == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(w.Reqs)) / float64(total)
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseArrival(t *testing.T) {
+	for _, a := range []Arrival{PoissonArrival, BurstyArrival, DiurnalArrival} {
+		got, err := ParseArrival(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round-trip %v: %v, %v", a, got, err)
+		}
+	}
+	if _, err := ParseArrival("uniform"); err == nil {
+		t.Fatal("bad arrival accepted")
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	p := TrafficParams{
+		Name: "t", Requests: 2000, Arrival: PoissonArrival, Load: 0.1,
+		Users: 32, ReadFrac: 0.7, MaskedFrac: 0.2, Lines: 1 << 16, Seed: 9,
+	}
+	a, b := Traffic(p), Traffic(p)
+	if len(a.Reqs) != 2000 || a.Window != 32 {
+		t.Fatalf("shape: %d reqs window %d", len(a.Reqs), a.Window)
+	}
+	for i := range a.Reqs {
+		if a.Reqs[i] != b.Reqs[i] {
+			t.Fatalf("req %d differs: %+v vs %+v", i, a.Reqs[i], b.Reqs[i])
+		}
+	}
+}
+
+func TestTrafficOfferedLoad(t *testing.T) {
+	// Every arrival process must realize the requested offered load
+	// within sampling noise (20k requests => a few percent).
+	for _, arr := range []Arrival{PoissonArrival, BurstyArrival, DiurnalArrival} {
+		for _, load := range []float64{0.05, 0.2} {
+			wl := Traffic(TrafficParams{
+				Requests: 20000, Arrival: arr, Load: load,
+				Users: 16, ReadFrac: 0.7, Lines: 1 << 16, Seed: 7,
+			})
+			got := wl.OfferedLoad()
+			// Gap truncation to integers biases the realized rate up,
+			// noticeably at high loads where gaps are O(1) cycles.
+			if got < load*0.9 || got > load*1.6 {
+				t.Fatalf("%v at %.2f realized %.4f", arr, load, got)
+			}
+		}
+	}
+}
+
+func TestTrafficBurstyClusters(t *testing.T) {
+	p := TrafficParams{
+		Requests: 20000, Load: 0.1, Users: 16, ReadFrac: 1,
+		Lines: 1 << 16, BurstLen: 8, Seed: 3,
+	}
+	p.Arrival = BurstyArrival
+	bursty := Traffic(p)
+	p.Arrival = PoissonArrival
+	poisson := Traffic(p)
+	zeros := func(w Workload) float64 {
+		n := 0
+		for _, r := range w.Reqs {
+			if r.Gap == 0 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(w.Reqs))
+	}
+	// Mean burst length 8: ~7/8 of arrivals ride inside a burst with a
+	// zero gap; a Poisson process at mean gap 10 has far fewer.
+	if zb, zp := zeros(bursty), zeros(poisson); zb < 0.7 || zb < 2*zp {
+		t.Fatalf("bursty zero-gap frac %.3f vs poisson %.3f", zb, zp)
+	}
+}
+
+func TestTrafficDiurnalSwings(t *testing.T) {
+	wl := Traffic(TrafficParams{
+		Requests: 40000, Arrival: DiurnalArrival, Load: 0.1, Swing: 0.8,
+		Periods: 1, Users: 16, ReadFrac: 1, Lines: 1 << 16, Seed: 5,
+	})
+	// One sine period across the trace: the first half (rate rising to
+	// peak) arrives much denser than the second (trough).
+	half := len(wl.Reqs) / 2
+	var first, second uint64
+	for i, r := range wl.Reqs {
+		if i < half {
+			first += uint64(r.Gap)
+		} else {
+			second += uint64(r.Gap)
+		}
+	}
+	if float64(second)/float64(first) < 1.5 {
+		t.Fatalf("diurnal halves not skewed: first %d, second %d", first, second)
+	}
+}
+
+func TestTrafficMixAndHotspot(t *testing.T) {
+	wl := Traffic(TrafficParams{
+		Requests: 20000, Arrival: PoissonArrival, Load: 0.1, Users: 16,
+		ReadFrac: 0.6, MaskedFrac: 0.5, Lines: 1 << 16, HotFraction: 0.5, Seed: 11,
+	})
+	s := wl.Stats()
+	rf := float64(s.Reads) / float64(len(wl.Reqs))
+	if math.Abs(rf-0.6) > 0.02 {
+		t.Fatalf("read frac %.3f, want ~0.6", rf)
+	}
+	if s.MaskedWrites == 0 || s.Writes == 0 {
+		t.Fatalf("mix degenerate: %+v", s)
+	}
+	hot := 0
+	hotLines := uint64(1<<16) / 32
+	for _, r := range wl.Reqs {
+		if r.Line < hotLines {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(len(wl.Reqs)); frac < 0.45 {
+		t.Fatalf("hot fraction %.3f, want >= ~0.5", frac)
+	}
+}
+
+func TestTrafficDefaultName(t *testing.T) {
+	wl := Traffic(TrafficParams{
+		Requests: 10, Arrival: BurstyArrival, Load: 0.25, Lines: 64, ReadFrac: 1, Seed: 1,
+	})
+	if wl.Name != "bursty-0.25" {
+		t.Fatalf("default name %q", wl.Name)
+	}
+}

@@ -4,7 +4,9 @@ package pair_test
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 
 	"pair/internal/core"
 	"pair/internal/dram"
@@ -300,5 +302,34 @@ func BenchmarkMemsim(b *testing.B) {
 		if res.Cycles == 0 {
 			b.Fatal("empty run")
 		}
+	}
+}
+
+// BenchmarkSimThroughput measures simulator speed in simulated requests
+// per wall-clock second on each builtin profile — the regression gate
+// for the scheduling hot path (benchjson records the req/s metric).
+func BenchmarkSimThroughput(b *testing.B) {
+	wl := trace.Generate(trace.Params{
+		Name: "mix", Requests: 4000, Lines: 1 << 18, Pattern: trace.Random,
+		ReadFrac: 0.6, MaskedFrac: 0.3, MeanGap: 2, Window: 16, Seed: 21,
+	})
+	for _, spec := range []string{"ddr4-2400", "ddr5-4800", "lpddr5-6400"} {
+		// Underscored name: a trailing -digits segment would be eaten by
+		// benchjson's GOMAXPROCS-suffix stripper (and differ across
+		// machines that do/don't print the -N suffix).
+		b.Run(strings.ReplaceAll(spec, "-", "_"), func(b *testing.B) {
+			cfg := memsim.MustProfile(spec).Config()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res := memsim.MustRun(cfg, wl)
+				if res.Cycles == 0 {
+					b.Fatal("empty run")
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(wl.Reqs))/elapsed, "req/s")
+			}
+		})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"pair/internal/dram"
 	"pair/internal/ecc"
 	"pair/internal/faults"
+	"pair/internal/memsim"
 	"pair/internal/schemes"
 )
 
@@ -156,4 +157,24 @@ func ScenarioBySpec(spec string) (FaultScenario, error) {
 // print for -list-faults.
 func FaultSpecHelp() string {
 	return faults.ListFaultsText()
+}
+
+// MemoryProfile is a registered memory-generation profile — timing table,
+// burst length, channel geometry, refresh mode and page policy — from
+// the profile registry (internal/memsim).
+type MemoryProfile = memsim.Profile
+
+// ProfileBySpec builds a memory profile from a registry spec string,
+//
+//	name[:key=val,...]
+//
+// e.g. "ddr5-4800" or "ddr5-4800:policy=closed,channels=2".
+func ProfileBySpec(spec string) (*MemoryProfile, error) {
+	return memsim.NewProfile(spec)
+}
+
+// ProfileSpecHelp returns the full memory-profile listing the cmd
+// binaries print for -list-profiles.
+func ProfileSpecHelp() string {
+	return memsim.ListProfilesText()
 }
