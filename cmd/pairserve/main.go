@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"pair/internal/failpoint"
 	"pair/internal/fleet"
 )
 
@@ -65,9 +66,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		poll    = fs.Duration("poll", 200*time.Millisecond, "worker: idle wait between lease polls")
 		retries = fs.Int("retries", 1, "worker: extra local attempts for a shard that panics, errors, or times out")
 		shardTO = fs.Duration("shard-timeout", 0, "worker: abandon and retry a shard attempt running longer than this (0 disables)")
+		reqTO   = fs.Duration("request-timeout", fleet.DefaultRequestTimeout, "worker: per-request deadline for coordinator calls (negative disables)")
+		httpTry = fs.Int("http-retries", fleet.DefaultClientRetries, "worker: attempts per coordinator call before a transient fault is surfaced (negative means 1)")
 
 		listen       = fs.String("listen", "127.0.0.1:8080", "coordinator: listen address (port 0 picks one)")
 		checkpoint   = fs.String("checkpoint", "", "coordinator: directory for merged campaign checkpoints (standard pairsim format)")
+		journal      = fs.String("journal", "", "coordinator: directory for the crash-recovery journal; on start the journal is replayed so jobs and leases survive a kill")
 		resume       = fs.Bool("resume", false, "coordinator: load existing checkpoints at job submission; only missing shards are leased")
 		salvage      = fs.Bool("salvage", false, "coordinator: with -resume, recover intact shards from corrupted checkpoints instead of failing the submission")
 		leaseTTL     = fs.Duration("lease-ttl", fleet.DefaultLeaseTTL, "coordinator: lease deadline; unrenewed leases are re-issued after this")
@@ -78,6 +82,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	warnf := func(format string, args ...any) {
 		fmt.Fprintf(stderr, "pairserve: "+format+"\n", args...)
+	}
+	// Chaos harnesses (the CI chaos-smoke job) arm failpoints in real
+	// pairserve processes through the environment; unset, this is a no-op.
+	if err := failpoint.ArmFromEnv("PAIR_FAILPOINTS"); err != nil {
+		fmt.Fprintln(stderr, "pairserve:", err)
+		return 2
 	}
 
 	if *worker {
@@ -94,11 +104,13 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			wid = fmt.Sprintf("worker-%d", os.Getpid())
 		}
 		w := fleet.NewWorker(base, fleet.WorkerOptions{
-			ID:           wid,
-			Poll:         *poll,
-			Retries:      *retries,
-			ShardTimeout: *shardTO,
-			Warnf:        warnf,
+			ID:             wid,
+			Poll:           *poll,
+			Retries:        *retries,
+			ShardTimeout:   *shardTO,
+			RequestTimeout: *reqTO,
+			HTTPRetries:    *httpTry,
+			Warnf:          warnf,
 		})
 		fmt.Fprintf(stdout, "pairserve: worker %s polling %s\n", wid, base)
 		_ = w.Run(ctx)
@@ -110,14 +122,20 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pairserve: -salvage requires -resume")
 		return 2
 	}
-	coord := fleet.NewCoordinator(fleet.CoordinatorOptions{
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
 		CheckpointDir: *checkpoint,
+		JournalDir:    *journal,
 		Resume:        *resume,
 		Salvage:       *salvage,
 		LeaseTTL:      *leaseTTL,
 		ShardRetries:  *shardRetries,
 		Warnf:         warnf,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "pairserve:", err)
+		return 1
+	}
+	defer coord.Close()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(stderr, "pairserve:", err)
@@ -127,6 +145,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	srv := &http.Server{Handler: coord.Handler()}
 	go func() {
 		<-ctx.Done()
+		// Close first: it releases open SSE streams, so Shutdown drains
+		// promptly instead of riding out its timeout against watchers.
+		coord.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)

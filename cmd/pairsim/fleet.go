@@ -39,7 +39,14 @@ func runFleetExperiments(ctx context.Context, base string, ids []string, schemeL
 		return 2
 	}
 
-	client := fleet.NewClient(base, nil)
+	// The default client options carry the transient-fault layer: dial
+	// and per-request timeouts plus retry-with-backoff, so a coordinator
+	// restart mid-submit surfaces as warnings here, not a dead run.
+	client := fleet.NewClientWith(base, fleet.ClientOptions{
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "pairsim: "+format+"\n", args...)
+		},
+	})
 	jobID, err := client.Submit(ctx, fleet.JobSpec{
 		Namespace: "f13",
 		Schemes:   schemeSpecs,

@@ -15,7 +15,11 @@ import (
 // -fleet CLI tests, returning the coordinator's base URL.
 func startTestFleet(t *testing.T, workers int) string {
 	t.Helper()
-	coord := fleet.NewCoordinator(fleet.CoordinatorOptions{})
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	t.Cleanup(coord.Close)
 	srv := httptest.NewServer(coord.Handler())
 	t.Cleanup(srv.Close)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pair/internal/failpoint"
+)
+
+// WAL failpoint names, following the checkpoint I/O convention: an
+// error action makes the guarded syscall fail without touching disk.
+const (
+	FailpointWALAppend = "campaign/wal/append"
+	FailpointWALSync   = "campaign/wal/sync"
+)
+
+// WAL is a fsync-correct append-only log of JSON records, the durable
+// complement to the Checkpoint's rewrite-and-rename files: where a
+// checkpoint persists a campaign's *results*, a WAL persists an ordered
+// history of *state transitions* (the fleet coordinator journals job
+// and lease lifecycle events through one). Each Append writes a single
+// line and fsyncs before returning, so a crash at any instant loses at
+// most the record being written — and a torn tail is detected and
+// truncated on the next Open, never mistaken for a valid record.
+type WAL struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	closed bool
+}
+
+// OpenWAL opens (creating if absent) the log at path and returns the
+// intact records already on disk, in append order. Recovery rules:
+//
+//   - A torn tail — a final line that is incomplete or not valid JSON,
+//     exactly what a crash mid-Append leaves — is dropped and truncated
+//     away so subsequent appends start on a clean boundary.
+//   - A corrupt record *followed by* intact ones cannot have been
+//     produced by the append discipline; that is real corruption and
+//     OpenWAL rejects the whole log rather than silently replaying a
+//     history with a hole in the middle.
+func OpenWAL(path string) (*WAL, []json.RawMessage, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("wal %s: %w", path, err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("wal %s: read: %w", path, err)
+	}
+	recs, validLen, err := ParseWAL(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal %s: %w", path, err)
+	}
+	if validLen < int64(len(raw)) {
+		// Torn tail from a crash mid-append: truncate so the next
+		// record starts on a line boundary.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal %s: truncating torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal %s: %w", path, err)
+	}
+	return &WAL{path: path, f: f}, recs, nil
+}
+
+// ParseWAL splits raw log bytes into intact records, returning the
+// records, the byte length of the valid prefix, and an error for
+// mid-log corruption (an invalid record with valid records after it).
+// A trailing torn record is not an error; it is simply excluded from
+// the valid prefix. Exported so the fuzz target can drive the exact
+// replay-or-reject surface OpenWAL uses.
+func ParseWAL(raw []byte) (recs []json.RawMessage, validLen int64, err error) {
+	off := int64(0)
+	torn := int64(-1) // offset of the first invalid line, -1 if none
+	for len(raw) > 0 {
+		line := raw
+		rest := []byte(nil)
+		terminated := false
+		if i := bytes.IndexByte(raw, '\n'); i >= 0 {
+			line, rest, terminated = raw[:i], raw[i+1:], true
+		}
+		lineLen := int64(len(line))
+		if terminated {
+			lineLen++
+		}
+		ok := terminated && len(bytes.TrimSpace(line)) > 0 && json.Valid(line)
+		switch {
+		case ok && torn >= 0:
+			return nil, 0, fmt.Errorf("corrupt record at byte %d followed by intact records: log is damaged, not torn", torn)
+		case ok:
+			recs = append(recs, json.RawMessage(append([]byte(nil), line...)))
+			off += lineLen
+		case torn < 0:
+			torn = off
+			off += lineLen
+		default:
+			off += lineLen
+		}
+		raw = rest
+	}
+	if torn >= 0 {
+		return recs, torn, nil
+	}
+	return recs, off, nil
+}
+
+// Append marshals rec, writes it as one line and fsyncs. The write and
+// the sync are separately failpointed (FailpointWALAppend,
+// FailpointWALSync) so tests can model a record lost before it reached
+// the disk. Append on a closed WAL is a silent no-op — the hook chaos
+// tests use to model a killed process whose in-flight handlers must
+// not write into a successor's log.
+func (w *WAL) Append(rec any) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal %s: marshal: %w", w.path, err)
+	}
+	buf = append(buf, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	if err := failpoint.Hit(FailpointWALAppend); err != nil {
+		return fmt.Errorf("wal %s: append: %w", w.path, err)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("wal %s: append: %w", w.path, err)
+	}
+	if err := failpoint.Hit(FailpointWALSync); err != nil {
+		return fmt.Errorf("wal %s: sync: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal %s: sync: %w", w.path, err)
+	}
+	return nil
+}
+
+// Close stops all future appends and closes the file. Safe to call
+// more than once.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Abandon stops all future appends without flushing or closing cleanly
+// — the in-process stand-in for the process dying with the file handle
+// open. The OS keeps whatever Append already pushed through; records
+// in flight when Abandon lands are lost, exactly like a kill.
+func (w *WAL) Abandon() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }

@@ -8,9 +8,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"pair/internal/campaign"
+	"pair/internal/failpoint"
 )
 
 // ErrLeaseGone marks a renewal or completion whose lease the
@@ -18,27 +24,113 @@ import (
 // re-issued, the job was cancelled, or the shard already finished.
 var ErrLeaseGone = errors.New("fleet: lease gone")
 
-// Client talks to a coordinator. The zero HTTP client is replaced by
-// http.DefaultClient.
+// Client-side fault-tolerance defaults. Every coordinator endpoint is a
+// quick state transition, so a request that has not answered within
+// DefaultRequestTimeout is treated as lost and retried — except the SSE
+// stream, which is long-lived by design and only bounded by the dial
+// and response-header timeouts.
+const (
+	// DefaultDialTimeout bounds establishing a TCP connection.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultRequestTimeout bounds one whole request/response exchange
+	// (not the SSE stream).
+	DefaultRequestTimeout = 10 * time.Second
+	// DefaultClientRetries is the attempt budget for retryable requests:
+	// one initial try plus three retries.
+	DefaultClientRetries = 4
+	// DefaultRetryBase and DefaultRetryMax bound the jittered
+	// exponential backoff between retries. Network-scale values — an
+	// order above the checkpoint I/O backoff — because the usual cause
+	// is a coordinator restarting or a congested path, not a busy disk.
+	DefaultRetryBase = 100 * time.Millisecond
+	DefaultRetryMax  = 2 * time.Second
+)
+
+// ClientOptions tunes the client's transient-fault layer. The zero
+// value gives sane production behavior (timeouts on by default — a dead
+// coordinator must never hang a caller forever).
+type ClientOptions struct {
+	// HTTP overrides the transport. nil builds a client with
+	// DefaultDialTimeout / DefaultRequestTimeout wired into the
+	// transport — unlike http.DefaultClient, which never times out.
+	HTTP *http.Client
+	// Timeout caps one request/response exchange, applied per request
+	// via context so the long-lived Watch stream is exempt. 0 means
+	// DefaultRequestTimeout; negative disables the cap.
+	Timeout time.Duration
+	// Retries is the attempt budget for retryable requests (transport
+	// errors, 5xx, 429). 0 means DefaultClientRetries; negative means a
+	// single attempt. Submit is never retried: it is not idempotent, and
+	// a retry racing a slow first attempt could register the job twice.
+	Retries int
+	// RetryBase and RetryMax bound the backoff between attempts
+	// (exponential with full jitter, campaign.Backoff's schedule).
+	// 0 means the defaults above.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Warnf, when non-nil, receives a line per retried request and per
+	// Watch reconnect.
+	Warnf func(format string, args ...any)
+}
+
+// Client talks to a coordinator, absorbing transient faults: requests
+// time out instead of hanging, retryable failures (transport errors,
+// 5xx, 429) are retried with jittered exponential backoff, and the SSE
+// watch reconnects after drops, deduplicating replayed events.
 type Client struct {
 	base string
 	hc   *http.Client
+	opts ClientOptions
 }
 
 // NewClient returns a client for the coordinator at base (e.g.
-// "http://127.0.0.1:8080"). hc may be nil.
+// "http://127.0.0.1:8080") with default fault tolerance. hc may be nil.
 func NewClient(base string, hc *http.Client) *Client {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return NewClientWith(base, ClientOptions{HTTP: hc})
 }
 
-// Submit registers a job and returns its ID.
+// NewClientWith returns a client with explicit fault-layer tuning.
+func NewClientWith(base string, opts ClientOptions) *Client {
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultRequestTimeout
+	}
+	if opts.Retries == 0 {
+		opts.Retries = DefaultClientRetries
+	}
+	if opts.Retries < 1 {
+		opts.Retries = 1
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = DefaultRetryBase
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = DefaultRetryMax
+	}
+	hc := opts.HTTP
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: DefaultDialTimeout}).DialContext,
+			ResponseHeaderTimeout: DefaultRequestTimeout,
+			MaxIdleConnsPerHost:   4,
+		}}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, opts: opts}
+}
+
+// Submit registers a job and returns its ID. Submit is the one call the
+// client never retries: registration is not idempotent, and the caller
+// cannot tell a lost request from a lost response.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (string, error) {
-	var st JobStatus
-	if err := c.do(ctx, http.MethodPost, "/api/jobs", spec, &st); err != nil {
+	body, status, err := c.roundTrip(ctx, http.MethodPost, "/api/jobs", spec)
+	if err != nil {
 		return "", err
+	}
+	if status != http.StatusCreated {
+		return "", apiError(status, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return "", fmt.Errorf("fleet: decoding submit response: %w", err)
 	}
 	return st.ID, nil
 }
@@ -68,10 +160,12 @@ func (c *Client) Result(ctx context.Context, id string) (*JobResult, error) {
 }
 
 // Lease asks for one shard of work; nil without error when the
-// coordinator has nothing to hand out right now.
+// coordinator has nothing to hand out right now. Retrying a lost lease
+// response is safe: the orphaned grant simply expires and is re-issued,
+// and recomputation is byte-identical.
 func (c *Client) Lease(ctx context.Context, worker string) (*Lease, error) {
 	req := map[string]string{"worker": worker}
-	body, status, err := c.roundTrip(ctx, http.MethodPost, "/api/lease", req)
+	body, status, err := c.retryRoundTrip(ctx, http.MethodPost, "/api/lease", req)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +185,7 @@ func (c *Client) Lease(ctx context.Context, worker string) (*Lease, error) {
 // Renew extends a lease's deadline; ErrLeaseGone when the coordinator
 // re-issued or retired it.
 func (c *Client) Renew(ctx context.Context, leaseID string) error {
-	body, status, err := c.roundTrip(ctx, http.MethodPost, "/api/lease/"+leaseID+"/renew", struct{}{})
+	body, status, err := c.retryRoundTrip(ctx, http.MethodPost, "/api/lease/"+leaseID+"/renew", struct{}{})
 	if err != nil {
 		return err
 	}
@@ -105,7 +199,8 @@ func (c *Client) Renew(ctx context.Context, leaseID string) error {
 	}
 }
 
-// Complete reports a leased shard's outcome.
+// Complete reports a leased shard's outcome. Retrying a lost response
+// is safe: the coordinator dedups completions by shard index.
 func (c *Client) Complete(ctx context.Context, leaseID string, req CompleteRequest) (*CompleteResponse, error) {
 	res := &CompleteResponse{}
 	if err := c.do(ctx, http.MethodPost, "/api/lease/"+leaseID+"/complete", req, res); err != nil {
@@ -115,15 +210,62 @@ func (c *Client) Complete(ctx context.Context, leaseID string, req CompleteReque
 }
 
 // Watch follows a job's SSE stream, invoking onEvent for each event,
-// until the stream delivers the terminal "done" event, the context is
-// cancelled, or the connection drops (returned as an error; the caller
-// may reconnect or fall back to polling).
+// until the stream delivers the terminal "done" event or ctx is
+// cancelled. A dropped connection — including a coordinator restart —
+// is reconnected with jittered backoff for as long as ctx lives, and
+// events the previous connection already delivered are deduplicated by
+// their SSE ids (strictly increasing across coordinator restarts;
+// "done" is always delivered). Only a permanent coordinator answer
+// (4xx, e.g. a restarted coordinator without a journal that no longer
+// knows the job) makes Watch return an error.
 func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) error {
+	var lastID uint64
+	delay := c.opts.RetryBase
+	var jitter *rand.Rand
+	for {
+		err := c.watchOnce(ctx, id, &lastID, onEvent)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		c.warnf("fleet: event stream for job %s dropped (%v); reconnecting", id, err)
+		if jitter == nil {
+			jitter = rand.New(rand.NewSource(campaign.ShardSeed(int64(c.opts.Retries), "watch/"+id, 0)))
+		}
+		if !sleepCtx(ctx, jitterDelay(jitter, delay)) {
+			return ctx.Err()
+		}
+		delay = nextDelay(delay, c.opts.RetryMax)
+	}
+}
+
+// permanentError wraps a coordinator answer that retrying cannot
+// change.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// watchOnce follows one SSE connection. *lastID carries the dedup
+// watermark across reconnects: events at or below it were already
+// delivered by a previous connection and are suppressed, except "done",
+// which must always reach the caller (a terminal snapshot re-sent after
+// a reconnect may reuse the job's final event id).
+func (c *Client) watchOnce(ctx context.Context, id string, lastID *uint64, onEvent func(Event)) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/jobs/"+id+"/events", nil)
 	if err != nil {
-		return err
+		return &permanentError{err}
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if err := failpoint.Hit(FailpointClientRequest); err != nil {
+		return fmt.Errorf("fleet: injected client fault: %w", err)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -131,7 +273,11 @@ func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) erro
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return apiError(resp.StatusCode, body)
+		err := apiError(resp.StatusCode, body)
+		if retryableStatus(resp.StatusCode) {
+			return err
+		}
+		return &permanentError{err}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
@@ -141,7 +287,11 @@ func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) erro
 		switch {
 		case line == "":
 			if ev.Name != "" || len(ev.Data) > 0 {
-				if onEvent != nil {
+				replay := ev.ID > 0 && ev.ID <= *lastID
+				if ev.ID > *lastID {
+					*lastID = ev.ID
+				}
+				if onEvent != nil && (!replay || ev.Name == "done") {
 					onEvent(ev)
 				}
 				if ev.Name == "done" {
@@ -149,6 +299,10 @@ func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) erro
 				}
 			}
 			ev = Event{}
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64); err == nil {
+				ev.ID = n
+			}
 		case strings.HasPrefix(line, "event: "):
 			ev.Name = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -164,8 +318,9 @@ func (c *Client) Watch(ctx context.Context, id string, onEvent func(Event)) erro
 // Wait blocks until the job reaches a terminal state and returns its
 // result. Progress lines (the campaign.Snapshot one-liner prefixed with
 // "progress: ", exactly like a local run's reporter) are written to
-// progress when non-nil. SSE is the primary transport; if the stream
-// drops, Wait falls back to polling Status once a second.
+// progress when non-nil. SSE is the primary transport (reconnecting
+// across drops and coordinator restarts); if the stream fails
+// permanently, Wait falls back to polling Status once a second.
 func (c *Client) Wait(ctx context.Context, id string, progress io.Writer) (*JobResult, error) {
 	emit := func(line string) {
 		if progress != nil {
@@ -181,7 +336,7 @@ func (c *Client) Wait(ctx context.Context, id string, progress io.Writer) (*JobR
 		}
 	})
 	if err != nil && ctx.Err() == nil {
-		// Stream dropped mid-job: poll until terminal.
+		// Stream failed permanently: poll until terminal.
 		for {
 			st, serr := c.Status(ctx, id)
 			if serr != nil {
@@ -204,9 +359,10 @@ func (c *Client) Wait(ctx context.Context, id string, progress io.Writer) (*JobR
 	return c.Result(ctx, id)
 }
 
-// do round-trips a JSON request and decodes a 2xx response into out.
+// do round-trips a JSON request with retries and decodes a 2xx response
+// into out.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	body, status, err := c.roundTrip(ctx, method, path, in)
+	body, status, err := c.retryRoundTrip(ctx, method, path, in)
 	if err != nil {
 		return err
 	}
@@ -222,7 +378,76 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
+// retryableStatus classifies coordinator answers: 5xx and 429 are
+// transient (a restarting coordinator, a journal hiccup answered 503, a
+// throttle); every other status is an answer, not a fault.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// retryRoundTrip retries transport errors and retryable statuses with
+// jittered exponential backoff (campaign.Backoff's schedule: full
+// jitter over a doubling floor, seeded from the request path so tests
+// are reproducible). On budget exhaustion the last HTTP answer is
+// returned for the caller to classify; a final transport error is
+// returned as such.
+func (c *Client) retryRoundTrip(ctx context.Context, method, path string, in any) ([]byte, int, error) {
+	delay := c.opts.RetryBase
+	var jitter *rand.Rand
+	for attempt := 1; ; attempt++ {
+		body, status, err := c.roundTrip(ctx, method, path, in)
+		if err == nil && !retryableStatus(status) {
+			return body, status, nil
+		}
+		last := attempt >= c.opts.Retries || ctx.Err() != nil
+		if last {
+			if err != nil {
+				return nil, 0, err
+			}
+			return body, status, nil
+		}
+		if err != nil {
+			c.warnf("fleet: %s %s failed (attempt %d/%d): %v", method, path, attempt, c.opts.Retries, err)
+		} else {
+			c.warnf("fleet: %s %s answered %d (attempt %d/%d); retrying", method, path, status, attempt, c.opts.Retries)
+		}
+		if jitter == nil {
+			jitter = rand.New(rand.NewSource(campaign.ShardSeed(int64(c.opts.Retries), method+" "+path, 0)))
+		}
+		if !sleepCtx(ctx, jitterDelay(jitter, delay)) {
+			if err == nil {
+				err = ctx.Err()
+			}
+			return nil, 0, err
+		}
+		delay = nextDelay(delay, c.opts.RetryMax)
+	}
+}
+
+// jitterDelay draws from [delay/2, delay): full jitter over the
+// exponential floor, so synchronized clients decorrelate.
+func jitterDelay(jitter *rand.Rand, delay time.Duration) time.Duration {
+	return delay/2 + time.Duration(jitter.Int63n(int64(delay/2)+1))
+}
+
+func nextDelay(delay, max time.Duration) time.Duration {
+	if delay < max {
+		delay *= 2
+		if delay > max {
+			delay = max
+		}
+	}
+	return delay
+}
+
+// roundTrip performs one request/response exchange, bounded by the
+// client's per-request timeout (the Watch stream bypasses this path).
 func (c *Client) roundTrip(ctx context.Context, method, path string, in any) ([]byte, int, error) {
+	if c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -238,6 +463,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in any) ([]
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if err := failpoint.Hit(FailpointClientRequest); err != nil {
+		return nil, 0, fmt.Errorf("fleet: injected client fault: %w", err)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -248,6 +476,12 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in any) ([]
 		return nil, 0, err
 	}
 	return body, resp.StatusCode, nil
+}
+
+func (c *Client) warnf(format string, args ...any) {
+	if c.opts.Warnf != nil {
+		c.opts.Warnf(format, args...)
+	}
 }
 
 // apiError surfaces the coordinator's {"error": ...} body.

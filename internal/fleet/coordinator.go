@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -10,10 +11,16 @@ import (
 	"time"
 
 	"pair/internal/campaign"
+	"pair/internal/failpoint"
 	"pair/internal/faults"
 	"pair/internal/reliability"
 	"pair/internal/schemes"
 )
+
+// errJournalUnavailable marks a state transition refused because its
+// journal record could not be made durable; handlers answer 503 so the
+// client retry layer tries again instead of treating it as permanent.
+var errJournalUnavailable = errors.New("fleet: journal unavailable")
 
 // DefaultLeaseTTL is the lease deadline granted when CoordinatorOptions
 // leaves LeaseTTL zero. Workers renew at a third of the TTL, so the
@@ -33,6 +40,20 @@ type CoordinatorOptions struct {
 	// byte-identical to a local run's, so `pairsim -resume` picks a
 	// fleet run up. Empty merges in memory only.
 	CheckpointDir string
+	// JournalDir, when non-empty, makes the coordinator crash-safe: an
+	// append-only WAL under this directory records every job and lease
+	// state transition (fsynced before the transition is acknowledged),
+	// and NewCoordinator replays it — together with the CheckpointDir
+	// fragments — to rebuild the exact job/lease/generation state of
+	// the previous incarnation. Submitted jobs, granted leases and
+	// merged shards survive a coordinator kill; workers holding
+	// pre-crash leases keep renewing and completing against the
+	// restarted coordinator as if nothing happened. Pair it with
+	// CheckpointDir: the journal is the control state, the checkpoint
+	// holds the results (a journaled completion whose fragment never
+	// reached the checkpoint is re-issued on replay, which is safe
+	// because recomputation is byte-identical).
+	JournalDir string
 	// Resume loads existing checkpoints at job submission and re-issues
 	// only the missing shards. Salvage additionally recovers what it can
 	// from corrupted checkpoints (campaign.Options semantics).
@@ -91,6 +112,7 @@ type job struct {
 	progress  *campaign.Progress
 	report    *campaign.Report
 	reissued  int
+	eventSeq  uint32 // per-job SSE sequence, scoped under the epoch
 	subs      map[chan Event]struct{}
 }
 
@@ -102,8 +124,12 @@ type job struct {
 // asks for work — which keeps the coordinator free of background
 // goroutines and timers.
 type Coordinator struct {
-	opts CoordinatorOptions
-	mux  *http.ServeMux
+	opts    CoordinatorOptions
+	handler http.Handler
+	journal *journal // nil without JournalDir
+	epoch   int      // journal incarnation; scopes SSE event ids
+	done    chan struct{}
+	closing sync.Once
 
 	mu    sync.Mutex
 	seq   int
@@ -111,8 +137,13 @@ type Coordinator struct {
 	order []*job // submission order: lease scanning and listing
 }
 
-// NewCoordinator builds a coordinator with its routes registered.
-func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+// NewCoordinator builds a coordinator with its routes registered. With
+// JournalDir set it first replays the journal of the previous
+// incarnation (plus the CheckpointDir fragments) so jobs, leases and
+// generation counters pick up exactly where the killed coordinator
+// left off; a journal it cannot fully understand is an error, never a
+// partial replay.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = DefaultLeaseTTL
 	}
@@ -122,7 +153,25 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
-	c := &Coordinator{opts: opts, jobs: map[string]*job{}}
+	c := &Coordinator{opts: opts, jobs: map[string]*job{}, epoch: 1, done: make(chan struct{})}
+	if opts.JournalDir != "" {
+		jl, recs, err := openJournal(opts.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.replay(recs); err != nil {
+			jl.close()
+			return nil, err
+		}
+		c.journal = jl
+		if err := jl.append(journalRecord{T: recEpoch, Epoch: c.epoch}); err != nil {
+			jl.close()
+			return nil, err
+		}
+		if n := len(c.order); n > 0 {
+			c.warnf("fleet: journal replayed %d job(s) (epoch %d)", n, c.epoch)
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -136,12 +185,52 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	mux.HandleFunc("POST /api/lease", c.handleLease)
 	mux.HandleFunc("POST /api/lease/{id}/renew", c.handleRenew)
 	mux.HandleFunc("POST /api/lease/{id}/complete", c.handleComplete)
-	c.mux = mux
-	return c
+	c.handler = faultInjectingHandler(mux)
+	return c, nil
 }
 
 // Handler returns the coordinator's HTTP handler.
-func (c *Coordinator) Handler() http.Handler { return c.mux }
+func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// Close shuts the coordinator down gracefully: streaming subscribers
+// are released (their handlers return, so an http.Server.Shutdown does
+// not hang on open SSE connections) and the journal is flushed and
+// closed. Safe to call more than once; the coordinator must not serve
+// requests afterwards.
+func (c *Coordinator) Close() {
+	c.closing.Do(func() { close(c.done) })
+	c.journal.close()
+}
+
+// Abandon simulates the coordinator dying without any shutdown: the
+// journal stops accepting appends mid-flight (nothing is flushed or
+// finalized) and streaming subscribers are cut. Chaos tests call this
+// after killing the listener so a dead incarnation's in-flight
+// handlers cannot write into the journal its successor has reopened —
+// the in-process equivalent of the OS reclaiming a killed process's
+// file descriptors.
+func (c *Coordinator) Abandon() {
+	c.closing.Do(func() { close(c.done) })
+	c.journal.abandon()
+}
+
+// faultInjectingHandler evaluates the coordinator-side request
+// failpoints: FailpointCoordRequest turns into a 500 (or a stall, for
+// delay actions), FailpointCoordDrop aborts the connection without a
+// response. Disarmed — the production state — both are single atomic
+// loads.
+func faultInjectingHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := failpoint.Hit(FailpointCoordRequest); err != nil {
+			httpError(w, http.StatusInternalServerError, "injected coordinator fault: %v", err)
+			return
+		}
+		if err := failpoint.Hit(FailpointCoordDrop); err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
 
 func (c *Coordinator) warnf(format string, args ...any) {
 	if c.opts.Warnf != nil {
@@ -157,6 +246,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := c.addJob(spec)
+	if errors.Is(err, errJournalUnavailable) {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -167,10 +260,38 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, st)
 }
 
-// addJob validates and expands a job spec. Campaigns are ordered
-// scenario-outer, scheme-inner — the same order pairsim's f13 runs them
-// locally — so a fleet with one worker executes the identical schedule.
+// addJob validates, expands and registers a job spec: buildJob, then
+// checkpoint reconciliation, then the durable submission record. A job
+// whose record cannot be journaled is not registered at all — the
+// caller sees 503 and may retry — so the journal never lags the
+// in-memory job table.
 func (c *Coordinator) addJob(spec JobSpec) (*job, error) {
+	j, err := c.buildJob(spec, c.opts.Resume, c.opts.Salvage)
+	if err != nil {
+		return nil, err
+	}
+	c.reconcile(j) // checkpoint-resumed shards are done on arrival
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	j.id = "j" + strconv.Itoa(c.seq)
+	if err := c.journal.append(journalRecord{T: recJob, Job: j.id, Spec: &spec}); err != nil {
+		c.warnf("fleet: journaling job submission: %v", err)
+		return nil, fmt.Errorf("%w: %v", errJournalUnavailable, err)
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j)
+	c.finalizeLocked(j) // a fully resumed job is done on arrival
+	return j, nil
+}
+
+// buildJob expands a job spec into campaigns with all-pending slots.
+// Campaigns are ordered scenario-outer, scheme-inner — the same order
+// pairsim's f13 runs them locally — so a fleet with one worker executes
+// the identical schedule. Shard states are settled afterwards by
+// reconcile (both the submit path and journal replay go through it).
+func (c *Coordinator) buildJob(spec JobSpec, resume, salvage bool) (*job, error) {
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("fleet: job needs a positive trial count, got %d", spec.Trials)
 	}
@@ -195,8 +316,8 @@ func (c *Coordinator) addJob(spec JobSpec) (*job, error) {
 	}
 	opts := campaign.Options{
 		Namespace: spec.Namespace,
-		Resume:    c.opts.Resume,
-		Salvage:   c.opts.Salvage,
+		Resume:    resume,
+		Salvage:   salvage,
 		Report:    j.report,
 		Warnf:     c.opts.Warnf,
 	}
@@ -221,24 +342,9 @@ func (c *Coordinator) addJob(spec JobSpec) (*job, error) {
 				slots:        make([]slot, m.NumShards()),
 			}
 			j.progress.AddCampaign(m.NumShards(), spec.Trials)
-			for i := range jc.slots {
-				if m.Done(i) {
-					jc.slots[i].state = slotDone
-					jc.done++
-					j.progress.ShardResumed(m.Spec().Shard(i).Trials)
-				}
-			}
 			j.campaigns = append(j.campaigns, jc)
 		}
 	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.seq++
-	j.id = "j" + strconv.Itoa(c.seq)
-	c.jobs[j.id] = j
-	c.order = append(c.order, j)
-	c.finalizeLocked(j) // a fully resumed job is done on arrival
 	return j, nil
 }
 
@@ -274,6 +380,14 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 					j.reissued++
 					j.progress.ShardRetried()
 					j.report.AddShardRetry()
+					// Best-effort: a lost expiry record replays the slot as
+					// leased, and the restarted coordinator simply expires it
+					// again on the next lease scan.
+					if err := c.journal.append(journalRecord{
+						T: recExpire, Job: j.id, Campaign: ci, Shard: si, Gen: s.gen,
+					}); err != nil {
+						c.warnf("fleet: journaling lease expiry: %v", err)
+					}
 					j.report.Warningf(c.opts.Warnf,
 						"fleet: lease %s expired (worker %q); re-issuing %s shard %d",
 						leaseID(j.id, ci, si, s.gen), s.worker, jc.merge.Label(), si)
@@ -288,6 +402,20 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 				s.state = slotLeased
 				s.worker = req.Worker
 				s.deadline = now.Add(c.opts.LeaseTTL)
+				// Strict: a grant the journal does not know about would let a
+				// restarted coordinator re-issue the shard under the same
+				// generation, so an unjournaled grant is not granted at all.
+				// The generation bump is kept — the next grant of this shard
+				// must not collide with the lease this worker thinks it holds.
+				if err := c.journal.append(journalRecord{
+					T: recGrant, Job: j.id, Campaign: ci, Shard: si, Gen: s.gen,
+					Worker: req.Worker, Deadline: s.deadline,
+				}); err != nil {
+					s.state = slotPending
+					c.warnf("fleet: journaling lease grant: %v", err)
+					httpError(w, http.StatusServiceUnavailable, "%v: %v", errJournalUnavailable, err)
+					return
+				}
 				writeJSON(w, http.StatusOK, Lease{
 					ID:        leaseID(j.id, ci, si, s.gen),
 					Job:       j.id,
@@ -310,7 +438,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 // handleRenew extends a live lease's deadline.
 func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
-	j, jc, si, gen, ok := c.resolveLease(w, r)
+	j, jc, ci, si, gen, ok := c.resolveLease(w, r)
 	if !ok {
 		return
 	}
@@ -322,6 +450,13 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.deadline = c.opts.now().Add(c.opts.LeaseTTL)
+	// Best-effort: a lost renewal replays the older deadline, which at
+	// worst expires the lease early — and re-issue is always safe.
+	if err := c.journal.append(journalRecord{
+		T: recRenew, Job: j.id, Campaign: ci, Shard: si, Gen: gen, Deadline: s.deadline,
+	}); err != nil {
+		c.warnf("fleet: journaling lease renewal: %v", err)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"deadline": s.deadline})
 }
 
@@ -330,7 +465,7 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 // re-issued lease whose original holder also finished — are dropped by
 // shard index.
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
-	j, jc, si, _, ok := c.resolveLease(w, r)
+	j, jc, ci, si, gen, ok := c.resolveLease(w, r)
 	if !ok {
 		return
 	}
@@ -355,7 +490,17 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 	if req.Error != "" {
 		s.failures++
-		if s.failures >= c.opts.ShardRetries {
+		permanent := s.failures >= c.opts.ShardRetries
+		// Best-effort: a lost failure record replays a lower failure
+		// count, costing at worst one extra retry of a deterministic
+		// shard.
+		if err := c.journal.append(journalRecord{
+			T: recFail, Job: j.id, Campaign: ci, Shard: si, Gen: gen,
+			Worker: req.Worker, Failures: s.failures, Permanent: permanent, Error: req.Error,
+		}); err != nil {
+			c.warnf("fleet: journaling shard failure: %v", err)
+		}
+		if permanent {
 			s.state = slotFailed
 			jc.failed++
 			j.progress.ShardFailed(sh.Trials)
@@ -383,6 +528,23 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Validate before journaling so a malformed fragment cannot leave a
+	// "complete" record with nothing behind it; then journal strictly —
+	// the record must be durable before the fragment is merged, because
+	// the reverse order could acknowledge a merge the journal never saw.
+	// (The remaining crash window, record durable but fragment lost, is
+	// the one reconcile demotes back to pending on replay.)
+	if len(req.Fragment) == 0 || !json.Valid(req.Fragment) {
+		httpError(w, http.StatusBadRequest, "completion carries neither a valid fragment nor an error")
+		return
+	}
+	if err := c.journal.append(journalRecord{
+		T: recComplete, Job: j.id, Campaign: ci, Shard: si, Gen: gen, Worker: req.Worker,
+	}); err != nil {
+		c.warnf("fleet: journaling completion: %v", err)
+		httpError(w, http.StatusServiceUnavailable, "%v: %v", errJournalUnavailable, err)
+		return
+	}
 	fresh, err := jc.merge.Record(si, req.Fragment)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -423,6 +585,11 @@ func (c *Coordinator) finalizeLocked(j *job) {
 	} else {
 		j.state = "done"
 	}
+	// Best-effort: the terminal state is fully derivable from the slot
+	// states, so replay re-finalizes a job whose final record was lost.
+	if err := c.journal.append(journalRecord{T: recFinal, Job: j.id, State: j.state, Error: j.errMsg}); err != nil {
+		c.warnf("fleet: journaling job finalization: %v", err)
+	}
 	c.broadcastLocked(j, "done", c.statusLocked(j))
 }
 
@@ -455,6 +622,14 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	if j.state == "running" {
+		// Strict: an unjournaled cancel would resurrect the job — and
+		// hand its shards back to workers — on the next restart.
+		if err := c.journal.append(journalRecord{T: recCancel, Job: j.id, State: "cancelled"}); err != nil {
+			c.mu.Unlock()
+			c.warnf("fleet: journaling cancel: %v", err)
+			httpError(w, http.StatusServiceUnavailable, "%v: %v", errJournalUnavailable, err)
+			return
+		}
 		j.state = "cancelled"
 		c.broadcastLocked(j, "done", c.statusLocked(j))
 	}
@@ -538,6 +713,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	st := c.statusLocked(j)
 	terminal := j.state != "running"
+	snapID := c.eventID(j)
 	if !terminal {
 		j.subs[ch] = struct{}{}
 	}
@@ -551,16 +727,24 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// The opening snapshot carries the job's latest event id: a watcher
+	// reconnecting after a drop learns immediately how far the stream
+	// has advanced, and Client.Watch dedups the snapshot itself if it
+	// already delivered that state.
 	first := "progress"
 	if terminal {
 		first = "done"
 	}
-	if !writeSSE(w, fl, Event{Name: first, Data: mustJSON(st)}) || terminal {
+	if !writeSSE(w, fl, Event{Name: first, Data: mustJSON(st), ID: snapID}) || terminal {
 		return
 	}
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-c.done:
+			// Coordinator shutting down: release the stream so the HTTP
+			// server's graceful shutdown is not held open by watchers.
 			return
 		case ev := <-ch:
 			if !writeSSE(w, fl, ev) || ev.Name == "done" {
@@ -571,18 +755,30 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // broadcastLocked queues an event to every subscriber, dropping it for
-// subscribers whose queues are full.
+// subscribers whose queues are full. Every event gets the next id in
+// the job's (epoch, seq) sequence — ids keep advancing even with no
+// subscriber attached, so a watcher that reconnects after a gap can
+// tell replayed events from new ones.
 func (c *Coordinator) broadcastLocked(j *job, name string, data any) {
+	j.eventSeq++
 	if len(j.subs) == 0 {
 		return
 	}
-	ev := Event{Name: name, Data: mustJSON(data)}
+	ev := Event{Name: name, Data: mustJSON(data), ID: c.eventID(j)}
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
 		default:
 		}
 	}
+}
+
+// eventID is the SSE id of the job's latest event: the journal epoch in
+// the high 32 bits, the per-job sequence in the low. Epochs bump every
+// coordinator incarnation, so ids are strictly increasing across
+// restarts even though the sequence itself restarts at zero.
+func (c *Coordinator) eventID(j *job) uint64 {
+	return uint64(c.epoch)<<32 | uint64(j.eventSeq)
 }
 
 // statusLocked builds the wire status of a job.
@@ -629,14 +825,14 @@ func leaseID(job string, campaignIdx, shard, gen int) string {
 	return fmt.Sprintf("%s.%d.%d.%d", job, campaignIdx, shard, gen)
 }
 
-// resolveLease parses a lease ID back to its job, campaign and shard,
-// writing a 404 for IDs that never existed.
-func (c *Coordinator) resolveLease(w http.ResponseWriter, r *http.Request) (*job, *jobCampaign, int, int, bool) {
+// resolveLease parses a lease ID back to its job, campaign index, shard
+// and generation, writing a 404 for IDs that never existed.
+func (c *Coordinator) resolveLease(w http.ResponseWriter, r *http.Request) (*job, *jobCampaign, int, int, int, bool) {
 	id := r.PathValue("id")
 	parts := strings.Split(id, ".")
 	if len(parts) != 4 {
 		httpError(w, http.StatusNotFound, "malformed lease id %q", id)
-		return nil, nil, 0, 0, false
+		return nil, nil, 0, 0, 0, false
 	}
 	ci, err1 := strconv.Atoi(parts[1])
 	si, err2 := strconv.Atoi(parts[2])
@@ -647,14 +843,19 @@ func (c *Coordinator) resolveLease(w http.ResponseWriter, r *http.Request) (*job
 	if err1 != nil || err2 != nil || err3 != nil || !ok ||
 		ci < 0 || ci >= len(j.campaigns) || si < 0 || si >= len(j.campaigns[ci].slots) {
 		httpError(w, http.StatusNotFound, "no lease %q", id)
-		return nil, nil, 0, 0, false
+		return nil, nil, 0, 0, 0, false
 	}
-	return j, j.campaigns[ci], si, gen, true
+	return j, j.campaigns[ci], ci, si, gen, true
 }
 
 // writeSSE emits one event in SSE framing; false when the client went
 // away.
 func writeSSE(w http.ResponseWriter, fl http.Flusher, ev Event) bool {
+	if ev.ID > 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", ev.ID); err != nil {
+			return false
+		}
+	}
 	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data); err != nil {
 		return false
 	}

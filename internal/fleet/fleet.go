@@ -34,12 +34,43 @@ import (
 	"time"
 )
 
-// FailpointWorkerLease is hit by a worker immediately after it is
-// granted a lease, before any renewal or computation. An error action
-// makes the worker abandon the lease silently — from the coordinator's
-// view the worker died mid-shard, exercising lease expiry and re-issue;
-// a panic action models the same crash non-gracefully.
-const FailpointWorkerLease = "fleet/worker/lease"
+// Failpoint names the fleet evaluates, exported so chaos tests (and
+// operators reproducing a defect, via failpoint.ArmFromEnv) can arm
+// them by name. Disarmed they are zero-cost no-ops.
+const (
+	// FailpointWorkerLease is hit by a worker immediately after it is
+	// granted a lease, before any renewal or computation. An error
+	// action makes the worker abandon the lease silently — from the
+	// coordinator's view the worker died mid-shard, exercising lease
+	// expiry and re-issue; a panic action models the same crash
+	// non-gracefully.
+	FailpointWorkerLease = "fleet/worker/lease"
+
+	// FailpointJournalAppend guards every coordinator journal append.
+	// An error action loses the record (the append fails before any
+	// bytes reach the WAL); an exit action kills the process at the
+	// append boundary, the chaos suite's stand-in for SIGKILL
+	// before/after a journaled state transition (combine with Skip to
+	// pick the exact record).
+	FailpointJournalAppend = "fleet/journal/append"
+
+	// FailpointCoordRequest is hit at the top of every coordinator
+	// HTTP handler: an error action answers 500 (a transient server
+	// fault the client retry layer must absorb), a delay action models
+	// a slow coordinator for client-timeout tests.
+	FailpointCoordRequest = "fleet/coord/request"
+
+	// FailpointCoordDrop is hit right after FailpointCoordRequest: an
+	// error action aborts the connection without writing any response,
+	// modeling a request dropped on the wire.
+	FailpointCoordDrop = "fleet/coord/drop"
+
+	// FailpointClientRequest is hit before every client HTTP round
+	// trip: an error action stands in for a network failure (the
+	// request never reaches the coordinator), a delay action models a
+	// congested path.
+	FailpointClientRequest = "fleet/client/request"
+)
 
 // JobSpec is the submission wire format: the campaign matrix to run.
 // Scheme and scenario specs are shipped as strings and rebuilt against
@@ -160,8 +191,14 @@ type JobResult struct {
 }
 
 // Event is one SSE payload. Name is the SSE event field ("progress",
-// "shard", "warning", "done"); Data is the JSON data field.
+// "shard", "warning", "done"); Data is the JSON data field. ID, when
+// nonzero, is the SSE id field: a per-job sequence scoped under the
+// coordinator's journal epoch (epoch<<32 | seq), strictly increasing
+// across coordinator restarts, so a reconnecting watcher can drop
+// events it has already delivered (Client.Watch does exactly that;
+// "done" events are always delivered regardless).
 type Event struct {
 	Name string
 	Data json.RawMessage
+	ID   uint64
 }

@@ -79,7 +79,11 @@ func runLocalGolden(t *testing.T, dir string) map[string][4]int64 {
 // polling it, returning a client and the coordinator's base URL.
 func startFleet(t *testing.T, opts CoordinatorOptions, n int) *Client {
 	t.Helper()
-	coord := NewCoordinator(opts)
+	coord, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	t.Cleanup(coord.Close)
 	srv := httptest.NewServer(coord.Handler())
 	t.Cleanup(srv.Close)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"pair/internal/campaign"
+	"pair/internal/failpoint"
+)
+
+// JournalFile is the WAL file name inside a coordinator's -journal
+// directory.
+const JournalFile = "coordinator.wal"
+
+// Journal record types. Each HTTP-visible state transition of the
+// coordinator appends exactly one record; replay folds them back, in
+// order, onto jobs rebuilt from the journaled specs.
+const (
+	recEpoch    = "epoch"    // one per coordinator incarnation
+	recJob      = "job"      // job submission (carries the full spec)
+	recGrant    = "grant"    // lease granted (or re-issued: gen bumps)
+	recRenew    = "renew"    // lease deadline extended
+	recExpire   = "expire"   // lease reclaimed after a missed deadline
+	recComplete = "complete" // fresh fragment merged (the fragment itself lives in CheckpointDir)
+	recFail     = "fail"     // worker-reported shard failure (Permanent: budget exhausted)
+	recCancel   = "cancel"   // job cancelled
+	recFinal    = "final"    // job reached a terminal state
+)
+
+// journalRecord is the on-disk journal record. One struct covers every
+// type; irrelevant fields stay at their zero values and are omitted.
+type journalRecord struct {
+	T string `json:"t"`
+
+	// recEpoch
+	Epoch int `json:"epoch,omitempty"`
+
+	// recJob, and the job every lease-scoped record belongs to.
+	Job  string   `json:"job,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
+
+	// Lease-scoped records (grant/renew/expire/complete/fail).
+	Campaign int       `json:"campaign,omitempty"` // campaign index within the job
+	Shard    int       `json:"shard,omitempty"`
+	Gen      int       `json:"gen,omitempty"`
+	Worker   string    `json:"worker,omitempty"`
+	Deadline time.Time `json:"deadline,omitempty"`
+
+	// recFail
+	Failures  int  `json:"failures,omitempty"`
+	Permanent bool `json:"permanent,omitempty"`
+
+	// recFinal / recCancel
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// journal wraps the campaign WAL with the fleet failpoint and a nil-
+// receiver no-op so coordinator code can journal unconditionally.
+type journal struct {
+	wal *campaign.WAL
+}
+
+// append journals one record durably (write + fsync before returning).
+// A nil journal (coordinator without -journal) accepts everything.
+func (jl *journal) append(rec journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	if err := failpoint.Hit(FailpointJournalAppend); err != nil {
+		return fmt.Errorf("fleet: journal: %w", err)
+	}
+	return jl.wal.Append(rec)
+}
+
+func (jl *journal) close() {
+	if jl != nil {
+		jl.wal.Close()
+	}
+}
+
+func (jl *journal) abandon() {
+	if jl != nil {
+		jl.wal.Abandon()
+	}
+}
+
+// openJournal opens (or creates) the journal under dir and returns the
+// parsed records of previous incarnations. A torn tail — a record cut
+// short by a crash mid-append — is dropped and truncated by the WAL
+// layer; mid-log corruption rejects the whole journal.
+func openJournal(dir string) (*journal, []journalRecord, error) {
+	wal, raw, err := campaign.OpenWAL(filepath.Join(dir, JournalFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := decodeJournal(raw)
+	if err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	return &journal{wal: wal}, recs, nil
+}
+
+// decodeJournal turns raw WAL records into typed journal records,
+// rejecting anything that does not decode — replay-or-reject, so a
+// coordinator never rebuilds state from a record it half-understood.
+func decodeJournal(raw []json.RawMessage) ([]journalRecord, error) {
+	recs := make([]journalRecord, 0, len(raw))
+	for i, r := range raw {
+		var rec journalRecord
+		if err := json.Unmarshal(r, &rec); err != nil {
+			return nil, fmt.Errorf("fleet: journal record %d: %w", i, err)
+		}
+		if rec.T == "" {
+			return nil, fmt.Errorf("fleet: journal record %d has no type: %s", i, r)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// replay folds journal records onto the coordinator. Jobs are rebuilt
+// from their journaled specs with checkpoint resume forced on — the
+// CheckpointDir fragments are the durable results, the journal is the
+// durable control state — then lease/completion records replay the
+// slot lifecycle, and reconcile arbitrates where the two disagree.
+// Called from NewCoordinator before the coordinator serves anything,
+// so no locking.
+func (c *Coordinator) replay(recs []journalRecord) error {
+	maxEpoch := 0
+	for i, rec := range recs {
+		switch rec.T {
+		case recEpoch:
+			if rec.Epoch > maxEpoch {
+				maxEpoch = rec.Epoch
+			}
+		case recJob:
+			if rec.Spec == nil || rec.Job == "" {
+				return fmt.Errorf("fleet: journal record %d: job record lacks id or spec", i)
+			}
+			if _, dup := c.jobs[rec.Job]; dup {
+				return fmt.Errorf("fleet: journal record %d: duplicate job %s", i, rec.Job)
+			}
+			j, err := c.buildJob(*rec.Spec, true, c.opts.Salvage)
+			if err != nil {
+				return fmt.Errorf("fleet: replaying job %s: %w", rec.Job, err)
+			}
+			j.id = rec.Job
+			c.jobs[j.id] = j
+			c.order = append(c.order, j)
+			if n := jobSeq(j.id); n > c.seq {
+				c.seq = n
+			}
+		case recGrant, recRenew, recExpire, recComplete, recFail:
+			j, s, err := c.replaySlot(rec)
+			if err != nil {
+				return fmt.Errorf("fleet: journal record %d: %w", i, err)
+			}
+			switch rec.T {
+			case recGrant:
+				if rec.Gen > s.gen {
+					s.gen = rec.Gen
+				}
+				if s.state == slotPending {
+					s.state = slotLeased
+				}
+				s.worker = rec.Worker
+				s.deadline = rec.Deadline
+			case recRenew:
+				if s.state == slotLeased && s.gen == rec.Gen {
+					s.deadline = rec.Deadline
+				}
+			case recExpire:
+				if s.state == slotLeased && s.gen == rec.Gen {
+					s.state = slotPending
+					j.reissued++
+				}
+			case recComplete:
+				// Tentative: reconcile demotes this back to pending if
+				// the fragment never made it to the checkpoint.
+				if s.state != slotFailed {
+					s.state = slotDone
+				}
+			case recFail:
+				if rec.Failures > s.failures {
+					s.failures = rec.Failures
+				}
+				if rec.Permanent {
+					s.state = slotFailed
+				} else if s.state == slotLeased {
+					s.state = slotPending
+				}
+			}
+		case recCancel:
+			j, ok := c.jobs[rec.Job]
+			if !ok {
+				return fmt.Errorf("fleet: journal record %d: cancel for unknown job %s", i, rec.Job)
+			}
+			j.state = "cancelled"
+		case recFinal:
+			j, ok := c.jobs[rec.Job]
+			if !ok {
+				return fmt.Errorf("fleet: journal record %d: final for unknown job %s", i, rec.Job)
+			}
+			if rec.State != "done" && rec.State != "failed" && rec.State != "cancelled" {
+				return fmt.Errorf("fleet: journal record %d: invalid terminal state %q", i, rec.State)
+			}
+			j.state = rec.State
+			j.errMsg = rec.Error
+		default:
+			return fmt.Errorf("fleet: journal record %d: unknown type %q", i, rec.T)
+		}
+	}
+	c.epoch = maxEpoch + 1
+	for _, j := range c.order {
+		c.reconcile(j)
+		// done/failed are derived states: re-derive them from the
+		// reconciled slots instead of trusting the journaled final
+		// record — a completion whose fragment was lost may have
+		// un-finished the job. Cancellation is an operator action, not
+		// derivable, so it stands as journaled.
+		if j.state == "done" || j.state == "failed" {
+			j.state = "running"
+			j.errMsg = ""
+		}
+		c.finalizeLocked(j)
+	}
+	return nil
+}
+
+// replaySlot resolves a lease-scoped record to its job and slot.
+func (c *Coordinator) replaySlot(rec journalRecord) (*job, *slot, error) {
+	j, ok := c.jobs[rec.Job]
+	if !ok {
+		return nil, nil, fmt.Errorf("%s for unknown job %s", rec.T, rec.Job)
+	}
+	if rec.Campaign < 0 || rec.Campaign >= len(j.campaigns) {
+		return nil, nil, fmt.Errorf("%s for job %s campaign %d out of range", rec.T, rec.Job, rec.Campaign)
+	}
+	jc := j.campaigns[rec.Campaign]
+	if rec.Shard < 0 || rec.Shard >= len(jc.slots) {
+		return nil, nil, fmt.Errorf("%s for job %s shard %d out of range", rec.T, rec.Job, rec.Shard)
+	}
+	return j, &jc.slots[rec.Shard], nil
+}
+
+// reconcile arbitrates between the journal's view of a job and the
+// checkpoint fragments on disk, then rebuilds the derived counters.
+// The rules make every crash window recoverable:
+//
+//   - A fragment on disk marks its shard done no matter what the
+//     journal says: results are the ground truth, and a re-derived
+//     shard would be byte-identical anyway.
+//   - A journal that says "complete" with no fragment on disk (crash
+//     between the journal append and the checkpoint write, or a
+//     coordinator journaling without a CheckpointDir) demotes the
+//     shard back to pending — the generation counter survives, so a
+//     straggler holding the pre-crash lease can still renew, and its
+//     eventual completion simply lands first.
+func (c *Coordinator) reconcile(j *job) {
+	for _, jc := range j.campaigns {
+		jc.done, jc.failed = 0, 0
+		for i := range jc.slots {
+			s := &jc.slots[i]
+			switch {
+			case jc.merge.Done(i):
+				if s.state != slotDone {
+					j.progress.ShardResumed(jc.merge.Spec().Shard(i).Trials)
+				}
+				s.state = slotDone
+			case s.state == slotDone:
+				c.warnf("fleet: journal says %s shard %d completed but no fragment is on disk; re-issuing (recomputation is byte-identical)",
+					jc.merge.Label(), i)
+				s.state = slotPending
+			case s.state == slotFailed:
+				j.progress.ShardFailed(jc.merge.Spec().Shard(i).Trials)
+			}
+			switch jc.slots[i].state {
+			case slotDone:
+				jc.done++
+			case slotFailed:
+				jc.failed++
+			}
+		}
+	}
+}
+
+// jobSeq extracts the numeric suffix of a job id ("j17" -> 17), 0 for
+// anything unparsable.
+func jobSeq(id string) int {
+	n := 0
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			return 0
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

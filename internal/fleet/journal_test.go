@@ -1,0 +1,406 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pair/internal/campaign"
+)
+
+// incarnation is one coordinator lifetime in a crash-recovery test:
+// the same journal and checkpoint directories are handed to each
+// successive incarnation, and kill() models the previous one dying
+// without ceremony.
+type incarnation struct {
+	coord  *Coordinator
+	srv    *httptest.Server
+	client *Client
+}
+
+func bootIncarnation(t *testing.T, opts CoordinatorOptions) *incarnation {
+	t.Helper()
+	coord, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	return &incarnation{coord: coord, srv: srv, client: NewClientWith(srv.URL, fastClientOptions())}
+}
+
+// kill severs every connection and abandons the journal mid-flight —
+// the in-process stand-in for SIGKILL (the OS reclaiming the dead
+// process's sockets and file descriptors).
+func (in *incarnation) kill() {
+	in.srv.Close()
+	in.coord.Abandon()
+}
+
+// shutdown is the graceful path.
+func (in *incarnation) shutdown() {
+	in.coord.Close()
+	in.srv.Close()
+}
+
+// TestJournalReplayRebuildsState is the crash-recovery core: jobs,
+// merged shards, lease generations and failure counts all survive a
+// coordinator kill, a pre-crash lease keeps working against the
+// restarted coordinator, and a duplicate completion across the restart
+// is deduplicated, never double-counted.
+func TestJournalReplayRebuildsState(t *testing.T) {
+	dir := t.TempDir()
+	opts := CoordinatorOptions{
+		CheckpointDir: filepath.Join(dir, "ckpt"),
+		JournalDir:    filepath.Join(dir, "journal"),
+		LeaseTTL:      time.Minute,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	inc1 := bootIncarnation(t, opts)
+	id, err := inc1.client.Submit(ctx, testJobSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Drive three leases into three different fates before the crash:
+	// one completed, one failed once (transiently), one still held.
+	l1, _ := inc1.client.Lease(ctx, "done-worker")
+	l2, _ := inc1.client.Lease(ctx, "flaky-worker")
+	l3, _ := inc1.client.Lease(ctx, "held-worker")
+	if l1 == nil || l2 == nil || l3 == nil {
+		t.Fatal("could not obtain three leases")
+	}
+	frag := func(l *Lease) json.RawMessage {
+		return json.RawMessage(fmt.Sprintf("[%d,0,0,0]", testShardSize))
+	}
+	if _, err := inc1.client.Complete(ctx, l1.ID, CompleteRequest{Worker: "done-worker", Fragment: frag(l1)}); err != nil {
+		t.Fatalf("complete before crash: %v", err)
+	}
+	if _, err := inc1.client.Complete(ctx, l2.ID, CompleteRequest{Worker: "flaky-worker", Error: "transient shard error"}); err != nil {
+		t.Fatalf("failure report before crash: %v", err)
+	}
+	inc1.kill()
+
+	inc2 := bootIncarnation(t, opts)
+	defer inc2.shutdown()
+	st, err := inc2.client.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st.State != "running" || st.ShardsDone != 1 || st.ShardsFailed != 0 || st.ShardsTotal != 16 {
+		t.Fatalf("replayed status = %s done=%d failed=%d total=%d, want running 1/0/16",
+			st.State, st.ShardsDone, st.ShardsFailed, st.ShardsTotal)
+	}
+
+	// The held lease survived the restart: its generation was replayed,
+	// so renewing and completing it just works.
+	if err := inc2.client.Renew(ctx, l3.ID); err != nil {
+		t.Fatalf("renewing a pre-crash lease after restart: %v", err)
+	}
+	cres, err := inc2.client.Complete(ctx, l3.ID, CompleteRequest{Worker: "held-worker", Fragment: frag(l3)})
+	if err != nil || cres.Duplicate {
+		t.Fatalf("completing a pre-crash lease after restart = %+v, %v; want accepted", cres, err)
+	}
+
+	// A straggler re-delivering the pre-crash completion is deduplicated
+	// — shards never double-complete across a restart.
+	dup, err := inc2.client.Complete(ctx, l1.ID, CompleteRequest{Worker: "done-worker", Fragment: frag(l1)})
+	if err != nil || !dup.Duplicate {
+		t.Fatalf("re-delivered completion = %+v, %v; want duplicate", dup, err)
+	}
+	st, err = inc2.client.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.ShardsDone != 2 {
+		t.Fatalf("after dedup ShardsDone = %d, want 2", st.ShardsDone)
+	}
+
+	// The transient failure count survived too: two more permanent
+	// failures (budget 3) retire the shard.
+	for i := 0; i < 2; i++ {
+		l, err := inc2.client.Lease(ctx, "flaky-worker")
+		if err != nil || l == nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		if _, err := inc2.client.Complete(ctx, l.ID, CompleteRequest{Worker: "flaky-worker", Error: "still broken"}); err != nil {
+			t.Fatalf("failure report %d: %v", i, err)
+		}
+	}
+	st, _ = inc2.client.Status(ctx, id)
+	if st.ShardsFailed != 1 {
+		t.Fatalf("ShardsFailed = %d, want 1 (pre-crash failure counted toward the budget)", st.ShardsFailed)
+	}
+}
+
+// TestJournalCompleteWithoutFragmentReissued covers the crash window
+// between the journaled completion and the fragment reaching disk: on
+// replay the shard reverts to pending (recomputation is byte-identical)
+// and the job is NOT resurrected as done.
+func TestJournalCompleteWithoutFragmentReissued(t *testing.T) {
+	dir := t.TempDir()
+	var warnMu sync.Mutex
+	var warns []string
+	opts := CoordinatorOptions{
+		// No CheckpointDir: fragments live only in memory, so a kill
+		// loses them all — the deterministic stand-in for the
+		// journal-ahead-of-checkpoint crash window.
+		JournalDir: filepath.Join(dir, "journal"),
+		LeaseTTL:   time.Minute,
+		Warnf: func(format string, args ...any) {
+			warnMu.Lock()
+			warns = append(warns, fmt.Sprintf(format, args...))
+			warnMu.Unlock()
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	inc1 := bootIncarnation(t, opts)
+	id, err := inc1.client.Submit(ctx, singleShardSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	l, _ := inc1.client.Lease(ctx, "w")
+	if l == nil {
+		t.Fatal("no lease")
+	}
+	if _, err := inc1.client.Complete(ctx, l.ID, CompleteRequest{Worker: "w", Fragment: []byte(`[30,0,0,0]`)}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if st, _ := inc1.client.Status(ctx, id); st.State != "done" {
+		t.Fatalf("pre-crash state = %q, want done", st.State)
+	}
+	inc1.kill()
+
+	inc2 := bootIncarnation(t, opts)
+	defer inc2.shutdown()
+	st, err := inc2.client.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st.State != "running" || st.ShardsDone != 0 {
+		t.Fatalf("replayed status = %s done=%d, want running 0 (fragment was lost with the process)", st.State, st.ShardsDone)
+	}
+	warnMu.Lock()
+	warned := strings.Contains(strings.Join(warns, "\n"), "no fragment is on disk")
+	warnMu.Unlock()
+	if !warned {
+		t.Errorf("reconcile did not warn about the journal/checkpoint divergence; warnings: %v", warns)
+	}
+
+	// The shard is leasable again and the job can still finish.
+	l2, err := inc2.client.Lease(ctx, "w2")
+	if err != nil || l2 == nil || l2.Shard != l.Shard {
+		t.Fatalf("post-replay lease = %+v, %v; want the reverted shard", l2, err)
+	}
+	if l2.ID == l.ID {
+		t.Errorf("re-issued lease kept the pre-crash ID %s; generations must advance", l.ID)
+	}
+	if _, err := inc2.client.Complete(ctx, l2.ID, CompleteRequest{Worker: "w2", Fragment: []byte(`[30,0,0,0]`)}); err != nil {
+		t.Fatalf("complete after replay: %v", err)
+	}
+	if st, _ := inc2.client.Status(ctx, id); st.State != "done" {
+		t.Errorf("final state = %q, want done", st.State)
+	}
+}
+
+// TestJournalExpiryAcrossRestart: a lease granted before the crash and
+// unrenewed after it expires on the restarted coordinator, is re-issued
+// under a fresh generation, and the stale holder is refused.
+func TestJournalExpiryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := CoordinatorOptions{
+		CheckpointDir: filepath.Join(dir, "ckpt"),
+		JournalDir:    filepath.Join(dir, "journal"),
+		LeaseTTL:      50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	inc1 := bootIncarnation(t, opts)
+	if _, err := inc1.client.Submit(ctx, singleShardSpec()); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	l, _ := inc1.client.Lease(ctx, "doomed")
+	if l == nil {
+		t.Fatal("no lease")
+	}
+	inc1.kill()
+
+	inc2 := bootIncarnation(t, opts)
+	defer inc2.shutdown()
+	time.Sleep(80 * time.Millisecond) // let the replayed deadline lapse
+
+	l2, err := inc2.client.Lease(ctx, "heir")
+	if err != nil || l2 == nil || l2.Shard != l.Shard {
+		t.Fatalf("post-expiry lease = %+v, %v; want the shard re-issued", l2, err)
+	}
+	if l2.ID == l.ID {
+		t.Fatalf("re-issue kept lease ID %s; the replayed generation must advance", l.ID)
+	}
+	if err := inc2.client.Renew(ctx, l.ID); !errors.Is(err, ErrLeaseGone) {
+		t.Errorf("stale renew after restart = %v, want ErrLeaseGone", err)
+	}
+}
+
+// TestJournalCancelSurvivesRestart: cancellation is journaled strictly
+// and stands after replay (it is an operator action, not derivable from
+// checkpoints).
+func TestJournalCancelSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := CoordinatorOptions{
+		JournalDir: filepath.Join(dir, "journal"),
+		LeaseTTL:   time.Minute,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	inc1 := bootIncarnation(t, opts)
+	id, err := inc1.client.Submit(ctx, testJobSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := inc1.client.Cancel(ctx, id); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	inc1.kill()
+
+	inc2 := bootIncarnation(t, opts)
+	defer inc2.shutdown()
+	st, err := inc2.client.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st.State != "cancelled" {
+		t.Fatalf("replayed state = %q, want cancelled", st.State)
+	}
+	if l, err := inc2.client.Lease(ctx, "w"); err != nil || l != nil {
+		t.Errorf("lease on a cancelled job = %+v, %v; want none", l, err)
+	}
+}
+
+// TestJournalRejectsDamage: replay-or-reject. A journal the coordinator
+// cannot fully understand fails NewCoordinator rather than rebuilding a
+// partial or speculative state.
+func TestJournalRejectsDamage(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+	}{
+		{"mid-log corruption", "GARBAGE\n" + `{"t":"epoch","epoch":1}` + "\n"},
+		{"untyped record", `{"epoch":1}` + "\n"},
+		{"unknown type", `{"t":"quorum"}` + "\n"},
+		{"lease for unknown job", `{"t":"grant","job":"j9","campaign":0,"shard":0,"gen":1}` + "\n"},
+		{"cancel for unknown job", `{"t":"cancel","job":"j9"}` + "\n"},
+		{"job without spec", `{"t":"job","job":"j1"}` + "\n"},
+		{"invalid terminal state", `{"t":"final","job":"j1","state":"perhaps"}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, JournalFile), []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewCoordinator(CoordinatorOptions{JournalDir: dir})
+			if err == nil {
+				c.Close()
+				t.Fatalf("NewCoordinator accepted a journal with %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestJournalShardOutOfRange: a lease record pointing outside the job's
+// rebuilt shard table is rejected, not clamped.
+func TestJournalShardOutOfRange(t *testing.T) {
+	spec := singleShardSpec()
+	specJSON, _ := json.Marshal(&spec)
+	dir := t.TempDir()
+	content := fmt.Sprintf("{\"t\":\"job\",\"job\":\"j1\",\"spec\":%s}\n{\"t\":\"grant\",\"job\":\"j1\",\"campaign\":0,\"shard\":7,\"gen\":1}\n", specJSON)
+	if err := os.WriteFile(filepath.Join(dir, JournalFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(CoordinatorOptions{JournalDir: dir})
+	if err == nil {
+		c.Close()
+		t.Fatal("NewCoordinator accepted a grant for a shard that does not exist")
+	}
+}
+
+// FuzzJournalReplay holds the replay-or-reject contract over arbitrary
+// journal bytes: NewCoordinator either rejects the journal or rebuilds
+// a coherent state — never a panic — and a second replay of the same
+// journal rebuilds the identical state (replay is deterministic).
+func FuzzJournalReplay(f *testing.F) {
+	spec := singleShardSpec()
+	specJSON, _ := json.Marshal(&spec)
+	jobRec := fmt.Sprintf("{\"t\":\"job\",\"job\":\"j1\",\"spec\":%s}\n", specJSON)
+	f.Add([]byte(`{"t":"epoch","epoch":1}` + "\n"))
+	f.Add([]byte(jobRec))
+	f.Add([]byte(jobRec + `{"t":"grant","job":"j1","campaign":0,"shard":0,"gen":1,"worker":"w"}` + "\n"))
+	f.Add([]byte(jobRec + `{"t":"grant","job":"j1","campaign":0,"shard":0,"gen":1}` + "\n" + `{"t":"complete","job":"j1","campaign":0,"shard":0,"gen":1}` + "\n"))
+	f.Add([]byte(jobRec + `{"t":"cancel","job":"j1"}` + "\n" + `{"t":"final","job":"j1","state":"cancelled"}` + "\n"))
+	f.Add([]byte("{\"t\":\"job\",\"job\":\"j1\"}\n"))
+	f.Add([]byte("torn {\"t\":"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Bound the work a hostile spec can demand before handing the
+		// bytes to the real replay path: campaign expansion is O(shards
+		// x schemes x scenarios) and the fuzzer should explore the state
+		// machine, not allocation limits.
+		if recs, _, err := campaign.ParseWAL(raw); err == nil {
+			for _, r := range recs {
+				var rec journalRecord
+				if json.Unmarshal(r, &rec) == nil && rec.Spec != nil {
+					if rec.Spec.Trials > 10_000 || len(rec.Spec.Schemes)*len(rec.Spec.Scenarios) > 16 {
+						t.Skip("spec too large for fuzzing")
+					}
+				}
+			}
+		}
+		snapshot := func() ([]JobStatus, error) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, JournalFile), raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewCoordinator(CoordinatorOptions{JournalDir: dir})
+			if err != nil {
+				return nil, err
+			}
+			defer c.Close()
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			out := make([]JobStatus, 0, len(c.order))
+			for _, j := range c.order {
+				st := c.statusLocked(j)
+				st.Progress = "" // wall-clock dependent; not part of the contract
+				st.ReportSummary = ""
+				out = append(out, st)
+			}
+			return out, nil
+		}
+		st1, err1 := snapshot()
+		st2, err2 := snapshot()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("replay determinism broken: first err=%v, second err=%v", err1, err2)
+		}
+		if err1 != nil {
+			return // rejected both times: fine
+		}
+		b1, _ := json.Marshal(st1)
+		b2, _ := json.Marshal(st2)
+		if string(b1) != string(b2) {
+			t.Fatalf("replaying the same journal twice diverged:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}

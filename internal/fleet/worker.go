@@ -29,8 +29,15 @@ type WorkerOptions struct {
 	// re-issue budget.
 	Retries      int
 	ShardTimeout time.Duration
-	// HTTP overrides the transport; nil uses http.DefaultClient.
+	// HTTP overrides the transport; nil gets the client default (dial
+	// and request timeouts on, so a dead coordinator never hangs the
+	// worker — see ClientOptions).
 	HTTP *http.Client
+	// RequestTimeout and HTTPRetries tune the client's transient-fault
+	// layer (ClientOptions Timeout/Retries semantics; zero values mean
+	// the defaults).
+	RequestTimeout time.Duration
+	HTTPRetries    int
 	// Warnf, when non-nil, receives worker-side warnings.
 	Warnf func(format string, args ...any)
 }
@@ -54,14 +61,30 @@ func NewWorker(base string, opts WorkerOptions) *Worker {
 	if opts.Poll <= 0 {
 		opts.Poll = 200 * time.Millisecond
 	}
-	return &Worker{client: NewClient(base, opts.HTTP), opts: opts}
+	client := NewClientWith(base, ClientOptions{
+		HTTP:    opts.HTTP,
+		Timeout: opts.RequestTimeout,
+		Retries: opts.HTTPRetries,
+		Warnf:   opts.Warnf,
+	})
+	return &Worker{client: client, opts: opts}
 }
+
+// parkedAfter is the consecutive-failure threshold at which a worker
+// declares the coordinator unreachable and parks: it stops treating
+// each poll failure as news and just keeps probing at the capped
+// backoff until the coordinator answers again. A parked worker never
+// exits — a coordinator restart (even two of them) looks like a pause,
+// not a death.
+const parkedAfter = 3
 
 // Run polls for leases and executes them until ctx is cancelled, which
 // is the normal shutdown path (Run then returns nil). Transient
-// coordinator errors back the poll off rather than killing the worker.
+// coordinator errors back the poll off rather than killing the worker;
+// sustained unreachability parks the worker (see parkedAfter).
 func (w *Worker) Run(ctx context.Context) error {
 	backoff := w.opts.Poll
+	failures := 0
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -71,7 +94,14 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return nil
 			}
-			w.warnf("fleet worker %s: lease poll: %v", w.opts.ID, err)
+			failures++
+			switch {
+			case failures < parkedAfter:
+				w.warnf("fleet worker %s: lease poll: %v", w.opts.ID, err)
+			case failures == parkedAfter:
+				w.warnf("fleet worker %s: coordinator unreachable after %d polls (%v); parking until it answers",
+					w.opts.ID, failures, err)
+			}
 			if !sleepCtx(ctx, backoff) {
 				return nil
 			}
@@ -80,6 +110,10 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
+		if failures >= parkedAfter {
+			w.warnf("fleet worker %s: coordinator reachable again after %d failed polls", w.opts.ID, failures)
+		}
+		failures = 0
 		backoff = w.opts.Poll
 		if lease == nil {
 			if !sleepCtx(ctx, w.opts.Poll) {
